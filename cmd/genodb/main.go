@@ -1,0 +1,162 @@
+// Command genodb is a SQL shell over the engine: it executes statements
+// from the command line or stdin against a database directory, with the
+// genomics extension functions pre-registered.
+//
+// Usage:
+//
+//	genodb -db DIR -e "SELECT ..."      run one statement (repeatable ;-script)
+//	genodb -db DIR < script.sql         run a script from stdin
+//	genodb -db DIR                      interactive: one statement per line
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sqltypes"
+	"repro/internal/udf"
+)
+
+func main() {
+	dbDir := flag.String("db", "genodb-data", "database directory")
+	exec := flag.String("e", "", "execute this SQL (semicolon-separated script) and exit")
+	dop := flag.Int("dop", 0, "degree of parallelism (default: all cores)")
+	flag.Parse()
+
+	db, err := core.Open(*dbDir, core.Options{DOP: *dop})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "genodb:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	udf.RegisterAll(db)
+
+	if *exec != "" {
+		if err := runScript(db, *exec, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "genodb:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	st, _ := os.Stdin.Stat()
+	interactive := (st.Mode() & os.ModeCharDevice) != 0
+	if interactive {
+		fmt.Println("genodb SQL shell - one statement per line, \\q to quit")
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	for {
+		if interactive {
+			if pending.Len() == 0 {
+				fmt.Print("genodb> ")
+			} else {
+				fmt.Print("   ...> ")
+			}
+		}
+		if !sc.Scan() {
+			break
+		}
+		line := sc.Text()
+		if strings.TrimSpace(line) == "\\q" {
+			break
+		}
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		if !strings.Contains(line, ";") && interactive {
+			continue
+		}
+		if err := runScript(db, pending.String(), os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+		pending.Reset()
+	}
+	if pending.Len() > 0 {
+		if err := runScript(db, pending.String(), os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runScript(db *core.Database, sql string, w io.Writer) error {
+	if strings.TrimSpace(sql) == "" {
+		return nil
+	}
+	res, err := db.ExecScript(sql)
+	if err != nil {
+		return err
+	}
+	if res == nil {
+		return nil
+	}
+	printResult(w, res)
+	return nil
+}
+
+func printResult(w io.Writer, res *core.Result) {
+	if res.Plan != "" {
+		fmt.Fprint(w, res.Plan)
+		return
+	}
+	if len(res.Cols) == 0 {
+		if res.RowsAffected > 0 {
+			fmt.Fprintf(w, "(%d rows affected)\n", res.RowsAffected)
+		} else {
+			fmt.Fprintln(w, "OK")
+		}
+		return
+	}
+	widths := make([]int, len(res.Cols))
+	render := make([][]string, len(res.Rows))
+	for i, c := range res.Cols {
+		if c == "" {
+			c = fmt.Sprintf("col%d", i+1)
+		}
+		widths[i] = len(c)
+	}
+	for r, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = formatValue(v)
+			if len(cells[i]) > widths[i] {
+				widths[i] = len(cells[i])
+			}
+		}
+		render[r] = cells
+	}
+	for i, c := range res.Cols {
+		if c == "" {
+			c = fmt.Sprintf("col%d", i+1)
+		}
+		fmt.Fprintf(w, "%-*s  ", widths[i], c)
+	}
+	fmt.Fprintln(w)
+	for i := range res.Cols {
+		fmt.Fprintf(w, "%s  ", strings.Repeat("-", widths[i]))
+	}
+	fmt.Fprintln(w)
+	for _, cells := range render {
+		for i, c := range cells {
+			fmt.Fprintf(w, "%-*s  ", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "(%d rows)\n", len(res.Rows))
+}
+
+func formatValue(v sqltypes.Value) string {
+	if v.IsNull() {
+		return "NULL"
+	}
+	s := v.String()
+	if len(s) > 60 {
+		return s[:57] + "..."
+	}
+	return s
+}

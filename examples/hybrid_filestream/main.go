@@ -1,0 +1,162 @@
+// Hybrid data management (the paper's central physical design, Section
+// 3.3): level-1 data lives in FileStream BLOBs under database control,
+// while existing bioinformatics tools keep reading and writing the same
+// bytes through ordinary file APIs. This example runs the MAQ-substitute
+// aligner as an "external tool" directly against the FileStream path, then
+// registers the tool's output file back into the database and joins both
+// sides in one SQL query.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/align"
+	"repro/internal/core"
+	"repro/internal/fastq"
+	"repro/internal/gen"
+	"repro/internal/sequencer"
+	"repro/internal/sqltypes"
+	"repro/internal/udf"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "hybrid-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := core.Open(filepath.Join(dir, "db"), core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	udf.RegisterAll(db)
+	mustExec(db, `CREATE TABLE ShortReadFiles (
+	    guid UNIQUEIDENTIFIER, sample INT, lane INT,
+	    reads VARBINARY(MAX) FILESTREAM)`)
+
+	// Generate a lane and a reference; write both as ordinary files first.
+	genome := gen.GenerateGenome(gen.GenomeSpec{Chromosomes: 1, ChromLength: 50_000, Seed: 5})
+	frags := gen.SampleFragments(genome, gen.ResequencingSpec{Reads: 5000, ReadLen: 36, Seed: 6})
+	templates := make([]string, len(frags))
+	for i, f := range frags {
+		templates[i] = f.Seq
+	}
+	ins := sequencer.NewInstrument("IL9", 36)
+	ins.Sigma = 0.14
+	reads, err := ins.Run(sequencer.DefaultFlowcell(4), 3, 77, templates, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lanePath := filepath.Join(dir, "lane3.fastq")
+	writeFastq(lanePath, reads)
+	refPath := filepath.Join(dir, "ref.fasta")
+	writeFasta(refPath, genome)
+
+	// Import the lane under database control.
+	guid, err := db.ImportFileStream("ShortReadFiles", lanePath, map[string]sqltypes.Value{
+		"sample": sqltypes.NewInt(77), "lane": sqltypes.NewInt(3),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The hybrid trick: hand the FileStream PATH to the external tool.
+	// The aligner reads the database-managed bytes with plain file I/O.
+	res := mustExec(db, `SELECT FilePathName(reads) FROM ShortReadFiles WHERE sample = 77`)
+	fileStreamPath := res.Rows[0][0].S
+	fmt.Printf("FileStream blob %s\nexternal tool reads it at: %s\n", guid, fileStreamPath)
+
+	alignOut := filepath.Join(dir, "lane3.aligned.txt")
+	stats, err := align.AlignFiles(refPath, fileStreamPath, alignOut, 20, 2, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("external aligner: %d/%d reads aligned -> %s\n", stats.Aligned, stats.Reads, alignOut)
+
+	// Register the tool's output as another FileStream, closing the loop:
+	// both the input and the derived data are now under database control.
+	mustExec(db, `CREATE TABLE AlignmentFiles (
+	    guid UNIQUEIDENTIFIER, sample INT, lane INT,
+	    reads VARBINARY(MAX) FILESTREAM)`)
+	if _, err := db.ImportFileStream("AlignmentFiles", alignOut, map[string]sqltypes.Value{
+		"sample": sqltypes.NewInt(77), "lane": sqltypes.NewInt(3),
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// SQL sees both sides: compare level-1 read counts against level-2
+	// alignment counts without leaving the engine.
+	counts := mustExec(db, `
+	  SELECT s.sample, s.lane, FileDataLength(s.reads), FileDataLength(a.reads)
+	    FROM ShortReadFiles s JOIN AlignmentFiles a ON s.sample = a.sample
+	   WHERE s.lane = 3`)
+	row := counts.Rows[0]
+	fmt.Printf("sample %v lane %v: level-1 file %v bytes, level-2 file %v bytes\n",
+		row[0], row[1], row[2], row[3])
+
+	readCount := mustExec(db, `SELECT COUNT(*) FROM ListShortReads(77, 3, 'FastQ')`)
+	fmt.Printf("reads via TVF: %v, aligned by the external tool: %d\n",
+		readCount.Rows[0][0], stats.Aligned)
+
+	// Transactional control still applies: a rolled-back import leaves no
+	// orphan blob behind.
+	mustExec(db, `BEGIN TRANSACTION`)
+	tmpGuid, err := db.ImportFileStream("ShortReadFiles", lanePath, map[string]sqltypes.Value{
+		"sample": sqltypes.NewInt(78), "lane": sqltypes.NewInt(1),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mustExec(db, `ROLLBACK`)
+	if db.Blobs().Exists(tmpGuid) {
+		log.Fatal("rollback left an orphan blob")
+	}
+	fmt.Println("rolled-back import removed its blob: transactional FileStreams work")
+}
+
+func mustExec(db *core.Database, sql string) *core.Result {
+	res, err := db.Exec(sql)
+	if err != nil {
+		log.Fatalf("SQL failed: %v\n%s", err, sql)
+	}
+	return res
+}
+
+func writeFastq(path string, reads []fastq.Record) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	w := fastq.NewWriter(f)
+	for _, r := range reads {
+		if err := w.Write(r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func writeFasta(path string, g *gen.Genome) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	w := fastq.NewFastaWriter(f)
+	for _, c := range g.Chroms {
+		if err := w.Write(fastq.FastaRecord{Name: c.Name, Seq: c.Seq}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}

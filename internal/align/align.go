@@ -1,0 +1,325 @@
+// Package align implements the short-read aligner that stands in for MAQ
+// in the paper's secondary data analysis (Section 2.1): a k-mer seed index
+// over the reference genome with ungapped extension, quality-aware
+// mismatch scoring and MAQ-style mapping qualities. It runs both as an
+// "external tool" over FASTQ/FASTA files (the file-centric workflow) and
+// in-process against engine data (the database-centric workflow).
+package align
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/fastq"
+	"repro/internal/seq"
+)
+
+// Chrom is one reference sequence.
+type Chrom struct {
+	Name string
+	Seq  string
+}
+
+// location is a position on the reference.
+type location struct {
+	chrom int32
+	pos   int32
+}
+
+// Index is the seed index over a reference genome.
+type Index struct {
+	chroms  []Chrom
+	seedLen int
+	seeds   map[uint64][]location
+}
+
+// DefaultSeedLength matches MAQ's use of the first 28 bp as the seed; we
+// default shorter so short synthetic reads still index well.
+const DefaultSeedLength = 20
+
+// BuildIndex indexes every seed-length substring of the reference.
+func BuildIndex(chroms []Chrom, seedLen int) (*Index, error) {
+	if seedLen <= 0 {
+		seedLen = DefaultSeedLength
+	}
+	if seedLen > 31 {
+		return nil, fmt.Errorf("align: seed length %d exceeds 31 (packed into uint64)", seedLen)
+	}
+	idx := &Index{chroms: chroms, seedLen: seedLen, seeds: make(map[uint64][]location)}
+	for ci, c := range chroms {
+		if len(c.Seq) < seedLen {
+			continue
+		}
+		var h uint64
+		valid := 0 // consecutive unambiguous bases ending at i
+		mask := uint64(1)<<(2*uint(seedLen)) - 1
+		for i := 0; i < len(c.Seq); i++ {
+			code, ok := seq.CodeOf(c.Seq[i])
+			if !ok {
+				valid = 0
+				h = 0
+				continue
+			}
+			h = ((h << 2) | uint64(code)) & mask
+			valid++
+			if valid >= seedLen {
+				start := i - seedLen + 1
+				idx.seeds[h] = append(idx.seeds[h], location{chrom: int32(ci), pos: int32(start)})
+			}
+		}
+	}
+	return idx, nil
+}
+
+// SeedLength returns the index's seed length.
+func (idx *Index) SeedLength() int { return idx.seedLen }
+
+// Chroms returns the indexed reference sequences.
+func (idx *Index) Chroms() []Chrom { return idx.chroms }
+
+// packSeed packs the first seedLen bases; ok=false when ambiguous.
+func packSeed(s string, seedLen int) (uint64, bool) {
+	if len(s) < seedLen {
+		return 0, false
+	}
+	var h uint64
+	for i := 0; i < seedLen; i++ {
+		code, ok := seq.CodeOf(s[i])
+		if !ok {
+			return 0, false
+		}
+		h = (h << 2) | uint64(code)
+	}
+	return h, true
+}
+
+// Aligner aligns reads against an Index.
+type Aligner struct {
+	Index *Index
+	// MaxMismatches bounds accepted alignments (MAQ's default is 2).
+	MaxMismatches int
+}
+
+// NewAligner returns an aligner with MAQ-like defaults.
+func NewAligner(idx *Index) *Aligner {
+	return &Aligner{Index: idx, MaxMismatches: 2}
+}
+
+// candidate is one scored alignment candidate.
+type candidate struct {
+	loc        location
+	minus      bool
+	mismatches int
+	// qualSum is the summed Phred quality at mismatching positions — the
+	// MAQ alignment score (lower is better).
+	qualSum int
+}
+
+// Align maps one read. ok=false when the read has no acceptable hit.
+// Reads are tried on both strands; for minus-strand hits the returned
+// record holds the reverse-complemented sequence and reversed qualities,
+// expressed in reference coordinates. Two seed positions (read head and
+// tail) are probed per strand, so one sequencing error cannot hide a read
+// from both seeds — the spaced-seed sensitivity trick of MAQ.
+func (a *Aligner) Align(rec fastq.Record) (fastq.AlignmentRecord, bool) {
+	best, second := candidate{mismatches: -1}, candidate{mismatches: -1}
+	bestCount := 0
+	seen := map[location]bool{}
+	try := func(s, q string, offset int, minus bool) {
+		if offset+a.Index.seedLen > len(s) {
+			return
+		}
+		h, ok := packSeed(s[offset:], a.Index.seedLen)
+		if !ok {
+			return
+		}
+		for _, hit := range a.Index.seeds[h] {
+			loc := location{chrom: hit.chrom, pos: hit.pos - int32(offset)}
+			if loc.pos < 0 {
+				continue
+			}
+			// Deduplicate candidates found by both seeds; strands are
+			// distinguished by complementing the chromosome id.
+			key := loc
+			if minus {
+				key.chrom = ^key.chrom
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			c, ok := a.extend(s, q, loc)
+			if !ok {
+				continue
+			}
+			c.minus = minus
+			switch {
+			case best.mismatches < 0 || less(c, best):
+				if best.mismatches >= 0 {
+					second = best
+				}
+				if best.mismatches >= 0 && c.qualSum == best.qualSum && c.mismatches == best.mismatches {
+					bestCount++
+				} else {
+					bestCount = 1
+				}
+				best = c
+			case second.mismatches < 0 || less(c, second):
+				if c.qualSum == best.qualSum && c.mismatches == best.mismatches {
+					bestCount++
+				}
+				second = c
+			}
+		}
+	}
+	rc := seq.ReverseComplement(rec.Seq)
+	rq := reverseString(rec.Qual)
+	for _, offset := range []int{0, len(rec.Seq) - a.Index.seedLen} {
+		if offset < 0 {
+			continue
+		}
+		try(rec.Seq, rec.Qual, offset, false)
+		try(rc, rq, offset, true)
+		if offset == 0 && len(rec.Seq) == a.Index.seedLen {
+			break
+		}
+	}
+	if best.mismatches < 0 {
+		return fastq.AlignmentRecord{}, false
+	}
+	out := fastq.AlignmentRecord{
+		ReadName:   rec.Name,
+		RefName:    a.Index.chroms[best.loc.chrom].Name,
+		Pos:        int64(best.loc.pos),
+		Strand:     '+',
+		Mismatches: best.mismatches,
+		MapQ:       a.mapQuality(best, second, bestCount),
+		Seq:        rec.Seq,
+		Qual:       rec.Qual,
+	}
+	if best.minus {
+		out.Strand = '-'
+		out.Seq = rc
+		out.Qual = rq
+	}
+	return out, true
+}
+
+func less(a, b candidate) bool {
+	if a.mismatches != b.mismatches {
+		return a.mismatches < b.mismatches
+	}
+	return a.qualSum < b.qualSum
+}
+
+// extend verifies the full read at a seed hit, counting mismatches.
+func (a *Aligner) extend(s, q string, loc location) (candidate, bool) {
+	ref := a.Index.chroms[loc.chrom].Seq
+	start := int(loc.pos)
+	if start+len(s) > len(ref) {
+		return candidate{}, false
+	}
+	c := candidate{loc: loc}
+	for i := 0; i < len(s); i++ {
+		if s[i] != ref[start+i] {
+			c.mismatches++
+			if c.mismatches > a.MaxMismatches {
+				return candidate{}, false
+			}
+			qv := 0
+			if i < len(q) {
+				qv = int(q[i]) - seq.PhredOffset
+				if qv < 0 {
+					qv = 0
+				}
+			}
+			c.qualSum += qv
+		}
+	}
+	return c, true
+}
+
+// mapQuality derives a MAQ-style mapping quality: high when the best hit
+// is unique and clean, degraded by competing hits and by the quality mass
+// of its mismatches.
+func (a *Aligner) mapQuality(best, second candidate, bestCount int) int {
+	if bestCount > 1 {
+		return 0 // repeat region: placement is arbitrary
+	}
+	q := 60
+	if second.mismatches >= 0 {
+		gap := (second.mismatches - best.mismatches) * 10
+		if d := second.qualSum - best.qualSum; d < gap*10 {
+			gap += d / 10
+		}
+		if gap < q {
+			q = gap
+		}
+	}
+	q -= best.qualSum / 10
+	if q < 0 {
+		q = 0
+	}
+	return q
+}
+
+func reverseString(s string) string {
+	b := []byte(s)
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+	return string(b)
+}
+
+// Stats summarizes an alignment run.
+type Stats struct {
+	Reads     int
+	Aligned   int
+	Unaligned int
+}
+
+// AlignAll aligns a batch of reads across worker goroutines, preserving
+// input order in the output (unaligned reads are skipped).
+func (a *Aligner) AlignAll(reads []fastq.Record, workers int) ([]fastq.AlignmentRecord, Stats) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	type slot struct {
+		rec fastq.AlignmentRecord
+		ok  bool
+	}
+	slots := make([]slot, len(reads))
+	var wg sync.WaitGroup
+	chunk := (len(reads) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(reads) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(reads) {
+			hi = len(reads)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				rec, ok := a.Align(reads[i])
+				slots[i] = slot{rec, ok}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	out := make([]fastq.AlignmentRecord, 0, len(reads))
+	st := Stats{Reads: len(reads)}
+	for i := range slots {
+		if slots[i].ok {
+			out = append(out, slots[i].rec)
+			st.Aligned++
+		} else {
+			st.Unaligned++
+		}
+	}
+	return out, st
+}

@@ -1,0 +1,240 @@
+package align
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fastq"
+	"repro/internal/gen"
+)
+
+func testReference(t *testing.T) (*gen.Genome, []Chrom) {
+	t.Helper()
+	g := gen.GenerateGenome(gen.GenomeSpec{Chromosomes: 2, ChromLength: 50_000, Seed: 17})
+	chroms := make([]Chrom, len(g.Chroms))
+	for i, c := range g.Chroms {
+		chroms[i] = Chrom{Name: c.Name, Seq: c.Seq}
+	}
+	return g, chroms
+}
+
+func TestAlignExactReads(t *testing.T) {
+	g, chroms := testReference(t)
+	idx, err := BuildIndex(chroms, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAligner(idx)
+	frags := gen.SampleFragments(g, gen.ResequencingSpec{Reads: 300, ReadLen: 36, Seed: 5})
+	correct := 0
+	for i, f := range frags {
+		rec := fastq.Record{
+			Name: "r", Seq: f.Seq,
+			Qual: strings.Repeat("I", len(f.Seq)),
+		}
+		out, ok := a.Align(rec)
+		if !ok {
+			continue
+		}
+		if out.RefName == f.Chrom && out.Pos == int64(f.Pos) {
+			correct++
+		} else if out.MapQ > 10 {
+			// A confident wrong placement is a bug; low-MapQ wrong
+			// placements can happen in the duplicated segments.
+			t.Errorf("read %d confidently misplaced: got %s:%d q%d, want %s:%d",
+				i, out.RefName, out.Pos, out.MapQ, f.Chrom, f.Pos)
+		}
+	}
+	if correct < 280 {
+		t.Errorf("only %d/300 exact reads placed correctly", correct)
+	}
+}
+
+func TestAlignReverseStrand(t *testing.T) {
+	g, chroms := testReference(t)
+	idx, _ := BuildIndex(chroms, 20)
+	a := NewAligner(idx)
+	frags := gen.SampleFragments(g, gen.ResequencingSpec{Reads: 200, ReadLen: 36, Seed: 6, BothStrands: true})
+	placed := 0
+	for _, f := range frags {
+		rec := fastq.Record{Name: "r", Seq: f.Seq, Qual: strings.Repeat("I", len(f.Seq))}
+		out, ok := a.Align(rec)
+		if !ok {
+			continue
+		}
+		if out.RefName == f.Chrom && out.Pos == int64(f.Pos) {
+			placed++
+			wantStrand := byte('+')
+			if f.Minus {
+				wantStrand = '-'
+			}
+			if out.Strand != wantStrand {
+				t.Fatalf("strand = %c, want %c", out.Strand, wantStrand)
+			}
+			if f.Minus {
+				// Output is in reference orientation.
+				c := g.Chrom(f.Chrom)
+				if out.Seq != c.Seq[f.Pos:f.Pos+36] {
+					t.Fatal("minus-strand alignment not in reference orientation")
+				}
+			}
+		}
+	}
+	if placed < 180 {
+		t.Errorf("placed %d/200 stranded reads", placed)
+	}
+}
+
+func TestAlignWithMismatches(t *testing.T) {
+	g, chroms := testReference(t)
+	idx, _ := BuildIndex(chroms, 20)
+	a := NewAligner(idx)
+	c := g.Chroms[0]
+	// Take a fragment and mutate position 30 (outside the seed).
+	frag := []byte(c.Seq[1000:1036])
+	orig := frag[30]
+	for _, alt := range []byte("ACGT") {
+		if alt != orig {
+			frag[30] = alt
+			break
+		}
+	}
+	out, ok := a.Align(fastq.Record{Name: "m", Seq: string(frag), Qual: strings.Repeat("I", 36)})
+	if !ok {
+		t.Fatal("1-mismatch read did not align")
+	}
+	if out.Pos != 1000 || out.Mismatches != 1 {
+		t.Errorf("got pos %d with %d mismatches", out.Pos, out.Mismatches)
+	}
+	// Three mismatches exceeds the default budget of 2.
+	frag3 := []byte(c.Seq[2000:2036])
+	for _, i := range []int{25, 30, 34} {
+		if frag3[i] != 'A' {
+			frag3[i] = 'A'
+		} else {
+			frag3[i] = 'C'
+		}
+	}
+	if _, ok := a.Align(fastq.Record{Name: "x", Seq: string(frag3), Qual: strings.Repeat("I", 36)}); ok {
+		t.Error("3-mismatch read aligned despite MaxMismatches=2")
+	}
+}
+
+func TestAlignTailSeedRescuesHeadError(t *testing.T) {
+	// An 'N' in the head seed hides the read from the head lookup; the
+	// tail seed must rescue it, with the N counted as one mismatch.
+	_, chroms := testReference(t)
+	idx, _ := BuildIndex(chroms, 20)
+	a := NewAligner(idx)
+	read := "N" + chroms[0].Seq[100:135]
+	out, ok := a.Align(fastq.Record{Name: "n", Seq: read, Qual: strings.Repeat("I", len(read))})
+	if !ok {
+		t.Fatal("tail seed did not rescue the read")
+	}
+	if out.Pos != 99 || out.Mismatches != 1 {
+		t.Errorf("got pos %d with %d mismatches, want 99 with 1", out.Pos, out.Mismatches)
+	}
+	// A fully ambiguous read can never align.
+	if _, ok := a.Align(fastq.Record{Name: "nn", Seq: strings.Repeat("N", 36), Qual: strings.Repeat("I", 36)}); ok {
+		t.Error("all-N read aligned")
+	}
+}
+
+func TestMapQualityRepeatsAreZero(t *testing.T) {
+	// A read from inside a duplicated segment must get MapQ 0.
+	chroms := []Chrom{{
+		Name: "c",
+		Seq:  strings.Repeat("ACGTTGCATTGCAGGACTGATCGGCTAAGCTGGCTA", 4), // 4 identical copies
+	}}
+	idx, _ := BuildIndex(chroms, 20)
+	a := NewAligner(idx)
+	read := chroms[0].Seq[0:36]
+	out, ok := a.Align(fastq.Record{Name: "rep", Seq: read, Qual: strings.Repeat("I", 36)})
+	if !ok {
+		t.Fatal("repeat read did not align")
+	}
+	if out.MapQ != 0 {
+		t.Errorf("repeat MapQ = %d, want 0", out.MapQ)
+	}
+}
+
+func TestAlignAllParallelMatchesSerial(t *testing.T) {
+	g, chroms := testReference(t)
+	idx, _ := BuildIndex(chroms, 20)
+	a := NewAligner(idx)
+	frags := gen.SampleFragments(g, gen.ResequencingSpec{Reads: 500, ReadLen: 36, Seed: 8})
+	reads := make([]fastq.Record, len(frags))
+	for i, f := range frags {
+		reads[i] = fastq.Record{Name: "r", Seq: f.Seq, Qual: strings.Repeat("I", 36)}
+	}
+	serial, st1 := a.AlignAll(reads, 1)
+	parallel, st2 := a.AlignAll(reads, 4)
+	if st1 != st2 || len(serial) != len(parallel) {
+		t.Fatalf("stats differ: %+v vs %+v", st1, st2)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("alignment %d differs between serial and parallel", i)
+		}
+	}
+}
+
+func TestBuildIndexValidation(t *testing.T) {
+	if _, err := BuildIndex(nil, 40); err == nil {
+		t.Error("seed length 40 accepted")
+	}
+	idx, err := BuildIndex([]Chrom{{Name: "tiny", Seq: "ACG"}}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := idx.seeds[0]; ok && len(idx.seeds) != 0 {
+		t.Error("tiny chromosome indexed")
+	}
+}
+
+func TestAlignFilesExternalToolMode(t *testing.T) {
+	g, chroms := testReference(t)
+	dir := t.TempDir()
+	refPath := filepath.Join(dir, "ref.fasta")
+	readsPath := filepath.Join(dir, "reads.fastq")
+	outPath := filepath.Join(dir, "alignments.txt")
+
+	refF, _ := os.Create(refPath)
+	w := fastq.NewFastaWriter(refF)
+	for _, c := range chroms {
+		w.Write(fastq.FastaRecord{Name: c.Name, Seq: c.Seq})
+	}
+	w.Flush()
+	refF.Close()
+
+	frags := gen.SampleFragments(g, gen.ResequencingSpec{Reads: 100, ReadLen: 36, Seed: 9})
+	readsF, _ := os.Create(readsPath)
+	fw := fastq.NewWriter(readsF)
+	for i, f := range frags {
+		fw.Write(fastq.Record{
+			Name: gen.ReadName1000G("IL4", 855, 1, 1, 1, i, i),
+			Seq:  f.Seq, Qual: strings.Repeat("I", 36),
+		})
+	}
+	fw.Flush()
+	readsF.Close()
+
+	stats, err := AlignFiles(refPath, readsPath, outPath, 20, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Aligned < 95 {
+		t.Errorf("aligned %d/100", stats.Aligned)
+	}
+	outF, _ := os.Open(outPath)
+	defer outF.Close()
+	recs, err := fastq.ReadAllAlignments(outF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != stats.Aligned {
+		t.Errorf("file has %d records, stats say %d", len(recs), stats.Aligned)
+	}
+}

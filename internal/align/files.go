@@ -1,0 +1,76 @@
+package align
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/fastq"
+)
+
+// The file-mode entry points below make the aligner behave like the
+// external tools of the paper's file-centric pipeline (MAQ and friends):
+// FASTA reference in, FASTQ reads in, alignment text out. In the hybrid
+// design the same paths point into the engine's FileStream store.
+
+// LoadReferenceFasta reads a FASTA reference into alignment chromosomes.
+func LoadReferenceFasta(r io.Reader) ([]Chrom, error) {
+	recs, err := fastq.ReadAllFasta(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Chrom, len(recs))
+	for i, rec := range recs {
+		out[i] = Chrom{Name: rec.Name, Seq: rec.Seq}
+	}
+	return out, nil
+}
+
+// AlignFiles aligns readsPath (FASTQ) against refPath (FASTA), writing the
+// alignment text format to outPath — one run of the "external tool".
+func AlignFiles(refPath, readsPath, outPath string, seedLen, maxMismatches, workers int) (Stats, error) {
+	refF, err := os.Open(refPath)
+	if err != nil {
+		return Stats{}, err
+	}
+	defer refF.Close()
+	chroms, err := LoadReferenceFasta(refF)
+	if err != nil {
+		return Stats{}, err
+	}
+	idx, err := BuildIndex(chroms, seedLen)
+	if err != nil {
+		return Stats{}, err
+	}
+	a := NewAligner(idx)
+	if maxMismatches > 0 {
+		a.MaxMismatches = maxMismatches
+	}
+
+	readsF, err := os.Open(readsPath)
+	if err != nil {
+		return Stats{}, err
+	}
+	defer readsF.Close()
+	reads, err := fastq.ReadAll(readsF)
+	if err != nil {
+		return Stats{}, err
+	}
+	alignments, stats := a.AlignAll(reads, workers)
+
+	outF, err := os.Create(outPath)
+	if err != nil {
+		return Stats{}, err
+	}
+	if err := fastq.WriteAlignments(outF, alignments); err != nil {
+		outF.Close()
+		return Stats{}, err
+	}
+	if err := outF.Close(); err != nil {
+		return Stats{}, err
+	}
+	if stats.Reads == 0 {
+		return stats, fmt.Errorf("align: no reads in %s", readsPath)
+	}
+	return stats, nil
+}

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// CPUSample is one point of a utilization trace: the number of cores this
+// process kept busy over the sampling interval (1.0 = one core
+// saturated).
+type CPUSample struct {
+	At   time.Duration
+	Busy float64
+}
+
+// CPUSampler records the process's CPU utilization over a run via
+// getrusage — the observable behind the paper's Figures 7 and 8 (their
+// perfmon screenshots of one core vs all cores busy).
+type CPUSampler struct {
+	interval time.Duration
+	stop     chan struct{}
+	done     sync.WaitGroup
+	mu       sync.Mutex
+	samples  []CPUSample
+	start    time.Time
+}
+
+// StartCPUSampler begins sampling at the given interval.
+func StartCPUSampler(interval time.Duration) *CPUSampler {
+	s := &CPUSampler{
+		interval: interval,
+		stop:     make(chan struct{}),
+		start:    time.Now(),
+	}
+	s.done.Add(1)
+	go s.loop()
+	return s
+}
+
+func (s *CPUSampler) loop() {
+	defer s.done.Done()
+	prevCPU, ok := processCPUTime()
+	if !ok {
+		return
+	}
+	prevWall := time.Now()
+	ticker := time.NewTicker(s.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			cpu, ok := processCPUTime()
+			if !ok {
+				return
+			}
+			now := time.Now()
+			dWall := now.Sub(prevWall)
+			if dWall <= 0 {
+				continue
+			}
+			busy := float64(cpu-prevCPU) / float64(dWall)
+			prevCPU, prevWall = cpu, now
+			s.mu.Lock()
+			s.samples = append(s.samples, CPUSample{At: now.Sub(s.start), Busy: busy})
+			s.mu.Unlock()
+		}
+	}
+}
+
+// processCPUTime returns the process's cumulative user+system CPU time.
+func processCPUTime() (time.Duration, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, false
+	}
+	user := time.Duration(ru.Utime.Sec)*time.Second + time.Duration(ru.Utime.Usec)*time.Microsecond
+	sys := time.Duration(ru.Stime.Sec)*time.Second + time.Duration(ru.Stime.Usec)*time.Microsecond
+	return user + sys, true
+}
+
+// Stop ends sampling and returns the trace.
+func (s *CPUSampler) Stop() []CPUSample {
+	close(s.stop)
+	s.done.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.samples
+}
+
+// RenderCPUTrace draws an ASCII utilization timeline (cores busy over
+// time), the harness's stand-in for the paper's perfmon screenshots.
+func RenderCPUTrace(samples []CPUSample, width int) string {
+	if len(samples) == 0 {
+		return "(no CPU samples: run too short for the sampling interval)\n"
+	}
+	if width <= 0 {
+		width = 60
+	}
+	maxBusy := 1.0
+	for _, s := range samples {
+		if s.Busy > maxBusy {
+			maxBusy = s.Busy
+		}
+	}
+	var sb strings.Builder
+	step := len(samples) / width
+	if step < 1 {
+		step = 1
+	}
+	fmt.Fprintf(&sb, "cores busy (max %.1f) over %.1fs:\n", maxBusy, samples[len(samples)-1].At.Seconds())
+	for lvl := 4; lvl >= 1; lvl-- {
+		threshold := maxBusy * float64(lvl) / 4
+		sb.WriteString(fmt.Sprintf("%4.1f |", threshold))
+		for i := 0; i < len(samples); i += step {
+			if samples[i].Busy >= threshold-maxBusy/8 {
+				sb.WriteByte('#')
+			} else {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("     +" + strings.Repeat("-", (len(samples)+step-1)/step) + "> time\n")
+	return sb.String()
+}
+
+// AverageBusy returns the mean busy-core count of a trace.
+func AverageBusy(samples []CPUSample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range samples {
+		sum += s.Busy
+	}
+	return sum / float64(len(samples))
+}

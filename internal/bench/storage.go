@@ -1,0 +1,370 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fastq"
+	"repro/internal/gen"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+)
+
+// StorageRow is one line of a Table 1 / Table 2 style comparison: the
+// bytes needed by each physical design for one data item.
+type StorageRow struct {
+	Item       string
+	Files      int64
+	FileStream int64
+	OneToOne   int64
+	Normalized int64
+	NormRow    int64
+	NormPage   int64
+}
+
+// insertBatches bulk-loads rows in chunks (bounding per-transaction undo
+// state).
+func insertBatches(db *core.Database, table string, rows []sqltypes.Row) error {
+	const batch = 20000
+	for lo := 0; lo < len(rows); lo += batch {
+		hi := lo + batch
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		if err := db.InsertRows(table, rows[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadVariant creates a table under each compression mode and loads the
+// same rows, returning sizes for (none, row, page).
+func loadVariant(db *core.Database, baseName, ddlCols string, rows []sqltypes.Row) (none, rowC, pageC int64, err error) {
+	type variant struct {
+		suffix string
+		with   string
+	}
+	variants := []variant{
+		{"_plain", ""},
+		{"_row", " WITH (DATA_COMPRESSION = ROW)"},
+		{"_page", " WITH (DATA_COMPRESSION = PAGE)"},
+	}
+	sizes := make([]int64, 3)
+	for i, v := range variants {
+		name := baseName + v.suffix
+		if _, err := db.Exec("CREATE TABLE " + name + " (" + ddlCols + ")" + v.with); err != nil {
+			return 0, 0, 0, err
+		}
+		if err := insertBatches(db, name, rows); err != nil {
+			return 0, 0, 0, err
+		}
+		if _, err := db.Exec("CHECKPOINT"); err != nil {
+			return 0, 0, 0, err
+		}
+		sz, err := db.TableSizeBytes(name)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		sizes[i] = sz
+	}
+	return sizes[0], sizes[1], sizes[2], nil
+}
+
+// loadOneToOne loads rows into an uncompressed table and returns its size.
+func loadOneToOne(db *core.Database, name, ddlCols string, rows []sqltypes.Row) (int64, error) {
+	if _, err := db.Exec("CREATE TABLE " + name + " (" + ddlCols + ")"); err != nil {
+		return 0, err
+	}
+	if err := insertBatches(db, name, rows); err != nil {
+		return 0, err
+	}
+	if _, err := db.Exec("CHECKPOINT"); err != nil {
+		return 0, err
+	}
+	return db.TableSizeBytes(name)
+}
+
+// parseReadName decomposes the composite textual identifier
+// machine_run:flowcell:lane:tile:x:y into its numeric parts — the
+// normalization step of Section 5.1.1.
+func parseReadName(name string) (machine string, run, fc, lane, tile, x, y int64, ok bool) {
+	head, rest, found := strings.Cut(name, ":")
+	if !found {
+		return "", 0, 0, 0, 0, 0, 0, false
+	}
+	m, runStr, found := strings.Cut(head, "_")
+	if !found {
+		return "", 0, 0, 0, 0, 0, 0, false
+	}
+	parts := strings.Split(rest, ":")
+	if len(parts) != 5 {
+		return "", 0, 0, 0, 0, 0, 0, false
+	}
+	nums := make([]int64, 6)
+	fields := append([]string{runStr}, parts...)
+	for i, f := range fields {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return "", 0, 0, 0, 0, 0, 0, false
+		}
+		nums[i] = v
+	}
+	return m, nums[0], nums[1], nums[2], nums[3], nums[4], nums[5], true
+}
+
+// StorageExperimentDGE reproduces Table 1 over a DGE dataset.
+func StorageExperimentDGE(ds *DGEDataset, workDir string) ([]StorageRow, error) {
+	db, err := core.Open(filepath.Join(workDir, "storagedge"), core.Options{DOP: 1})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	var out []StorageRow
+
+	readsRow, err := storageReads(db, "reads", ds.Reads, ds.ReadsFASTQ)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, readsRow)
+
+	tagsRow, err := storageTags(db, ds.Tags)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, tagsRow)
+
+	alignRow, err := storageAlignments(db, "aligns", ds.Alignments, ds.Genome, tagIDResolver(ds.Tags))
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, alignRow)
+
+	exprRow, err := storageExpression(db, ds.Expression)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, exprRow)
+	return out, nil
+}
+
+// StorageExperiment1000G reproduces Table 2 over a re-sequencing dataset.
+func StorageExperiment1000G(ds *ResequencingDataset, workDir string) ([]StorageRow, error) {
+	db, err := core.Open(filepath.Join(workDir, "storage1000g"), core.Options{DOP: 1})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	var out []StorageRow
+
+	readsRow, err := storageReads(db, "reads", ds.Reads, ds.ReadsFASTQ)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, readsRow)
+
+	alignRow, err := storageAlignments(db, "aligns", ds.Alignments, ds.Genome, readIDResolver(ds.Reads))
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, alignRow)
+	return out, nil
+}
+
+func storageReads(db *core.Database, base string, reads []fastq.Record, file []byte) (StorageRow, error) {
+	row := StorageRow{Item: "Short reads (level 1)"}
+	row.Files = int64(len(file))
+	// FileStream stores the identical bytes as a blob.
+	row.FileStream = int64(len(file))
+
+	// 1:1 import: the textual composite identifier is repeated per row,
+	// exactly as in the file.
+	oneRows := make([]sqltypes.Row, len(reads))
+	for i, r := range reads {
+		oneRows[i] = sqltypes.Row{
+			sqltypes.NewString(r.Name),
+			sqltypes.NewString(r.Seq),
+			sqltypes.NewString(r.Qual),
+		}
+	}
+	var err error
+	row.OneToOne, err = loadOneToOne(db, base+"_1to1",
+		"read_name VARCHAR(100), seq VARCHAR(300), quals VARCHAR(300)", oneRows)
+	if err != nil {
+		return row, err
+	}
+
+	// Normalized: synthetic integer ids, composite name decomposed.
+	normRows := make([]sqltypes.Row, len(reads))
+	for i, r := range reads {
+		_, _, fc, lane, tile, x, y, ok := parseReadName(r.Name)
+		if !ok {
+			return row, fmt.Errorf("bench: unparseable read name %q", r.Name)
+		}
+		normRows[i] = sqltypes.Row{
+			sqltypes.NewInt(int64(i + 1)),
+			sqltypes.NewInt(fc), sqltypes.NewInt(lane), sqltypes.NewInt(tile),
+			sqltypes.NewInt(x), sqltypes.NewInt(y),
+			sqltypes.NewString(r.Seq),
+			sqltypes.NewString(r.Qual),
+		}
+	}
+	ddl := "r_id BIGINT, fc_id INT, lane INT, tile INT, x INT, y INT, seq VARCHAR(300), quals VARCHAR(300)"
+	row.Normalized, row.NormRow, row.NormPage, err = loadVariant(db, base+"_norm", ddl, normRows)
+	return row, err
+}
+
+func storageTags(db *core.Database, tags []fastq.TagRecord) (StorageRow, error) {
+	row := StorageRow{Item: "Unique tags (binning)"}
+	file := RenderTagsFile(tags)
+	row.Files = int64(len(file))
+	row.FileStream = int64(len(file))
+	oneRows := make([]sqltypes.Row, len(tags))
+	normRows := make([]sqltypes.Row, len(tags))
+	for i, t := range tags {
+		oneRows[i] = sqltypes.Row{sqltypes.NewString(t.Seq), sqltypes.NewInt(t.Frequency)}
+		normRows[i] = sqltypes.Row{sqltypes.NewInt(int64(i + 1)), sqltypes.NewString(t.Seq), sqltypes.NewInt(t.Frequency)}
+	}
+	var err error
+	row.OneToOne, err = loadOneToOne(db, "tags_1to1", "t_seq VARCHAR(100), freq BIGINT", oneRows)
+	if err != nil {
+		return row, err
+	}
+	row.Normalized, row.NormRow, row.NormPage, err = loadVariant(db, "tags_norm",
+		"t_id BIGINT, t_seq VARCHAR(100), freq BIGINT", normRows)
+	return row, err
+}
+
+// tagIDResolver maps alignment read-names ("tag_N") to tag ids.
+func tagIDResolver(tags []fastq.TagRecord) func(name string) int64 {
+	return func(name string) int64 {
+		n, err := strconv.ParseInt(strings.TrimPrefix(name, "tag_"), 10, 64)
+		if err != nil {
+			return 0
+		}
+		return n
+	}
+}
+
+// readIDResolver maps read names to their 1-based index.
+func readIDResolver(reads []fastq.Record) func(name string) int64 {
+	idx := make(map[string]int64, len(reads))
+	for i, r := range reads {
+		idx[r.Name] = int64(i + 1)
+	}
+	return func(name string) int64 { return idx[name] }
+}
+
+func storageAlignments(db *core.Database, base string, aligns []fastq.AlignmentRecord, genome *gen.Genome, readID func(string) int64) (StorageRow, error) {
+	row := StorageRow{Item: "Alignments (level 2)"}
+	file := RenderAlignmentsFile(aligns)
+	row.Files = int64(len(file))
+	row.FileStream = int64(len(file))
+
+	chromID := map[string]int64{}
+	for i, c := range genome.Chroms {
+		chromID[c.Name] = int64(i + 1)
+	}
+
+	// 1:1: repeats the read name, the reference name AND the sequence
+	// data, exactly as the alignment text file does.
+	oneRows := make([]sqltypes.Row, len(aligns))
+	for i, a := range aligns {
+		oneRows[i] = sqltypes.Row{
+			sqltypes.NewString(a.ReadName),
+			sqltypes.NewString(a.RefName),
+			sqltypes.NewInt(a.Pos),
+			sqltypes.NewString(string(a.Strand)),
+			sqltypes.NewInt(int64(a.Mismatches)),
+			sqltypes.NewInt(int64(a.MapQ)),
+			sqltypes.NewString(a.Seq),
+			sqltypes.NewString(a.Qual),
+		}
+	}
+	var err error
+	row.OneToOne, err = loadOneToOne(db, base+"_1to1",
+		"read_name VARCHAR(100), ref_name VARCHAR(50), pos BIGINT, strand VARCHAR(1), mm INT, mapq INT, seq VARCHAR(300), quals VARCHAR(300)",
+		oneRows)
+	if err != nil {
+		return row, err
+	}
+
+	// Normalized: foreign keys replace the textual ids, and the sequence
+	// is NOT repeated — it lives in the Read table ("they are linked back
+	// to the base relation ... by foreign-key relationships").
+	normRows := make([]sqltypes.Row, len(aligns))
+	for i, a := range aligns {
+		strand := int64(0)
+		if a.Strand == '-' {
+			strand = 1
+		}
+		normRows[i] = sqltypes.Row{
+			sqltypes.NewInt(readID(a.ReadName)),
+			sqltypes.NewInt(chromID[a.RefName]),
+			sqltypes.NewInt(a.Pos),
+			sqltypes.NewBool(strand == 1),
+			sqltypes.NewInt(int64(a.Mismatches)),
+			sqltypes.NewInt(int64(a.MapQ)),
+		}
+	}
+	row.Normalized, row.NormRow, row.NormPage, err = loadVariant(db, base+"_norm",
+		"a_r_id BIGINT, a_g_id INT, a_pos BIGINT, a_strand BIT, a_mm INT, a_mapq INT", normRows)
+	return row, err
+}
+
+func storageExpression(db *core.Database, recs []fastq.ExpressionRecord) (StorageRow, error) {
+	row := StorageRow{Item: "Gene expression (level 3)"}
+	file := RenderExpressionFile(recs)
+	row.Files = int64(len(file))
+	row.FileStream = int64(len(file))
+	oneRows := make([]sqltypes.Row, len(recs))
+	normRows := make([]sqltypes.Row, len(recs))
+	for i, e := range recs {
+		oneRows[i] = sqltypes.Row{
+			sqltypes.NewString(e.Gene), sqltypes.NewInt(e.TotalFrequency), sqltypes.NewInt(e.TagCount),
+		}
+		normRows[i] = sqltypes.Row{
+			sqltypes.NewInt(int64(i + 1)), sqltypes.NewInt(1), sqltypes.NewInt(1), sqltypes.NewInt(1),
+			sqltypes.NewInt(e.TotalFrequency), sqltypes.NewInt(e.TagCount),
+		}
+	}
+	var err error
+	row.OneToOne, err = loadOneToOne(db, "expr_1to1", "gene VARCHAR(50), total BIGINT, cnt BIGINT", oneRows)
+	if err != nil {
+		return row, err
+	}
+	row.Normalized, row.NormRow, row.NormPage, err = loadVariant(db, "expr_norm",
+		"g_id INT, e_id INT, sg_id INT, s_id INT, total BIGINT, cnt BIGINT", normRows)
+	return row, err
+}
+
+// SequenceUDTExperiment is the Section 5.1.2 ablation: the proposed
+// bit-encoded SEQUENCE type versus VARCHAR storage for read sequences.
+// Returns (varcharBytes, sequenceBytes).
+func SequenceUDTExperiment(reads []fastq.Record, workDir string) (int64, int64, error) {
+	db, err := core.Open(filepath.Join(workDir, "seqtype"), core.Options{DOP: 1})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer db.Close()
+	mkRows := func() []sqltypes.Row {
+		rows := make([]sqltypes.Row, len(reads))
+		for i, r := range reads {
+			rows[i] = sqltypes.Row{sqltypes.NewInt(int64(i + 1)), sqltypes.NewString(r.Seq)}
+		}
+		return rows
+	}
+	vc, err := loadOneToOne(db, "seq_varchar", "r_id BIGINT, seq VARCHAR(300)", mkRows())
+	if err != nil {
+		return 0, 0, err
+	}
+	sq, err := loadOneToOne(db, "seq_udt", "r_id BIGINT, seq SEQUENCE", mkRows())
+	if err != nil {
+		return 0, 0, err
+	}
+	_ = storage.PageSize // documented unit of the sizes above
+	return vc, sq, nil
+}

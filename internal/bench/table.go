@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// FormatBytes renders a byte count in the paper's MB style.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
+// RenderStorageTable renders a Table 1 / Table 2 style comparison.
+func RenderStorageTable(title string, rows []StorageRow) string {
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	header := fmt.Sprintf("%-26s %12s %12s %12s %12s %12s %12s\n",
+		"data item", "Files", "FileStream", "1:1 import", "normalized", "norm+ROW", "norm+PAGE")
+	sb.WriteString(header)
+	sb.WriteString(strings.Repeat("-", len(header)-1) + "\n")
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-26s %12s %12s %12s %12s %12s %12s\n",
+			r.Item,
+			FormatBytes(r.Files), FormatBytes(r.FileStream), FormatBytes(r.OneToOne),
+			FormatBytes(r.Normalized), FormatBytes(r.NormRow), FormatBytes(r.NormPage)))
+		sb.WriteString(fmt.Sprintf("%-26s %12s %12s %12s %12s %12s %12s\n", "  (x of Files)",
+			ratio(r.Files, r.Files), ratio(r.FileStream, r.Files), ratio(r.OneToOne, r.Files),
+			ratio(r.Normalized, r.Files), ratio(r.NormRow, r.Files), ratio(r.NormPage, r.Files)))
+	}
+	return sb.String()
+}
+
+func ratio(n, base int64) string {
+	if base == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", float64(n)/float64(base))
+}
+
+// RenderWrapTable renders the Section 5.2 timing list.
+func RenderWrapTable(title string, rows []WrapResult) string {
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	var base time.Duration
+	for _, r := range rows {
+		if base == 0 {
+			base = r.Elapsed
+		}
+		rel := "-"
+		if base > 0 {
+			rel = fmt.Sprintf("%.1fx", float64(r.Elapsed)/float64(base))
+		}
+		sb.WriteString(fmt.Sprintf("  %-40s %10.3fs  %8s  (%d records)\n",
+			r.Method, r.Elapsed.Seconds(), rel, r.Records))
+	}
+	return sb.String()
+}

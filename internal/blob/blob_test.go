@@ -1,0 +1,254 @@
+package blob
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openTestStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := OpenStore(filepath.Join(t.TempDir(), "blobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewGUIDFormatAndUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		g := NewGUID()
+		if len(g) != 36 || strings.Count(g, "-") != 4 {
+			t.Fatalf("bad guid format %q", g)
+		}
+		if seen[g] {
+			t.Fatal("duplicate guid")
+		}
+		seen[g] = true
+	}
+}
+
+func TestCreateOpenRoundTrip(t *testing.T) {
+	s := openTestStore(t)
+	content := []byte("@r1\nACGT\n+\nIIII\n")
+	guid := NewGUID()
+	n, err := s.Create(guid, bytes.NewReader(content))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(content)) {
+		t.Errorf("Create returned %d bytes", n)
+	}
+	if !s.Exists(guid) {
+		t.Error("blob does not exist after create")
+	}
+	if sz, _ := s.Size(guid); sz != int64(len(content)) {
+		t.Errorf("Size = %d", sz)
+	}
+	st, err := s.Open(guid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	buf := make([]byte, len(content))
+	got, err := st.GetBytes(0, buf)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if got != len(content) || !bytes.Equal(buf, content) {
+		t.Errorf("GetBytes = %d, %q", got, buf[:got])
+	}
+}
+
+func TestCreateDuplicateFails(t *testing.T) {
+	s := openTestStore(t)
+	guid := NewGUID()
+	s.Create(guid, strings.NewReader("a"))
+	if _, err := s.Create(guid, strings.NewReader("b")); err == nil {
+		t.Error("duplicate create succeeded")
+	}
+}
+
+func TestPathNameExternalAccess(t *testing.T) {
+	// The hybrid design's core property: external tools read and write
+	// the blob through its path.
+	s := openTestStore(t)
+	guid := NewGUID()
+	s.Create(guid, strings.NewReader("external tools can read this"))
+	path, err := s.PathName(guid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "external tools can read this" {
+		t.Errorf("external read got %q", data)
+	}
+}
+
+func TestGUIDValidation(t *testing.T) {
+	s := openTestStore(t)
+	for _, bad := range []string{"", "../etc/passwd", "a/b", `a\b`, ".."} {
+		if _, err := s.PathName(bad); err == nil {
+			t.Errorf("PathName(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDeleteIdempotent(t *testing.T) {
+	s := openTestStore(t)
+	guid := NewGUID()
+	s.Create(guid, strings.NewReader("x"))
+	if err := s.Delete(guid); err != nil {
+		t.Fatal(err)
+	}
+	if s.Exists(guid) {
+		t.Error("blob exists after delete")
+	}
+	if err := s.Delete(guid); err != nil {
+		t.Errorf("second delete errored: %v", err)
+	}
+}
+
+func TestListAndTotalSize(t *testing.T) {
+	s := openTestStore(t)
+	s.Create("g1", strings.NewReader("aaa"))
+	s.Create("g2", strings.NewReader("bbbbb"))
+	guids, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(guids) != 2 {
+		t.Fatalf("List = %v", guids)
+	}
+	total, err := s.TotalSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 8 {
+		t.Errorf("TotalSize = %d", total)
+	}
+}
+
+func TestCreateFromFile(t *testing.T) {
+	s := openTestStore(t)
+	src := filepath.Join(t.TempDir(), "input.fastq")
+	os.WriteFile(src, []byte("@r\nAC\n+\nII\n"), 0o644)
+	n, err := s.CreateFromFile("imported", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 11 {
+		t.Errorf("imported %d bytes", n)
+	}
+}
+
+func TestStreamRandomAccess(t *testing.T) {
+	s := openTestStore(t)
+	content := make([]byte, 100_000)
+	rng := rand.New(rand.NewSource(3))
+	rng.Read(content)
+	s.Create("g", bytes.NewReader(content))
+	st, _ := s.Open("g")
+	defer st.Close()
+	buf := make([]byte, 777)
+	for trial := 0; trial < 50; trial++ {
+		off := rng.Int63n(int64(len(content) - len(buf)))
+		n, err := st.GetBytes(off, buf)
+		if err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf[:n], content[off:off+int64(n)]) {
+			t.Fatalf("random read at %d mismatched", off)
+		}
+	}
+	// Past-end read.
+	if n, err := st.GetBytes(int64(len(content)), buf); n != 0 || err != io.EOF {
+		t.Errorf("past-end = %d, %v", n, err)
+	}
+	if _, err := st.GetBytes(-1, buf); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestStreamSequentialPrefetch(t *testing.T) {
+	s := openTestStore(t)
+	content := make([]byte, 3*PrefetchChunk+12345)
+	rng := rand.New(rand.NewSource(4))
+	rng.Read(content)
+	s.Create("g", bytes.NewReader(content))
+	st, _ := s.Open("g")
+	defer st.Close()
+	st.SetSequential(true)
+	var got []byte
+	buf := make([]byte, 64*1024)
+	off := int64(0)
+	for {
+		n, err := st.GetBytes(off, buf)
+		if n > 0 {
+			got = append(got, buf[:n]...)
+			off += int64(n)
+		}
+		if err == io.EOF || n == 0 {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatalf("sequential read mismatch: got %d bytes, want %d", len(got), len(content))
+	}
+}
+
+func TestStreamSequentialThenRandom(t *testing.T) {
+	// Random access while in sequential mode must still return correct
+	// data (the prefetcher discards its window).
+	s := openTestStore(t)
+	content := make([]byte, 2*PrefetchChunk)
+	rand.New(rand.NewSource(5)).Read(content)
+	s.Create("g", bytes.NewReader(content))
+	st, _ := s.Open("g")
+	defer st.Close()
+	st.SetSequential(true)
+	buf := make([]byte, 1000)
+	st.GetBytes(0, buf)
+	n, err := st.GetBytes(int64(len(content))-500, buf[:500])
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if n != 500 || !bytes.Equal(buf[:500], content[len(content)-500:]) {
+		t.Error("random access in sequential mode returned wrong data")
+	}
+	// And back to sequential from the start.
+	st.GetBytes(0, buf)
+}
+
+func TestStreamCrossesWindowBoundary(t *testing.T) {
+	s := openTestStore(t)
+	content := make([]byte, PrefetchChunk+500)
+	for i := range content {
+		content[i] = byte(i)
+	}
+	s.Create("g", bytes.NewReader(content))
+	st, _ := s.Open("g")
+	defer st.Close()
+	st.SetSequential(true)
+	// A single read spanning the prefetch boundary.
+	buf := make([]byte, 1000)
+	off := int64(PrefetchChunk - 500)
+	n, err := st.GetBytes(off, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 || !bytes.Equal(buf, content[off:off+1000]) {
+		t.Errorf("boundary read = %d bytes, mismatch", n)
+	}
+}

@@ -1,0 +1,469 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+)
+
+func TestAppendKeyOrderPreserving(t *testing.T) {
+	rows := []sqltypes.Row{
+		{sqltypes.Null},
+		{sqltypes.NewBool(false)},
+		{sqltypes.NewBool(true)},
+		{sqltypes.NewInt(-10)},
+		{sqltypes.NewInt(0)},
+		{sqltypes.NewInt(42)},
+		{sqltypes.NewInt(1 << 40)},
+		{sqltypes.NewString("")},
+		{sqltypes.NewString("a")},
+		{sqltypes.NewString("a\x00b")},
+		{sqltypes.NewString("ab")},
+		{sqltypes.NewString("b")},
+	}
+	for i := range rows {
+		for j := range rows {
+			// Skip cross-kind pairs whose Compare semantics the key
+			// encoding does not claim to match (int vs float handled
+			// below; here all same-rank or rank-ordered).
+			a, _ := AppendKey(nil, rows[i])
+			b, _ := AppendKey(nil, rows[j])
+			want := sqltypes.CompareRows(rows[i], rows[j])
+			if got := bytes.Compare(a, b); got != want && !mixedNumeric(rows[i][0], rows[j][0]) {
+				t.Errorf("key order (%v, %v): bytes %d, rows %d", rows[i], rows[j], got, want)
+			}
+		}
+	}
+}
+
+func mixedNumeric(a, b sqltypes.Value) bool {
+	num := func(v sqltypes.Value) bool {
+		return v.K == sqltypes.KindInt || v.K == sqltypes.KindFloat || v.K == sqltypes.KindBool
+	}
+	return num(a) && num(b) && a.K != b.K
+}
+
+func TestAppendKeyFloats(t *testing.T) {
+	vals := []float64{-1e300, -2.5, -0.0, 0.0, 1e-10, 2.5, 1e300}
+	var prev []byte
+	for i, f := range vals {
+		k, err := AppendKey(nil, sqltypes.Row{sqltypes.NewFloat(f)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && bytes.Compare(prev, k) > 0 {
+			t.Errorf("float key order broken at %v", f)
+		}
+		prev = k
+	}
+}
+
+func TestAppendKeyCompositeQuick(t *testing.T) {
+	f := func(a1, b1 int64, a2, b2 string) bool {
+		ra := sqltypes.Row{sqltypes.NewInt(a1), sqltypes.NewString(a2)}
+		rb := sqltypes.Row{sqltypes.NewInt(b1), sqltypes.NewString(b2)}
+		ka, err1 := AppendKey(nil, ra)
+		kb, err2 := AppendKey(nil, rb)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return bytes.Compare(ka, kb) == sqltypes.CompareRows(ra, rb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func openTestTree(t *testing.T) *BTree {
+	t.Helper()
+	tree, err := Open(filepath.Join(t.TempDir(), "t.btree"), storage.NewBufferPool(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tree.Close() })
+	return tree
+}
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+func val(i int) []byte { return []byte(fmt.Sprintf("value-%d-%s", i, "payload")) }
+
+func TestInsertGet(t *testing.T) {
+	tree := openTestTree(t)
+	const n = 10_000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		replaced, err := tree.Insert(key(i), val(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replaced {
+			t.Fatalf("fresh insert of %d reported replaced", i)
+		}
+	}
+	if tree.Count() != n {
+		t.Fatalf("Count = %d", tree.Count())
+	}
+	for i := 0; i < n; i++ {
+		v, found, err := tree.Get(key(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found || !bytes.Equal(v, val(i)) {
+			t.Fatalf("Get(%d) = %q, %v", i, v, found)
+		}
+	}
+	if _, found, _ := tree.Get([]byte("missing")); found {
+		t.Error("found a missing key")
+	}
+}
+
+func TestInsertReplace(t *testing.T) {
+	tree := openTestTree(t)
+	tree.Insert(key(1), []byte("old"))
+	replaced, err := tree.Insert(key(1), []byte("new-longer-value"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replaced {
+		t.Error("replace not reported")
+	}
+	if tree.Count() != 1 {
+		t.Errorf("Count = %d after replace", tree.Count())
+	}
+	v, _, _ := tree.Get(key(1))
+	if string(v) != "new-longer-value" {
+		t.Errorf("value = %q", v)
+	}
+}
+
+func TestReplaceChurnTriggersCompaction(t *testing.T) {
+	tree := openTestTree(t)
+	// Repeatedly replacing values leaves dead bytes; the page must
+	// compact rather than split forever.
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 20; i++ {
+			if _, err := tree.Insert(key(i), []byte(fmt.Sprintf("round-%d-value-%d", round, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if tree.Count() != 20 {
+		t.Errorf("Count = %d", tree.Count())
+	}
+	for i := 0; i < 20; i++ {
+		v, found, _ := tree.Get(key(i))
+		if !found || !bytes.Contains(v, []byte("round-199")) {
+			t.Errorf("key %d = %q", i, v)
+		}
+	}
+}
+
+func TestScanOrder(t *testing.T) {
+	tree := openTestTree(t)
+	const n = 5000
+	perm := rand.New(rand.NewSource(2)).Perm(n)
+	for _, i := range perm {
+		tree.Insert(key(i), val(i))
+	}
+	it, err := tree.Seek(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	i := 0
+	for it.Next() {
+		if !bytes.Equal(it.Key(), key(i)) {
+			t.Fatalf("scan position %d = %q, want %q", i, it.Key(), key(i))
+		}
+		if !bytes.Equal(it.Value(), val(i)) {
+			t.Fatalf("scan value %d mismatch", i)
+		}
+		i++
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if i != n {
+		t.Fatalf("scanned %d of %d", i, n)
+	}
+}
+
+func TestSeekRange(t *testing.T) {
+	tree := openTestTree(t)
+	for i := 0; i < 1000; i++ {
+		tree.Insert(key(i), val(i))
+	}
+	it, err := tree.Seek(key(100), key(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	i := 100
+	for it.Next() {
+		if !bytes.Equal(it.Key(), key(i)) {
+			t.Fatalf("range scan at %d got %q", i, it.Key())
+		}
+		i++
+	}
+	if i != 200 {
+		t.Errorf("range scan ended at %d, want 200", i)
+	}
+	// Seek to a key between entries starts at the next one.
+	it2, _ := tree.Seek([]byte("key-00000100x"), nil)
+	defer it2.Close()
+	if !it2.Next() || !bytes.Equal(it2.Key(), key(101)) {
+		t.Errorf("between-keys seek got %q", it2.Key())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tree := openTestTree(t)
+	for i := 0; i < 500; i++ {
+		tree.Insert(key(i), val(i))
+	}
+	for i := 0; i < 500; i += 2 {
+		ok, err := tree.Delete(key(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("delete of %d found nothing", i)
+		}
+	}
+	if tree.Count() != 250 {
+		t.Errorf("Count = %d", tree.Count())
+	}
+	if ok, _ := tree.Delete(key(0)); ok {
+		t.Error("double delete reported success")
+	}
+	it, _ := tree.Seek(nil, nil)
+	defer it.Close()
+	i := 1
+	for it.Next() {
+		if !bytes.Equal(it.Key(), key(i)) {
+			t.Fatalf("after deletes, scan got %q want %q", it.Key(), key(i))
+		}
+		i += 2
+	}
+}
+
+func TestCheckpointAndReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.btree")
+	pool := storage.NewBufferPool(4096)
+	tree, err := Open(path, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		tree.Insert(key(i), val(i))
+	}
+	if err := tree.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint inserts simulate a crash: discarded on reopen.
+	for i := n; i < n+500; i++ {
+		tree.Insert(key(i), val(i))
+	}
+	tree.Close()
+
+	tree2, err := Open(path, storage.NewBufferPool(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree2.Close()
+	if tree2.Count() != n {
+		t.Fatalf("recovered count = %d, want %d", tree2.Count(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, found, err := tree2.Get(key(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found || !bytes.Equal(v, val(i)) {
+			t.Fatalf("after reopen Get(%d) = %q, %v", i, v, found)
+		}
+	}
+	if _, found, _ := tree2.Get(key(n + 100)); found {
+		t.Error("uncheckpointed key survived reopen")
+	}
+}
+
+func TestCheckpointCompactsDeletes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.btree")
+	pool := storage.NewBufferPool(4096)
+	tree, _ := Open(path, pool)
+	defer tree.Close()
+	for i := 0; i < 2000; i++ {
+		tree.Insert(key(i), val(i))
+	}
+	tree.Checkpoint()
+	before := tree.SizeBytes()
+	for i := 0; i < 2000; i++ {
+		if i%10 != 0 {
+			tree.Delete(key(i))
+		}
+	}
+	if err := tree.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.SizeBytes() >= before {
+		t.Errorf("checkpoint did not compact: %d >= %d", tree.SizeBytes(), before)
+	}
+	// Survivors intact.
+	for i := 0; i < 2000; i += 10 {
+		if _, found, _ := tree.Get(key(i)); !found {
+			t.Fatalf("survivor %d lost after compaction", i)
+		}
+	}
+}
+
+func TestBulkLoadMatchesInserts(t *testing.T) {
+	const n = 8000
+	i := 0
+	tree, err := BulkLoad(filepath.Join(t.TempDir(), "bulk.btree"), storage.NewBufferPool(4096),
+		func() ([]byte, []byte, bool, error) {
+			if i >= n {
+				return nil, nil, false, nil
+			}
+			k, v := key(i), val(i)
+			i++
+			return k, v, true, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Close()
+	if tree.Count() != n {
+		t.Fatalf("Count = %d", tree.Count())
+	}
+	for _, probe := range []int{0, 1, n / 2, n - 1} {
+		v, found, err := tree.Get(key(probe))
+		if err != nil || !found || !bytes.Equal(v, val(probe)) {
+			t.Fatalf("Get(%d) = %q, %v, %v", probe, v, found, err)
+		}
+	}
+	it, _ := tree.Seek(nil, nil)
+	defer it.Close()
+	count := 0
+	var prev []byte
+	for it.Next() {
+		if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+			t.Fatal("bulk-loaded scan out of order")
+		}
+		prev = append(prev[:0], it.Key()...)
+		count++
+	}
+	if count != n {
+		t.Fatalf("scan saw %d", count)
+	}
+	// Inserts after a bulk load still work.
+	if _, err := tree.Insert([]byte("key-99999999"), []byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	if v, found, _ := tree.Get([]byte("key-99999999")); !found || string(v) != "post" {
+		t.Error("post-bulk-load insert lost")
+	}
+}
+
+func TestBulkLoadRejectsUnsorted(t *testing.T) {
+	keys := [][]byte{[]byte("b"), []byte("a")}
+	i := 0
+	_, err := BulkLoad(filepath.Join(t.TempDir(), "bad.btree"), storage.NewBufferPool(64),
+		func() ([]byte, []byte, bool, error) {
+			if i >= len(keys) {
+				return nil, nil, false, nil
+			}
+			k := keys[i]
+			i++
+			return k, []byte("v"), true, nil
+		})
+	if err == nil {
+		t.Error("unsorted bulk load accepted")
+	}
+}
+
+func TestEmptyTreeScan(t *testing.T) {
+	tree := openTestTree(t)
+	it, err := tree.Seek(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if it.Next() {
+		t.Error("empty tree scan returned a row")
+	}
+}
+
+func TestLargeValues(t *testing.T) {
+	tree := openTestTree(t)
+	big := bytes.Repeat([]byte("x"), 4000) // ~half a page per entry
+	for i := 0; i < 50; i++ {
+		if _, err := tree.Insert(key(i), append(big, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		v, found, _ := tree.Get(key(i))
+		if !found || len(v) != 4001 || v[4000] != byte(i) {
+			t.Fatalf("big value %d corrupted", i)
+		}
+	}
+	// A value that cannot fit a page must be rejected.
+	if _, err := tree.Insert([]byte("huge"), bytes.Repeat([]byte("y"), storage.PageSize)); err == nil {
+		t.Error("page-sized entry accepted")
+	}
+}
+
+func TestInsertQuickRandomOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		tree, err := Open(filepath.Join(t.TempDir(), fmt.Sprintf("q%d.btree", seed)), storage.NewBufferPool(1024))
+		if err != nil {
+			return false
+		}
+		defer tree.Close()
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(800) + 50
+		keys := make(map[string]string, n)
+		for i := 0; i < n; i++ {
+			k := fmt.Sprintf("k%d", rng.Intn(300))
+			v := fmt.Sprintf("v%d", rng.Int())
+			keys[k] = v
+			if _, err := tree.Insert([]byte(k), []byte(v)); err != nil {
+				return false
+			}
+		}
+		if tree.Count() != int64(len(keys)) {
+			return false
+		}
+		// Scan equals sorted map.
+		want := make([]string, 0, len(keys))
+		for k := range keys {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		it, err := tree.Seek(nil, nil)
+		if err != nil {
+			return false
+		}
+		defer it.Close()
+		i := 0
+		for it.Next() {
+			if i >= len(want) || string(it.Key()) != want[i] || string(it.Value()) != keys[want[i]] {
+				return false
+			}
+			i++
+		}
+		return i == len(want) && it.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

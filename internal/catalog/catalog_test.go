@@ -1,0 +1,242 @@
+package catalog
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+)
+
+func TestParseType(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"INT", "INT", true},
+		{"int", "INT", true},
+		{"BIGINT", "BIGINT", true},
+		{"FLOAT", "FLOAT", true},
+		{"BIT", "BIT", true},
+		{"VARCHAR(50)", "VARCHAR(50)", true},
+		{"VARCHAR(MAX)", "VARCHAR(MAX)", true},
+		{"nvarchar(36)", "VARCHAR(36)", true},
+		{"VARBINARY(MAX)", "VARBINARY(MAX)", true},
+		{"VARBINARY(MAX) FILESTREAM", "VARBINARY(MAX) FILESTREAM", true},
+		{"UNIQUEIDENTIFIER", "UNIQUEIDENTIFIER", true},
+		{"SEQUENCE", "SEQUENCE", true},
+		{"BLOB", "", false},
+		{"VARCHAR(x)", "", false},
+		{"VARCHAR(0)", "", false},
+		{"INT FILESTREAM", "", false},
+		{"VARCHAR(5", "", false},
+	}
+	for _, c := range cases {
+		ct, err := ParseType(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseType(%q) err = %v", c.in, err)
+			continue
+		}
+		if c.ok && ct.String() != c.want {
+			t.Errorf("ParseType(%q) = %s, want %s", c.in, ct, c.want)
+		}
+	}
+}
+
+func TestKinds(t *testing.T) {
+	ct, _ := ParseType("SEQUENCE")
+	if ct.Kind() != sqltypes.KindString {
+		t.Error("SEQUENCE query kind should be STRING")
+	}
+	if ct.StorageKind() != sqltypes.KindBytes {
+		t.Error("SEQUENCE storage kind should be BYTES")
+	}
+	it, _ := ParseType("INT")
+	if it.Kind() != sqltypes.KindInt || it.StorageKind() != sqltypes.KindInt {
+		t.Error("INT kinds wrong")
+	}
+}
+
+func readTable() *Table {
+	idT, _ := ParseType("BIGINT")
+	strT, _ := ParseType("VARCHAR(100)")
+	seqT, _ := ParseType("SEQUENCE")
+	return &Table{
+		Name: "Read",
+		Columns: []Column{
+			{Name: "r_id", Type: idT, NotNull: true},
+			{Name: "short_read_seq", Type: seqT},
+			{Name: "quals", Type: strT},
+		},
+		PrimaryKey:  []int{0},
+		Clustered:   true,
+		Compression: storage.CompressRow,
+	}
+}
+
+func TestToFromStorageRow(t *testing.T) {
+	tab := readTable()
+	row := sqltypes.Row{
+		sqltypes.NewInt(1),
+		sqltypes.NewString("ACGTNACGT"),
+		sqltypes.NewString("IIIIIIIII"),
+	}
+	st, err := tab.ToStorageRow(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st[1].K != sqltypes.KindBytes {
+		t.Fatalf("SEQUENCE column stored as %s", st[1].K)
+	}
+	if len(st[1].B) >= len("ACGTNACGT") {
+		t.Errorf("packed sequence not smaller: %d bytes", len(st[1].B))
+	}
+	back, err := tab.FromStorageRow(st.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[1].S != "ACGTNACGT" {
+		t.Errorf("unpacked = %q", back[1].S)
+	}
+}
+
+func TestToStorageRowValidation(t *testing.T) {
+	tab := readTable()
+	if _, err := tab.ToStorageRow(sqltypes.Row{sqltypes.NewInt(1)}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := tab.ToStorageRow(sqltypes.Row{sqltypes.Null, sqltypes.NewString("A"), sqltypes.Null}); err == nil {
+		t.Error("NULL in NOT NULL column accepted")
+	}
+	// Coercion: string int into BIGINT works.
+	st, err := tab.ToStorageRow(sqltypes.Row{sqltypes.NewString("42"), sqltypes.Null, sqltypes.Null})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st[0].I != 42 {
+		t.Errorf("coerced id = %v", st[0])
+	}
+	// Bad sequence symbol rejected.
+	if _, err := tab.ToStorageRow(sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewString("ACGU"), sqltypes.Null}); err == nil {
+		t.Error("invalid sequence accepted")
+	}
+	// VARCHAR(100) length bound.
+	long := sqltypes.NewString(strings.Repeat("x", 200))
+	if _, err := tab.ToStorageRow(sqltypes.Row{sqltypes.NewInt(1), sqltypes.Null, long}); err == nil {
+		t.Error("over-length VARCHAR accepted")
+	}
+}
+
+func TestCatalogCreateGetDropPersist(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "catalog.json")
+	c, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := readTable()
+	if err := c.Create(tab); err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID == 0 {
+		t.Error("table did not get an id")
+	}
+	if c.Get("READ") == nil || c.Get("read") == nil {
+		t.Error("case-insensitive lookup failed")
+	}
+	if err := c.Create(readTable()); err == nil {
+		t.Error("duplicate table accepted")
+	}
+
+	// Reload from disk.
+	c2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c2.Get("Read")
+	if got == nil {
+		t.Fatal("table lost on reload")
+	}
+	if got.ID != tab.ID || len(got.Columns) != 3 || !got.Clustered {
+		t.Errorf("reloaded table = %+v", got)
+	}
+	if got.Columns[1].Type.Name != TypeSequence {
+		t.Error("SEQUENCE type lost on reload")
+	}
+	if c2.ByID(tab.ID) == nil {
+		t.Error("ByID failed")
+	}
+	if err := c2.Drop("read"); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Get("Read") != nil {
+		t.Error("table survived drop")
+	}
+	if err := c2.Drop("read"); err == nil {
+		t.Error("double drop accepted")
+	}
+}
+
+func TestCatalogValidation(t *testing.T) {
+	c, _ := Open(filepath.Join(t.TempDir(), "c.json"))
+	intT, _ := ParseType("INT")
+	if err := c.Create(&Table{Name: "t"}); err == nil {
+		t.Error("empty table accepted")
+	}
+	if err := c.Create(&Table{Name: "t", Columns: []Column{
+		{Name: "a", Type: intT}, {Name: "A", Type: intT},
+	}}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if err := c.Create(&Table{Name: "t", Columns: []Column{{Name: "a", Type: intT}},
+		PrimaryKey: []int{5}}); err == nil {
+		t.Error("out-of-range pk accepted")
+	}
+	if err := c.Create(&Table{Name: "t", Columns: []Column{{Name: "a", Type: intT}},
+		Clustered: true}); err == nil {
+		t.Error("clustered without pk accepted")
+	}
+}
+
+func TestColumnIndex(t *testing.T) {
+	tab := readTable()
+	if tab.ColumnIndex("SHORT_READ_SEQ") != 1 {
+		t.Error("case-insensitive column lookup failed")
+	}
+	if tab.ColumnIndex("nope") != -1 {
+		t.Error("missing column found")
+	}
+}
+
+func TestFileStreamColumnRoundTrip(t *testing.T) {
+	fsT, err := ParseType("VARBINARY(MAX) FILESTREAM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fsT.FileStream {
+		t.Fatal("FileStream flag lost")
+	}
+	path := filepath.Join(t.TempDir(), "c.json")
+	c, _ := Open(path)
+	guidT, _ := ParseType("UNIQUEIDENTIFIER")
+	intT, _ := ParseType("INT")
+	err = c.Create(&Table{
+		Name: "ShortReadFiles",
+		Columns: []Column{
+			{Name: "guid", Type: guidT, NotNull: true},
+			{Name: "sample", Type: intT},
+			{Name: "lane", Type: intT},
+			{Name: "reads", Type: fsT},
+		},
+		PrimaryKey: []int{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := Open(path)
+	got := c2.Get("ShortReadFiles")
+	if !got.Columns[3].Type.FileStream {
+		t.Error("FILESTREAM flag lost in persistence")
+	}
+}

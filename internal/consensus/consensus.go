@@ -1,0 +1,361 @@
+// Package consensus implements the tertiary analysis of the paper's
+// Section 4.2.3 / 5.3.3: calling a consensus sequence from overlapping
+// alignments. Two strategies are provided, matching the paper's
+// discussion: the conceptually clean but blocking pivot approach
+// (expand every alignment into per-position bases, group by position,
+// call) and the streaming sliding-window approach that processes
+// alignments in ascending position order with bounded state. Their
+// results are identical; their cost profiles reproduce the paper's
+// finding that the pivot plan "is not practical".
+package consensus
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/seq"
+)
+
+// AlignedRead is one alignment in reference orientation.
+type AlignedRead struct {
+	Chrom string
+	Pos   int // 0-based start on the chromosome
+	Seq   string
+	Qual  string // Phred+33, same length as Seq
+}
+
+// posAccumulator collects quality-weighted votes for one position.
+type posAccumulator struct {
+	score [4]int32 // quality mass per base code
+	nMass int32    // quality mass of N calls (counts toward coverage only)
+	cover int32
+}
+
+func (p *posAccumulator) add(base byte, qual byte) {
+	q := int32(qual) - seq.PhredOffset
+	if q < 1 {
+		q = 1
+	}
+	if code, ok := seq.CodeOf(base); ok {
+		p.score[code] += q
+	} else {
+		p.nMass += q
+	}
+	p.cover++
+}
+
+// call picks the consensus base: the base with the largest quality mass;
+// its quality is the margin over the runner-up (the standard consensus
+// confidence), clamped to the Phred range. Uncovered or all-N positions
+// call 'N'.
+func (p *posAccumulator) call() (byte, seq.Quality) {
+	best, second := -1, -1
+	for c := 0; c < 4; c++ {
+		if best < 0 || p.score[c] > p.score[best] {
+			second = best
+			best = c
+		} else if second < 0 || p.score[c] > p.score[second] {
+			second = c
+		}
+	}
+	if best < 0 || p.score[best] == 0 {
+		return 'N', 0
+	}
+	margin := p.score[best]
+	if second >= 0 {
+		margin -= p.score[second]
+	}
+	if margin > seq.MaxQuality {
+		margin = seq.MaxQuality
+	}
+	return seq.SymbolOf(byte(best)), seq.Quality(margin)
+}
+
+// BaseAccumulator is the exported per-position accumulator behind the
+// CallBase user-defined aggregate: bases are added with their qualities,
+// partial accumulators merge (the UDA parallelization contract), and Call
+// produces the consensus base with its confidence.
+type BaseAccumulator struct {
+	acc posAccumulator
+}
+
+// Add votes one base observation.
+func (b *BaseAccumulator) Add(base, qual byte) { b.acc.add(base, qual) }
+
+// Merge combines another accumulator into this one.
+func (b *BaseAccumulator) Merge(o *BaseAccumulator) {
+	for c := 0; c < 4; c++ {
+		b.acc.score[c] += o.acc.score[c]
+	}
+	b.acc.nMass += o.acc.nMass
+	b.acc.cover += o.acc.cover
+}
+
+// Empty reports whether no observation was added.
+func (b *BaseAccumulator) Empty() bool { return b.acc.cover == 0 }
+
+// Call produces the consensus base and its confidence.
+func (b *BaseAccumulator) Call() (byte, seq.Quality) { return b.acc.call() }
+
+// CallBase is the paper's CallBase(base, qual) building block: it
+// aggregates the bases aligned to one position into the consensus call.
+func CallBase(bases []byte, quals []byte) (byte, seq.Quality) {
+	var acc posAccumulator
+	for i := range bases {
+		q := byte(seq.PhredOffset + 30)
+		if i < len(quals) {
+			q = quals[i]
+		}
+		acc.add(bases[i], q)
+	}
+	return acc.call()
+}
+
+// Result is the consensus for one chromosome.
+type Result struct {
+	Chrom string
+	// Seq holds the called bases over [Start, Start+len(Seq)); positions
+	// without coverage inside the span are 'N'.
+	Start int
+	Seq   []byte
+	Quals []seq.Quality
+}
+
+// --- Pivot strategy ---
+
+// pivotEntry is one (chrom, pos, base, qual) tuple of the huge
+// intermediate result the pivot plan materializes.
+type pivotEntry struct {
+	chrom int32
+	pos   int32
+	base  byte
+	qual  byte
+}
+
+// CallPivot implements Query 3's conceptually clean plan: pivot every
+// alignment into per-base tuples, group by (chromosome, position), call
+// each group, then assemble. It materializes len(read) tuples per
+// alignment — the blocking, disk-heavy intermediate the paper calls out.
+func CallPivot(reads []AlignedRead) ([]Result, error) {
+	chromIdx := map[string]int32{}
+	var chromNames []string
+	var tuples []pivotEntry
+	for _, r := range reads {
+		if len(r.Qual) != len(r.Seq) {
+			return nil, fmt.Errorf("consensus: read at %s:%d has qual length %d != seq %d",
+				r.Chrom, r.Pos, len(r.Qual), len(r.Seq))
+		}
+		ci, ok := chromIdx[r.Chrom]
+		if !ok {
+			ci = int32(len(chromNames))
+			chromIdx[r.Chrom] = ci
+			chromNames = append(chromNames, r.Chrom)
+		}
+		for i := 0; i < len(r.Seq); i++ {
+			tuples = append(tuples, pivotEntry{
+				chrom: ci, pos: int32(r.Pos + i), base: r.Seq[i], qual: r.Qual[i],
+			})
+		}
+	}
+	// Group by (chrom, pos): sort the intermediate (the pivot plan's
+	// blocking sort), then aggregate runs.
+	sort.Slice(tuples, func(a, b int) bool {
+		if tuples[a].chrom != tuples[b].chrom {
+			return tuples[a].chrom < tuples[b].chrom
+		}
+		return tuples[a].pos < tuples[b].pos
+	})
+	var out []Result
+	var cur *Result
+	var acc posAccumulator
+	var curChrom int32 = -1
+	var curPos int32 = -1
+	flush := func() {
+		if cur == nil || curPos < 0 {
+			return
+		}
+		b, q := acc.call()
+		// Fill any uncovered gap since the previous called position.
+		want := cur.Start + len(cur.Seq)
+		for int32(want) < curPos {
+			cur.Seq = append(cur.Seq, 'N')
+			cur.Quals = append(cur.Quals, 0)
+			want++
+		}
+		cur.Seq = append(cur.Seq, b)
+		cur.Quals = append(cur.Quals, q)
+		acc = posAccumulator{}
+	}
+	for _, t := range tuples {
+		if t.chrom != curChrom {
+			flush()
+			if cur != nil {
+				out = append(out, *cur)
+			}
+			cur = &Result{Chrom: chromNames[t.chrom], Start: int(t.pos)}
+			curChrom, curPos = t.chrom, t.pos
+		} else if t.pos != curPos {
+			flush()
+			curPos = t.pos
+		}
+		acc.add(t.base, t.qual)
+	}
+	flush()
+	if cur != nil {
+		out = append(out, *cur)
+	}
+	return out, nil
+}
+
+// --- Sliding-window strategy ---
+
+// SlidingCaller consumes alignments in ascending (chrom, pos) order and
+// emits consensus with memory bounded by the maximum read length — the
+// paper's proposed AssembleConsensus UDA ("a sliding window processing
+// technique ... scan over the alignments in order of their starting
+// position").
+type SlidingCaller struct {
+	curChrom string
+	start    int // reference position of window[0]
+	window   []posAccumulator
+	out      []Result
+	cur      *Result
+	lastPos  int
+}
+
+// NewSlidingCaller returns an empty caller.
+func NewSlidingCaller() *SlidingCaller {
+	return &SlidingCaller{lastPos: -1}
+}
+
+// Add consumes one alignment. Alignments must arrive sorted by
+// (chromosome, position); out-of-order input is an error.
+func (s *SlidingCaller) Add(r AlignedRead) error {
+	if len(r.Qual) != len(r.Seq) {
+		return fmt.Errorf("consensus: qual/seq length mismatch at %s:%d", r.Chrom, r.Pos)
+	}
+	if r.Chrom != s.curChrom {
+		if s.curChrom != "" && r.Chrom < s.curChrom {
+			return fmt.Errorf("consensus: chromosome %q after %q; input must be sorted", r.Chrom, s.curChrom)
+		}
+		s.flushAll()
+		s.curChrom = r.Chrom
+		s.start = r.Pos
+		s.cur = &Result{Chrom: r.Chrom, Start: r.Pos}
+		s.lastPos = r.Pos
+	}
+	if r.Pos < s.lastPos {
+		return fmt.Errorf("consensus: position %d after %d on %s; input must be sorted", r.Pos, s.lastPos, r.Chrom)
+	}
+	s.lastPos = r.Pos
+	// Positions before r.Pos are final: no later read can cover them.
+	s.flushBefore(r.Pos)
+	// Grow the window to cover the read.
+	for s.start+len(s.window) < r.Pos+len(r.Seq) {
+		s.window = append(s.window, posAccumulator{})
+	}
+	off := r.Pos - s.start
+	for i := 0; i < len(r.Seq); i++ {
+		s.window[off+i].add(r.Seq[i], r.Qual[i])
+	}
+	return nil
+}
+
+// flushBefore finalizes window positions below pos.
+func (s *SlidingCaller) flushBefore(pos int) {
+	n := pos - s.start
+	if n <= 0 {
+		return
+	}
+	if n > len(s.window) {
+		n = len(s.window)
+	}
+	for i := 0; i < n; i++ {
+		b, q := s.window[i].call()
+		if s.window[i].cover == 0 {
+			b, q = 'N', 0
+		}
+		s.cur.Seq = append(s.cur.Seq, b)
+		s.cur.Quals = append(s.cur.Quals, q)
+	}
+	s.window = s.window[n:]
+	s.start += n
+	// An uncovered gap up to pos: emit N placeholders so coordinates stay
+	// dense within the result span.
+	for s.start < pos {
+		s.cur.Seq = append(s.cur.Seq, 'N')
+		s.cur.Quals = append(s.cur.Quals, 0)
+		s.start++
+	}
+}
+
+func (s *SlidingCaller) flushAll() {
+	if s.cur == nil {
+		return
+	}
+	for i := range s.window {
+		b, q := s.window[i].call()
+		if s.window[i].cover == 0 {
+			b, q = 'N', 0
+		}
+		s.cur.Seq = append(s.cur.Seq, b)
+		s.cur.Quals = append(s.cur.Quals, q)
+	}
+	s.window = s.window[:0]
+	s.out = append(s.out, *s.cur)
+	s.cur = nil
+	s.curChrom = ""
+	s.lastPos = -1
+}
+
+// Finish flushes remaining state and returns per-chromosome results.
+func (s *SlidingCaller) Finish() []Result {
+	s.flushAll()
+	out := s.out
+	s.out = nil
+	return out
+}
+
+// WindowSize exposes the current window length (tests assert bounded
+// state).
+func (s *SlidingCaller) WindowSize() int { return len(s.window) }
+
+// SNP is one difference between consensus and reference.
+type SNP struct {
+	Chrom   string
+	Pos     int
+	RefBase byte
+	AltBase byte
+	Quality seq.Quality
+}
+
+// FindSNPs compares consensus results against the reference, reporting
+// confident differences (quality >= minQuality, excluding N calls) — the
+// paper's "looks for variations between individual genomes (single
+// nucleotide polymorphisms)".
+func FindSNPs(results []Result, ref map[string]string, minQuality seq.Quality) []SNP {
+	var out []SNP
+	for _, res := range results {
+		refSeq, ok := ref[res.Chrom]
+		if !ok {
+			continue
+		}
+		for i, b := range res.Seq {
+			pos := res.Start + i
+			if pos >= len(refSeq) || b == 'N' {
+				continue
+			}
+			if res.Quals[i] < minQuality {
+				continue
+			}
+			if refSeq[pos] != b {
+				out = append(out, SNP{
+					Chrom: res.Chrom, Pos: pos,
+					RefBase: refSeq[pos], AltBase: b,
+					Quality: res.Quals[i],
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,361 @@
+// Package core is the embedded relational engine — the system under study
+// in the paper, reproduced from scratch: a catalog-driven storage layer
+// (heaps and clustered B+-trees with ROW/PAGE compression), a FileStream
+// blob store with dual SQL/file access, write-ahead logging with
+// idempotent redo recovery, transactions with rollback, a SQL front end
+// with a parallelizing planner, and the CLR-style extensibility surface
+// (scalar UDFs, pull-model TVFs, mergeable UDAs, the SEQUENCE UDT).
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/blob"
+	"repro/internal/btree"
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// Options configures Open.
+type Options struct {
+	// BufferPoolPages caps the page cache (default 32768 pages = 256 MB).
+	BufferPoolPages int
+	// DOP is the degree of parallelism for queries (default NumCPU).
+	DOP int
+}
+
+// Database is an open engine instance rooted at a directory.
+type Database struct {
+	dir   string
+	cat   *catalog.Catalog
+	pool  *storage.BufferPool
+	wal   *wal.WAL
+	blobs *blob.Store
+
+	mu     sync.RWMutex // writers exclusive; queries shared
+	tables map[uint32]*tableData
+
+	scalars *expr.Registry
+	aggs    map[string]exec.AggFactory
+	tvfs    map[string]plan.TVF
+
+	txn     *Txn // open explicit transaction, nil otherwise
+	txnSeq  uint64
+	dop     int
+	planner *plan.Planner
+}
+
+// tableData is the open storage behind one catalog table.
+type tableData struct {
+	def      *catalog.Table
+	heap     *storage.Heap // heap-organized tables
+	tree     *btree.BTree  // clustered tables
+	walCodec storage.RowCodec
+	// insertSeq numbers inserts for WAL row indexes.
+	insertSeq int64
+}
+
+// Open opens (creating if needed) a database directory and runs crash
+// recovery.
+func Open(dir string, opts Options) (*Database, error) {
+	if opts.BufferPoolPages <= 0 {
+		opts.BufferPoolPages = 32768
+	}
+	if opts.DOP <= 0 {
+		opts.DOP = runtime.NumCPU()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cat, err := catalog.Open(filepath.Join(dir, "catalog.json"))
+	if err != nil {
+		return nil, err
+	}
+	blobs, err := blob.OpenStore(filepath.Join(dir, "filestream"))
+	if err != nil {
+		return nil, err
+	}
+	w, err := wal.Open(filepath.Join(dir, "db.wal"))
+	if err != nil {
+		return nil, err
+	}
+	db := &Database{
+		dir:     dir,
+		cat:     cat,
+		pool:    storage.NewBufferPool(opts.BufferPoolPages),
+		wal:     w,
+		blobs:   blobs,
+		tables:  map[uint32]*tableData{},
+		scalars: expr.NewRegistry(),
+		aggs:    map[string]exec.AggFactory{},
+		tvfs:    map[string]plan.TVF{},
+		dop:     opts.DOP,
+	}
+	db.planner = plan.NewPlanner(db, db.dop)
+	db.registerEngineFunctions()
+	for _, name := range cat.List() {
+		if err := db.openTableStorage(cat.Get(name)); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
+	if err := db.recover(); err != nil {
+		db.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// Dir returns the database directory.
+func (db *Database) Dir() string { return db.dir }
+
+// Blobs exposes the FileStream store (dual access for external tools).
+func (db *Database) Blobs() *blob.Store { return db.blobs }
+
+// Catalog exposes table metadata.
+func (db *Database) Catalog() *catalog.Catalog { return db.cat }
+
+// DOP returns the configured degree of parallelism.
+func (db *Database) DOP() int { return db.dop }
+
+// SetDOP overrides the degree of parallelism (used by the scaling
+// experiments).
+func (db *Database) SetDOP(dop int) {
+	if dop < 1 {
+		dop = 1
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.dop = dop
+	db.planner = plan.NewPlanner(db, dop)
+}
+
+func (db *Database) tablePath(t *catalog.Table) string {
+	ext := "heap"
+	if t.Clustered {
+		ext = "btree"
+	}
+	return filepath.Join(db.dir, fmt.Sprintf("t%d_%s.%s", t.ID, sanitize(t.Name), ext))
+}
+
+func sanitize(s string) string {
+	var sb strings.Builder
+	for _, r := range strings.ToLower(s) {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+func (db *Database) openTableStorage(def *catalog.Table) error {
+	td := &tableData{
+		def:      def,
+		walCodec: storage.RowCodec{Kinds: def.StorageKinds(), Mode: storage.CompressRow},
+	}
+	if def.Clustered {
+		tree, err := btree.Open(db.tablePath(def), db.pool)
+		if err != nil {
+			return err
+		}
+		td.tree = tree
+		td.insertSeq = tree.Count()
+	} else {
+		h, err := storage.OpenHeapWidths(db.tablePath(def), def.StorageKinds(), def.StorageWidths(), def.Compression, db.pool)
+		if err != nil {
+			return err
+		}
+		td.heap = h
+		td.insertSeq = h.RowCount()
+	}
+	db.tables[def.ID] = td
+	return nil
+}
+
+// table resolves open storage by name.
+func (db *Database) table(name string) (*tableData, error) {
+	def := db.cat.Get(name)
+	if def == nil {
+		return nil, fmt.Errorf("core: unknown table %q", name)
+	}
+	td := db.tables[def.ID]
+	if td == nil {
+		return nil, fmt.Errorf("core: table %q has no open storage", name)
+	}
+	return td, nil
+}
+
+// rowCount returns the current row count of a table.
+func (td *tableData) rowCount() int64 {
+	if td.heap != nil {
+		return td.heap.RowCount()
+	}
+	return td.tree.Count()
+}
+
+// Close releases all resources. It does NOT checkpoint; callers wanting a
+// clean shutdown should call Checkpoint first (recovery replays the WAL
+// otherwise).
+func (db *Database) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var firstErr error
+	for _, td := range db.tables {
+		var err error
+		if td.heap != nil {
+			err = td.heap.Close()
+		} else if td.tree != nil {
+			err = td.tree.Close()
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := db.wal.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Checkpoint makes all table data durable and truncates the WAL. It is
+// refused while a transaction is open (heap rollback could not undo past
+// a checkpoint).
+func (db *Database) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.checkpointLocked()
+}
+
+func (db *Database) checkpointLocked() error {
+	if db.txn != nil {
+		return fmt.Errorf("core: CHECKPOINT is not allowed inside a transaction")
+	}
+	// WAL first: every logged effect must be durable before data files
+	// advance past it.
+	if err := db.wal.Flush(); err != nil {
+		return err
+	}
+	for _, td := range db.tables {
+		var err error
+		if td.heap != nil {
+			err = td.heap.Checkpoint()
+		} else {
+			err = td.tree.Checkpoint()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return db.wal.Truncate()
+}
+
+// recover replays the WAL: committed effects are redone (idempotently),
+// effects of uncommitted or aborted transactions are undone where storage
+// could already contain them (clustered upserts, blobs).
+func (db *Database) recover() error {
+	committed := map[uint64]bool{}
+	aborted := map[uint64]bool{}
+	if err := db.wal.Replay(func(rec wal.Record) error {
+		switch rec.Type {
+		case wal.RecCommit:
+			committed[rec.Txn] = true
+		case wal.RecAbort:
+			aborted[rec.Txn] = true
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	err := db.wal.Replay(func(rec wal.Record) error {
+		switch rec.Type {
+		case wal.RecInsert:
+			td := db.tables[rec.Table]
+			if td == nil {
+				return nil // table was dropped
+			}
+			if committed[rec.Txn] {
+				return db.redoInsert(td, rec)
+			}
+			return db.undoInsert(td, rec)
+		case wal.RecBlobCreate:
+			if !committed[rec.Txn] {
+				return db.blobs.Delete(string(rec.Data))
+			}
+		case wal.RecBlobDelete:
+			if committed[rec.Txn] {
+				return db.blobs.Delete(string(rec.Data))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Converge: make everything durable and empty the log.
+	return db.checkpointLocked()
+}
+
+func (db *Database) redoInsert(td *tableData, rec wal.Record) error {
+	row, _, err := td.walCodec.Decode(rec.Data, true)
+	if err != nil {
+		return fmt.Errorf("core: recovery decode for %s: %w", td.def.Name, err)
+	}
+	if rec.RowIndex+1 > td.insertSeq {
+		td.insertSeq = rec.RowIndex + 1
+	}
+	if td.heap != nil {
+		if rec.RowIndex < td.heap.RowCount() {
+			return nil // already durable
+		}
+		return td.heap.Append(row)
+	}
+	key, err := td.pkKey(row)
+	if err != nil {
+		return err
+	}
+	val, err := td.walCodec.EncodeAppend(nil, row)
+	if err != nil {
+		return err
+	}
+	_, err = td.tree.Insert(key, val)
+	return err
+}
+
+func (db *Database) undoInsert(td *tableData, rec wal.Record) error {
+	if td.tree == nil {
+		// Heap rows of uncommitted transactions never reach disk (heaps
+		// only persist at transaction-boundary checkpoints).
+		return nil
+	}
+	row, _, err := td.walCodec.Decode(rec.Data, true)
+	if err != nil {
+		return err
+	}
+	key, err := td.pkKey(row)
+	if err != nil {
+		return err
+	}
+	_, err = td.tree.Delete(key)
+	return err
+}
+
+// pkKey encodes the primary-key values of a storage row.
+func (td *tableData) pkKey(storageRow sqltypes.Row) ([]byte, error) {
+	pk := make(sqltypes.Row, len(td.def.PrimaryKey))
+	for i, idx := range td.def.PrimaryKey {
+		pk[i] = storageRow[idx]
+	}
+	return btree.AppendKey(nil, pk)
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sqltypes"
+)
+
+func TestProvenanceRecordAndQuery(t *testing.T) {
+	db := openTestDB(t)
+	if _, err := db.RecordProvenance(ProvenanceRecord{
+		Entity:   TableEntity("Read"),
+		Activity: "load",
+		Tool:     "seqgen",
+		Params:   "reads=1000 seed=42",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.RecordProvenance(ProvenanceRecord{
+		Entity:   TableEntity("Alignment"),
+		Activity: "align",
+		Tool:     "align.Aligner",
+		Params:   "seed=20 maxMismatches=2",
+		Inputs:   TableEntity("Read") + ", table:refseq",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Direct lineage only.
+	recs, err := db.Provenance(TableEntity("Alignment"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Activity != "align" {
+		t.Fatalf("direct = %+v", recs)
+	}
+	// Transitive lineage reaches the load step.
+	recs, err = db.Provenance(TableEntity("Alignment"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("transitive = %+v", recs)
+	}
+	if recs[0].Activity != "load" || recs[1].Activity != "align" {
+		t.Errorf("lineage order = %+v", recs)
+	}
+	if recs[0].At == 0 {
+		t.Error("timestamp not filled")
+	}
+}
+
+func TestProvenanceIsPlainSQL(t *testing.T) {
+	// The provenance table is an ordinary table: queryable, joinable.
+	db := openTestDB(t)
+	db.RecordProvenance(ProvenanceRecord{
+		Entity: "table:x", Activity: "load", Tool: "t1",
+	})
+	res := mustExec(t, db, `SELECT entity, activity, tool FROM _provenance`)
+	if len(res.Rows) != 1 || res.Rows[0][1].S != "load" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestImportFileStreamAutoProvenance(t *testing.T) {
+	db := openTestDB(t)
+	mustExec(t, db, `CREATE TABLE ShortReadFiles (
+	    guid UNIQUEIDENTIFIER, sample INT, lane INT,
+	    reads VARBINARY(MAX) FILESTREAM)`)
+	src := filepath.Join(t.TempDir(), "lane.fastq")
+	os.WriteFile(src, []byte("@r\nAC\n+\nII\n"), 0o644)
+	guid, err := db.ImportFileStream("ShortReadFiles", src, map[string]sqltypes.Value{
+		"sample": sqltypes.NewInt(855), "lane": sqltypes.NewInt(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := db.Provenance(BlobEntity(guid), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("recs = %+v", recs)
+	}
+	r := recs[0]
+	if r.Activity != "import" || !strings.Contains(r.Params, "sample=855") ||
+		!strings.Contains(r.Inputs, "file:") {
+		t.Errorf("auto record = %+v", r)
+	}
+}
+
+func TestProvenanceRollsBackWithTransaction(t *testing.T) {
+	db := openTestDB(t)
+	mustExec(t, db, `CREATE TABLE ShortReadFiles (
+	    guid UNIQUEIDENTIFIER, sample INT, lane INT,
+	    reads VARBINARY(MAX) FILESTREAM)`)
+	src := filepath.Join(t.TempDir(), "lane.fastq")
+	os.WriteFile(src, []byte("@r\nAC\n+\nII\n"), 0o644)
+	mustExec(t, db, `BEGIN TRAN`)
+	guid, err := db.ImportFileStream("ShortReadFiles", src, map[string]sqltypes.Value{
+		"sample": sqltypes.NewInt(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, `ROLLBACK`)
+	recs, err := db.Provenance(BlobEntity(guid), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("provenance of rolled-back import survived: %+v", recs)
+	}
+}
+
+func TestProvenanceSurvivesRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	db, err := Open(dir, Options{DOP: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.RecordProvenance(ProvenanceRecord{Entity: "table:x", Activity: "load"})
+	db.Close() // crash: no checkpoint, WAL replays
+
+	db2, err := Open(dir, Options{DOP: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	recs, err := db2.Provenance("table:x", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Errorf("provenance lost across restart: %+v", recs)
+	}
+}
+
+func TestProvenanceUnknownEntityEmpty(t *testing.T) {
+	db := openTestDB(t)
+	recs, err := db.Provenance("table:nothing", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("recs = %+v", recs)
+	}
+}

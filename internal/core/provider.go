@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/sqltypes"
+)
+
+// The Database implements plan.Provider: catalog lookups, function
+// resolution and physical access paths.
+
+// Table resolves a base table definition.
+func (db *Database) Table(name string) *catalog.Table { return db.cat.Get(name) }
+
+// Scalar resolves a scalar function (built-in or registered UDF).
+func (db *Database) Scalar(name string) (expr.ScalarFunc, bool) {
+	return db.scalars.Lookup(name)
+}
+
+// Agg resolves an aggregate (registered UDA or built-in).
+func (db *Database) Agg(name string) (exec.AggFactory, bool) {
+	if f, ok := db.aggs[lower(name)]; ok {
+		return f, true
+	}
+	if f := exec.BuiltinAggregate(name); f != nil {
+		return f, true
+	}
+	return nil, false
+}
+
+// TVF resolves a table-valued function.
+func (db *Database) TVF(name string) (plan.TVF, bool) {
+	f, ok := db.tvfs[lower(name)]
+	return f, ok
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// RowCountEstimate returns the current table cardinality.
+func (db *Database) RowCountEstimate(t *catalog.Table) int64 {
+	td := db.tables[t.ID]
+	if td == nil {
+		return 0
+	}
+	return td.rowCount()
+}
+
+// convertIterator unpacks SEQUENCE columns when the table uses the UDT.
+type convertIterator struct {
+	inner exec.RowIterator
+	def   *catalog.Table
+}
+
+func (c *convertIterator) Next() (sqltypes.Row, bool, error) {
+	row, ok, err := c.inner.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out, err := c.def.FromStorageRow(row)
+	if err != nil {
+		return nil, false, err
+	}
+	return out, true, nil
+}
+
+func (c *convertIterator) Close() error { return c.inner.Close() }
+
+func (db *Database) wrapIterator(def *catalog.Table, it exec.RowIterator) exec.RowIterator {
+	if def.HasSequenceColumns() {
+		return &convertIterator{inner: it, def: def}
+	}
+	return it
+}
+
+// ScanPartitions returns `parts` operators that together scan the table
+// once: heap tables partition by sealed-page ranges (the tail rides with
+// the last partition); clustered tables partition by key range.
+func (db *Database) ScanPartitions(t *catalog.Table, parts int) ([]exec.Operator, error) {
+	td := db.tables[t.ID]
+	if td == nil {
+		return nil, fmt.Errorf("core: no storage for table %s", t.Name)
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if td.heap != nil {
+		sealed := td.heap.SealedPages()
+		if int64(parts) > sealed && sealed > 0 {
+			parts = int(sealed)
+		}
+		if sealed == 0 {
+			parts = 1
+		}
+		ops := make([]exec.Operator, 0, parts)
+		for i := 0; i < parts; i++ {
+			lo := sealed * int64(i) / int64(parts)
+			hi := sealed * int64(i+1) / int64(parts)
+			includeTail := i == parts-1
+			heap := td.heap
+			def := td.def
+			ops = append(ops, &exec.Source{
+				Label: fmt.Sprintf("%s pages [%d,%d)", t.Name, lo, hi),
+				Factory: func(*exec.Context) (exec.RowIterator, error) {
+					return db.wrapIterator(def, heap.NewIterator(lo, hi, includeTail)), nil
+				},
+			})
+		}
+		return ops, nil
+	}
+	// Clustered: range partitions (each ordered; ranges are contiguous so
+	// an ordered gather preserves global order).
+	ranges, err := db.KeyRanges(t, parts)
+	if err != nil {
+		return nil, err
+	}
+	ops := make([]exec.Operator, 0, len(ranges))
+	for _, rg := range ranges {
+		op, err := db.OrderedScanRange(t, rg[0], rg[1])
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// treeIterator adapts a btree range scan to rows.
+type treeIterator struct {
+	it  *btree.Iterator
+	td  *tableData
+	row sqltypes.Row
+}
+
+func (ti *treeIterator) Next() (sqltypes.Row, bool, error) {
+	if !ti.it.Next() {
+		return nil, false, ti.it.Err()
+	}
+	row, _, err := ti.td.walCodec.Decode(ti.it.Value(), true)
+	if err != nil {
+		return nil, false, err
+	}
+	return row, true, nil
+}
+
+func (ti *treeIterator) Close() error {
+	ti.it.Close()
+	return nil
+}
+
+// OrderedScanRange scans a clustered table in key order over [lo, hi) of
+// the first key column.
+func (db *Database) OrderedScanRange(t *catalog.Table, lo, hi *sqltypes.Value) (exec.Operator, error) {
+	td := db.tables[t.ID]
+	if td == nil || td.tree == nil {
+		return nil, fmt.Errorf("core: %s is not a clustered table", t.Name)
+	}
+	var startKey, endKey []byte
+	var err error
+	if lo != nil {
+		startKey, err = btree.AppendKey(nil, sqltypes.Row{*lo})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if hi != nil {
+		endKey, err = btree.AppendKey(nil, sqltypes.Row{*hi})
+		if err != nil {
+			return nil, err
+		}
+	}
+	def := td.def
+	return &exec.Source{
+		Label: fmt.Sprintf("%s ordered", t.Name),
+		Factory: func(*exec.Context) (exec.RowIterator, error) {
+			it, err := td.tree.Seek(startKey, endKey)
+			if err != nil {
+				return nil, err
+			}
+			return db.wrapIterator(def, &treeIterator{it: it, td: td}), nil
+		},
+	}, nil
+}
+
+// KeyRanges splits the first (integer) clustered key column into up to
+// `parts` contiguous ranges.
+func (db *Database) KeyRanges(t *catalog.Table, parts int) ([][2]*sqltypes.Value, error) {
+	td := db.tables[t.ID]
+	if td == nil || td.tree == nil {
+		return nil, fmt.Errorf("core: %s is not a clustered table", t.Name)
+	}
+	full := [][2]*sqltypes.Value{{nil, nil}}
+	if parts <= 1 {
+		return full, nil
+	}
+	minKey, ok, err := td.tree.MinKey()
+	if err != nil || !ok {
+		return full, err
+	}
+	maxKey, ok, err := td.tree.MaxKey()
+	if err != nil || !ok {
+		return full, err
+	}
+	lo, ok1 := btree.DecodeIntKeyPrefix(minKey)
+	hi, ok2 := btree.DecodeIntKeyPrefix(maxKey)
+	if !ok1 || !ok2 || hi-lo+1 < int64(parts) {
+		return full, nil
+	}
+	span := hi - lo + 1
+	out := make([][2]*sqltypes.Value, 0, parts)
+	for i := 0; i < parts; i++ {
+		var lb, ub *sqltypes.Value
+		if i > 0 {
+			v := sqltypes.NewInt(lo + span*int64(i)/int64(parts))
+			lb = &v
+		}
+		if i < parts-1 {
+			v := sqltypes.NewInt(lo + span*int64(i+1)/int64(parts))
+			ub = &v
+		}
+		out = append(out, [2]*sqltypes.Value{lb, ub})
+	}
+	return out, nil
+}

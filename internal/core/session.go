@@ -1,0 +1,467 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/sqlparse"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+)
+
+// Result is the outcome of one statement.
+type Result struct {
+	Cols         []string
+	Rows         []sqltypes.Row
+	RowsAffected int64
+	Plan         string // EXPLAIN output
+}
+
+// Exec parses and executes one SQL statement.
+func (db *Database) Exec(sql string) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStmt(stmt)
+}
+
+// ExecScript executes a semicolon-separated script, returning the last
+// statement's result.
+func (db *Database) ExecScript(sql string) (*Result, error) {
+	stmts, err := sqlparse.ParseAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	var res *Result
+	for _, s := range stmts {
+		res, err = db.ExecStmt(s)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// ExecStmt executes a parsed statement.
+func (db *Database) ExecStmt(stmt sqlparse.Statement) (*Result, error) {
+	switch t := stmt.(type) {
+	case *sqlparse.Select:
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return db.runSelectLocked(t)
+	case *sqlparse.Explain:
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return db.explainLocked(t.Stmt)
+	case *sqlparse.Insert:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return db.runInsertLocked(t)
+	case *sqlparse.CreateTable:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return db.runCreateTableLocked(t)
+	case *sqlparse.DropTable:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return db.runDropTableLocked(t)
+	case *sqlparse.BeginTxn:
+		return &Result{}, db.Begin()
+	case *sqlparse.CommitTxn:
+		return &Result{}, db.Commit()
+	case *sqlparse.RollbackTxn:
+		return &Result{}, db.Rollback()
+	case *sqlparse.Checkpoint:
+		return &Result{}, db.Checkpoint()
+	}
+	return nil, fmt.Errorf("core: unsupported statement %T", stmt)
+}
+
+// Query is a convenience for SELECT statements.
+func (db *Database) Query(sql string) (*Result, error) {
+	return db.Exec(sql)
+}
+
+// runSelectLocked plans and executes a SELECT (callers hold db.mu in some
+// mode).
+func (db *Database) runSelectLocked(sel *sqlparse.Select) (*Result, error) {
+	node, err := db.planner.PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	op, err := node.Build()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.Run(&exec.Context{DOP: db.dop}, op)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, len(node.Cols))
+	for i, c := range node.Cols {
+		cols[i] = c.Name
+	}
+	return &Result{Cols: cols, Rows: rows}, nil
+}
+
+func (db *Database) explainLocked(stmt sqlparse.Statement) (*Result, error) {
+	var sel *sqlparse.Select
+	switch t := stmt.(type) {
+	case *sqlparse.Select:
+		sel = t
+	case *sqlparse.Insert:
+		if t.Query == nil {
+			return nil, fmt.Errorf("core: EXPLAIN supports SELECT and INSERT ... SELECT")
+		}
+		sel = t.Query
+	default:
+		return nil, fmt.Errorf("core: EXPLAIN supports SELECT and INSERT ... SELECT")
+	}
+	node, err := db.planner.PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	text := node.Explain()
+	res := &Result{Cols: []string{"plan"}, Plan: text}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		res.Rows = append(res.Rows, sqltypes.Row{sqltypes.NewString(line)})
+	}
+	return res, nil
+}
+
+func (db *Database) runInsertLocked(ins *sqlparse.Insert) (*Result, error) {
+	td, err := db.table(ins.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Map the column list to positions.
+	colIdx := make([]int, 0, len(ins.Cols))
+	for _, name := range ins.Cols {
+		idx := td.def.ColumnIndex(name)
+		if idx < 0 {
+			return nil, fmt.Errorf("core: table %s has no column %q", td.def.Name, name)
+		}
+		colIdx = append(colIdx, idx)
+	}
+	width := len(colIdx)
+	if width == 0 {
+		width = len(td.def.Columns)
+	}
+
+	t := db.currentTxnLocked()
+	var n int64
+	insertOne := func(vals sqltypes.Row) error {
+		if len(vals) != width {
+			return fmt.Errorf("core: INSERT expects %d values, got %d", width, len(vals))
+		}
+		row := make(sqltypes.Row, len(td.def.Columns))
+		if len(colIdx) > 0 {
+			for i, idx := range colIdx {
+				row[idx] = vals[i]
+			}
+		} else {
+			copy(row, vals)
+		}
+		if err := db.insertRow(t, td, row); err != nil {
+			return err
+		}
+		n++
+		return nil
+	}
+
+	var execErr error
+	switch {
+	case ins.Rows != nil:
+		for _, astRow := range ins.Rows {
+			vals := make(sqltypes.Row, len(astRow))
+			for i, e := range astRow {
+				bound, err := db.planner.BindConstant(e)
+				if err != nil {
+					execErr = err
+					break
+				}
+				v, err := bound.Eval(nil)
+				if err != nil {
+					execErr = err
+					break
+				}
+				vals[i] = v
+			}
+			if execErr == nil {
+				execErr = insertOne(vals)
+			}
+			if execErr != nil {
+				break
+			}
+		}
+	case ins.Query != nil:
+		planned, err := db.planner.PlanSelect(ins.Query)
+		if err != nil {
+			execErr = err
+			break
+		}
+		op, err := planned.Build()
+		if err != nil {
+			execErr = err
+			break
+		}
+		execErr = func() error {
+			if err := op.Open(&exec.Context{DOP: db.dop}); err != nil {
+				return err
+			}
+			defer op.Close()
+			for {
+				row, ok, err := op.Next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				if err := insertOne(row); err != nil {
+					return err
+				}
+			}
+		}()
+	default:
+		execErr = fmt.Errorf("core: INSERT requires VALUES or SELECT")
+	}
+	if err := db.finishAutoLocked(t, execErr); err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: n}, nil
+}
+
+func (db *Database) runCreateTableLocked(ct *sqlparse.CreateTable) (*Result, error) {
+	if db.txn != nil {
+		return nil, fmt.Errorf("core: DDL inside a transaction is not supported")
+	}
+	def := &catalog.Table{Name: ct.Name, Clustered: ct.Clustered}
+	for _, c := range ct.Cols {
+		typ, err := catalog.ParseType(c.Type)
+		if err != nil {
+			return nil, err
+		}
+		def.Columns = append(def.Columns, catalog.Column{
+			Name:    c.Name,
+			Type:    typ,
+			NotNull: c.NotNull || c.PK,
+		})
+	}
+	for _, pk := range ct.PK {
+		idx := def.ColumnIndex(pk)
+		if idx < 0 {
+			return nil, fmt.Errorf("core: PRIMARY KEY column %q not found", pk)
+		}
+		def.PrimaryKey = append(def.PrimaryKey, idx)
+	}
+	switch ct.Compression {
+	case "", "NONE":
+		def.Compression = storage.CompressNone
+	case "ROW":
+		def.Compression = storage.CompressRow
+	case "PAGE":
+		def.Compression = storage.CompressPage
+	}
+	if def.Clustered && def.Compression == storage.CompressPage {
+		return nil, fmt.Errorf("core: PAGE compression is supported on heap tables only (use ROW for clustered tables)")
+	}
+	if err := db.cat.Create(def); err != nil {
+		return nil, err
+	}
+	if err := db.openTableStorage(def); err != nil {
+		db.cat.Drop(def.Name)
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (db *Database) runDropTableLocked(dt *sqlparse.DropTable) (*Result, error) {
+	if db.txn != nil {
+		return nil, fmt.Errorf("core: DDL inside a transaction is not supported")
+	}
+	def := db.cat.Get(dt.Name)
+	if def == nil {
+		return nil, fmt.Errorf("core: unknown table %q", dt.Name)
+	}
+	td := db.tables[def.ID]
+	if td != nil {
+		if td.heap != nil {
+			td.heap.Close()
+		} else if td.tree != nil {
+			td.tree.Close()
+		}
+		delete(db.tables, def.ID)
+	}
+	if err := db.cat.Drop(dt.Name); err != nil {
+		return nil, err
+	}
+	if err := removeFile(db.tablePath(def)); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+// InsertRows is the bulk Go-API insert path used by loaders and
+// experiments: it bypasses SQL parsing but follows the same WAL and
+// transaction protocol.
+func (db *Database) InsertRows(table string, rows []sqltypes.Row) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	td, err := db.table(table)
+	if err != nil {
+		return err
+	}
+	t := db.currentTxnLocked()
+	var execErr error
+	for _, r := range rows {
+		if execErr = db.insertRow(t, td, r); execErr != nil {
+			break
+		}
+	}
+	return db.finishAutoLocked(t, execErr)
+}
+
+// ImportFileStream imports a file as a FileStream blob and inserts a row
+// into the given table, placing the new GUID in the FILESTREAM column and
+// the provided values in the remaining columns (by name). It is the
+// engine's OPENROWSET(BULK ..., SINGLE_BLOB) ingest path from the paper's
+// Section 3.3 example.
+func (db *Database) ImportFileStream(table, srcPath string, values map[string]sqltypes.Value) (guid string, err error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	td, err := db.table(table)
+	if err != nil {
+		return "", err
+	}
+	fsCol := -1
+	for i := range td.def.Columns {
+		if td.def.Columns[i].Type.FileStream {
+			fsCol = i
+			break
+		}
+	}
+	if fsCol < 0 {
+		return "", fmt.Errorf("core: table %s has no FILESTREAM column", table)
+	}
+	t := db.currentTxnLocked()
+	guid = newGUIDForImport()
+	execErr := func() error {
+		if _, err := db.createBlobInTxn(t, guid, srcPath); err != nil {
+			return err
+		}
+		row := make(sqltypes.Row, len(td.def.Columns))
+		for name, v := range values {
+			idx := td.def.ColumnIndex(name)
+			if idx < 0 {
+				return fmt.Errorf("core: table %s has no column %q", table, name)
+			}
+			row[idx] = v
+		}
+		row[fsCol] = sqltypes.NewBytes([]byte(guid))
+		// A FILESTREAM column stores the GUID; the catalog treats it as
+		// VARBINARY, so hand it the GUID bytes.
+		if err := db.insertRow(t, td, row); err != nil {
+			return err
+		}
+		// Imports are automatically provenance-tracked (the paper's
+		// future-work item): what was loaded, from where, into which
+		// table, with which metadata.
+		_, err := db.recordProvenanceInTxn(t, ProvenanceRecord{
+			Entity:   BlobEntity(guid),
+			Activity: "import",
+			Tool:     "ImportFileStream",
+			Params:   describeValues(values),
+			Inputs:   "file:" + srcPath,
+		})
+		return err
+	}()
+	if err := db.finishAutoLocked(t, execErr); err != nil {
+		return "", err
+	}
+	return guid, nil
+}
+
+// OpenBlob opens a FileStream blob for streaming reads.
+func (db *Database) OpenBlob(guid string) (*BlobStream, error) {
+	s, err := db.blobs.Open(guid)
+	if err != nil {
+		return nil, err
+	}
+	return (*BlobStream)(s), nil
+}
+
+// TableSizeBytes returns the allocated storage size of a table.
+func (db *Database) TableSizeBytes(table string) (int64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	td, err := db.table(table)
+	if err != nil {
+		return 0, err
+	}
+	if td.heap != nil {
+		return td.heap.SizeBytes(), nil
+	}
+	return td.tree.SizeBytes(), nil
+}
+
+// TableUsedBytes returns the payload bytes of a heap table (page-internal
+// accounting used by the storage experiments).
+func (db *Database) TableUsedBytes(table string) (int64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	td, err := db.table(table)
+	if err != nil {
+		return 0, err
+	}
+	if td.heap == nil {
+		return td.tree.SizeBytes(), nil
+	}
+	return td.heap.UsedBytes()
+}
+
+// ScanTableNoLock iterates every row of a table WITHOUT acquiring the
+// session lock. It exists for table-valued functions that execute inside
+// a query (which already holds the lock; re-acquiring could deadlock
+// against a waiting writer). Callers must not run DDL concurrently.
+func (db *Database) ScanTableNoLock(table string, fn func(sqltypes.Row) error) error {
+	def := db.cat.Get(table)
+	if def == nil {
+		return fmt.Errorf("core: unknown table %q", table)
+	}
+	ops, err := db.ScanPartitions(def, 1)
+	if err != nil {
+		return err
+	}
+	op := ops[0]
+	if err := op.Open(&exec.Context{DOP: 1}); err != nil {
+		return err
+	}
+	defer op.Close()
+	for {
+		row, ok, err := op.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+}
+
+// TableRowCount returns a table's row count.
+func (db *Database) TableRowCount(table string) (int64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	td, err := db.table(table)
+	if err != nil {
+		return 0, err
+	}
+	return td.rowCount(), nil
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sqltypes"
+	"repro/internal/wal"
+)
+
+// Txn tracks a transaction's undo information: per-table pre-transaction
+// row counts for heap truncation, inserted clustered keys for deletion,
+// and created blobs for removal.
+type Txn struct {
+	id         uint64
+	db         *Database
+	heapMarks  map[uint32]int64 // table id -> row count at txn start
+	treeKeys   map[uint32][][]byte
+	blobsMade  []string
+	autocommit bool
+}
+
+// newTxn starts a transaction (callers hold db.mu).
+func (db *Database) newTxn(autocommit bool) *Txn {
+	db.txnSeq++
+	return &Txn{
+		id:         db.txnSeq,
+		db:         db,
+		heapMarks:  map[uint32]int64{},
+		treeKeys:   map[uint32][][]byte{},
+		autocommit: autocommit,
+	}
+}
+
+// Begin opens an explicit transaction.
+func (db *Database) Begin() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.txn != nil {
+		return fmt.Errorf("core: a transaction is already open")
+	}
+	db.txn = db.newTxn(false)
+	return nil
+}
+
+// Commit commits the open transaction.
+func (db *Database) Commit() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.txn == nil {
+		return fmt.Errorf("core: no open transaction")
+	}
+	err := db.commitTxnLocked(db.txn)
+	db.txn = nil
+	return err
+}
+
+func (db *Database) commitTxnLocked(t *Txn) error {
+	if err := db.wal.Append(wal.Record{Type: wal.RecCommit, Txn: t.id}); err != nil {
+		return err
+	}
+	return db.wal.Flush() // durability point
+}
+
+// Rollback aborts the open transaction, undoing its effects.
+func (db *Database) Rollback() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.txn == nil {
+		return fmt.Errorf("core: no open transaction")
+	}
+	err := db.rollbackTxnLocked(db.txn)
+	db.txn = nil
+	return err
+}
+
+func (db *Database) rollbackTxnLocked(t *Txn) error {
+	if err := db.wal.Append(wal.Record{Type: wal.RecAbort, Txn: t.id}); err != nil {
+		return err
+	}
+	if err := db.wal.Flush(); err != nil {
+		return err
+	}
+	// Undo storage effects.
+	for id, mark := range t.heapMarks {
+		td := db.tables[id]
+		if td == nil || td.heap == nil {
+			continue
+		}
+		if err := td.heap.Truncate(mark); err != nil {
+			return err
+		}
+		td.insertSeq = mark
+	}
+	for id, keys := range t.treeKeys {
+		td := db.tables[id]
+		if td == nil || td.tree == nil {
+			continue
+		}
+		for _, k := range keys {
+			if _, err := td.tree.Delete(k); err != nil {
+				return err
+			}
+		}
+		td.insertSeq = td.tree.Count()
+	}
+	for _, guid := range t.blobsMade {
+		if err := db.blobs.Delete(guid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// currentTxnLocked returns the open transaction or a fresh autocommit one.
+func (db *Database) currentTxnLocked() *Txn {
+	if db.txn != nil {
+		return db.txn
+	}
+	return db.newTxn(true)
+}
+
+// finishAutoLocked commits an autocommit transaction (explicit ones wait
+// for COMMIT/ROLLBACK).
+func (db *Database) finishAutoLocked(t *Txn, execErr error) error {
+	if !t.autocommit {
+		return execErr
+	}
+	if execErr != nil {
+		if rbErr := db.rollbackTxnLocked(t); rbErr != nil {
+			return fmt.Errorf("%w (rollback also failed: %v)", execErr, rbErr)
+		}
+		return execErr
+	}
+	return db.commitTxnLocked(t)
+}
+
+// insertRow validates, logs and applies one row insert within t.
+func (db *Database) insertRow(t *Txn, td *tableData, row sqltypes.Row) error {
+	stored, err := td.def.ToStorageRow(row)
+	if err != nil {
+		return err
+	}
+	img, err := td.walCodec.EncodeAppend(nil, stored)
+	if err != nil {
+		return err
+	}
+	// Remember undo info before the first touch.
+	if td.heap != nil {
+		if _, ok := t.heapMarks[td.def.ID]; !ok {
+			t.heapMarks[td.def.ID] = td.heap.RowCount()
+		}
+	}
+	rowIdx := td.insertSeq
+	if err := db.wal.Append(wal.Record{
+		Type: wal.RecInsert, Txn: t.id, Table: td.def.ID,
+		RowIndex: rowIdx, Data: img,
+	}); err != nil {
+		return err
+	}
+	if td.heap != nil {
+		if err := td.heap.Append(stored); err != nil {
+			return err
+		}
+	} else {
+		key, err := td.pkKey(stored)
+		if err != nil {
+			return err
+		}
+		replaced, err := td.tree.Insert(key, img)
+		if err != nil {
+			return err
+		}
+		if replaced {
+			return fmt.Errorf("core: duplicate primary key in %s", td.def.Name)
+		}
+		t.treeKeys[td.def.ID] = append(t.treeKeys[td.def.ID], key)
+	}
+	td.insertSeq = rowIdx + 1
+	return nil
+}
+
+// createBlobInTxn imports a blob under transactional control.
+func (db *Database) createBlobInTxn(t *Txn, guid, srcPath string) (int64, error) {
+	if err := db.wal.Append(wal.Record{
+		Type: wal.RecBlobCreate, Txn: t.id, Data: []byte(guid),
+	}); err != nil {
+		return 0, err
+	}
+	n, err := db.blobs.CreateFromFile(guid, srcPath)
+	if err != nil {
+		return 0, err
+	}
+	t.blobsMade = append(t.blobsMade, guid)
+	return n, nil
+}

@@ -1,0 +1,19 @@
+package core
+
+import (
+	"os"
+
+	"repro/internal/blob"
+)
+
+// BlobStream re-exports blob.Stream for API consumers of the engine.
+type BlobStream = blob.Stream
+
+func newGUIDForImport() string { return blob.NewGUID() }
+
+func removeFile(path string) error {
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+// Package dge implements digital gene expression analysis (paper Section
+// 2.1.2 and Queries 1-2): binning unique short-read tags by frequency,
+// aggregating tag alignments into per-gene expression levels, and the
+// differential expression comparison of two samples that motivates the
+// whole workflow ("e.g. comparing healthy cells with cancer cells").
+package dge
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/fastq"
+	"repro/internal/seq"
+)
+
+// BinTags performs the unique-read binning of the paper's Query 1: count
+// distinct tag sequences, skipping reads that contain an uncertain 'N'
+// call, and rank them by descending frequency (ties broken by sequence
+// for determinism).
+func BinTags(reads []fastq.Record) []fastq.TagRecord {
+	counts := make(map[string]int64)
+	for i := range reads {
+		s := reads[i].Seq
+		if seq.HasN(s) {
+			continue
+		}
+		counts[s]++
+	}
+	out := make([]fastq.TagRecord, 0, len(counts))
+	for s, n := range counts {
+		out = append(out, fastq.TagRecord{Seq: s, Frequency: n})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Frequency != out[b].Frequency {
+			return out[a].Frequency > out[b].Frequency
+		}
+		return out[a].Seq < out[b].Seq
+	})
+	return out
+}
+
+// GeneResolver maps an alignment locus to a gene name; ok=false when the
+// locus is intergenic. The caller derives it from the annotation (in our
+// pipeline, from the generator's gene table).
+type GeneResolver func(refName string, pos int64) (gene string, ok bool)
+
+// Expression aggregates tag alignments into per-gene expression — the
+// paper's Query 2: group alignments by gene, summing tag frequencies and
+// counting distinct tags.
+func Expression(alignments []fastq.AlignmentRecord, freq map[string]int64, resolve GeneResolver) []fastq.ExpressionRecord {
+	type acc struct {
+		total int64
+		tags  int64
+	}
+	byGene := map[string]*acc{}
+	for i := range alignments {
+		a := &alignments[i]
+		gene, ok := resolve(a.RefName, a.Pos)
+		if !ok {
+			continue
+		}
+		g := byGene[gene]
+		if g == nil {
+			g = &acc{}
+			byGene[gene] = g
+		}
+		f := freq[a.Seq]
+		if f == 0 {
+			f = 1 // unbinned tag: count the single observation
+		}
+		g.total += f
+		g.tags++
+	}
+	out := make([]fastq.ExpressionRecord, 0, len(byGene))
+	for gene, g := range byGene {
+		out = append(out, fastq.ExpressionRecord{Gene: gene, TotalFrequency: g.total, TagCount: g.tags})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].TotalFrequency != out[b].TotalFrequency {
+			return out[a].TotalFrequency > out[b].TotalFrequency
+		}
+		return out[a].Gene < out[b].Gene
+	})
+	return out
+}
+
+// DiffRecord is one gene's differential expression between two samples.
+type DiffRecord struct {
+	Gene string
+	// A and B are the raw total frequencies in each sample.
+	A, B int64
+	// Log2Fold is the library-size-normalized log2 fold change (B vs A)
+	// with a pseudocount of 1.
+	Log2Fold float64
+	// Score is |Log2Fold| scaled by evidence (log total counts) — a
+	// simple ranking statistic for the comparison.
+	Score float64
+}
+
+// Differential compares two expression profiles (the paper's tertiary
+// "differential expression analysis of different samples"). Genes present
+// in either sample are reported, ranked by Score descending.
+func Differential(a, b []fastq.ExpressionRecord) []DiffRecord {
+	am := map[string]int64{}
+	bm := map[string]int64{}
+	var aTotal, bTotal int64
+	for _, e := range a {
+		am[e.Gene] = e.TotalFrequency
+		aTotal += e.TotalFrequency
+	}
+	for _, e := range b {
+		bm[e.Gene] = e.TotalFrequency
+		bTotal += e.TotalFrequency
+	}
+	if aTotal == 0 {
+		aTotal = 1
+	}
+	if bTotal == 0 {
+		bTotal = 1
+	}
+	genes := map[string]bool{}
+	for g := range am {
+		genes[g] = true
+	}
+	for g := range bm {
+		genes[g] = true
+	}
+	out := make([]DiffRecord, 0, len(genes))
+	for g := range genes {
+		av, bv := am[g], bm[g]
+		// Normalize to counts-per-million with a pseudocount.
+		aNorm := (float64(av) + 1) / float64(aTotal) * 1e6
+		bNorm := (float64(bv) + 1) / float64(bTotal) * 1e6
+		lf := math.Log2(bNorm / aNorm)
+		out = append(out, DiffRecord{
+			Gene: g, A: av, B: bv,
+			Log2Fold: lf,
+			Score:    math.Abs(lf) * math.Log1p(float64(av+bv)),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Gene < out[j].Gene
+	})
+	return out
+}

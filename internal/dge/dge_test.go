@@ -1,0 +1,137 @@
+package dge
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fastq"
+)
+
+func reads(seqs ...string) []fastq.Record {
+	out := make([]fastq.Record, len(seqs))
+	for i, s := range seqs {
+		out[i] = fastq.Record{Name: "r", Seq: s, Qual: strings.Repeat("I", len(s))}
+	}
+	return out
+}
+
+func TestBinTags(t *testing.T) {
+	tags := BinTags(reads("ACGT", "ACGT", "GGGG", "ACGT", "ACNT", "TTTT", "GGGG"))
+	if len(tags) != 3 {
+		t.Fatalf("tags = %+v", tags)
+	}
+	if tags[0].Seq != "ACGT" || tags[0].Frequency != 3 {
+		t.Errorf("top tag = %+v", tags[0])
+	}
+	if tags[1].Seq != "GGGG" || tags[1].Frequency != 2 {
+		t.Errorf("second = %+v", tags[1])
+	}
+	if tags[2].Seq != "TTTT" || tags[2].Frequency != 1 {
+		t.Errorf("third = %+v", tags[2])
+	}
+}
+
+func TestBinTagsEmptyAndAllN(t *testing.T) {
+	if got := BinTags(nil); len(got) != 0 {
+		t.Errorf("nil reads -> %v", got)
+	}
+	if got := BinTags(reads("NNNN", "ANAN")); len(got) != 0 {
+		t.Errorf("all-N reads -> %v", got)
+	}
+}
+
+func testResolver(ref string, pos int64) (string, bool) {
+	if ref != "chr1" {
+		return "", false
+	}
+	switch {
+	case pos >= 100 && pos < 200:
+		return "GENE_A", true
+	case pos >= 300 && pos < 400:
+		return "GENE_B", true
+	}
+	return "", false
+}
+
+func TestExpression(t *testing.T) {
+	aligns := []fastq.AlignmentRecord{
+		{RefName: "chr1", Pos: 150, Seq: "AAAA"},
+		{RefName: "chr1", Pos: 160, Seq: "CCCC"},
+		{RefName: "chr1", Pos: 350, Seq: "GGGG"},
+		{RefName: "chr1", Pos: 990, Seq: "TTTT"}, // intergenic
+		{RefName: "chr2", Pos: 150, Seq: "AAAA"}, // other chrom
+	}
+	freq := map[string]int64{"AAAA": 10, "CCCC": 5, "GGGG": 2}
+	recs := Expression(aligns, freq, testResolver)
+	if len(recs) != 2 {
+		t.Fatalf("recs = %+v", recs)
+	}
+	if recs[0].Gene != "GENE_A" || recs[0].TotalFrequency != 15 || recs[0].TagCount != 2 {
+		t.Errorf("GENE_A = %+v", recs[0])
+	}
+	if recs[1].Gene != "GENE_B" || recs[1].TotalFrequency != 2 || recs[1].TagCount != 1 {
+		t.Errorf("GENE_B = %+v", recs[1])
+	}
+}
+
+func TestExpressionUnknownTagCountsOnce(t *testing.T) {
+	aligns := []fastq.AlignmentRecord{{RefName: "chr1", Pos: 150, Seq: "ZZZZ"}}
+	recs := Expression(aligns, map[string]int64{}, testResolver)
+	if len(recs) != 1 || recs[0].TotalFrequency != 1 {
+		t.Errorf("recs = %+v", recs)
+	}
+}
+
+func TestDifferential(t *testing.T) {
+	// Library sizes are balanced (230 each) so CPM normalization leaves
+	// FLAT at fold ~0.
+	a := []fastq.ExpressionRecord{
+		{Gene: "UP", TotalFrequency: 10},
+		{Gene: "FLAT", TotalFrequency: 100},
+		{Gene: "ONLY_A", TotalFrequency: 120},
+	}
+	b := []fastq.ExpressionRecord{
+		{Gene: "UP", TotalFrequency: 100},
+		{Gene: "FLAT", TotalFrequency: 100},
+		{Gene: "ONLY_B", TotalFrequency: 30},
+	}
+	diffs := Differential(a, b)
+	byGene := map[string]DiffRecord{}
+	for _, d := range diffs {
+		byGene[d.Gene] = d
+	}
+	if len(diffs) != 4 {
+		t.Fatalf("%d diff records", len(diffs))
+	}
+	if byGene["UP"].Log2Fold <= 2 {
+		t.Errorf("UP fold = %v, want > 2 (10x change + normalization)", byGene["UP"].Log2Fold)
+	}
+	if f := byGene["FLAT"].Log2Fold; f < -0.5 || f > 0.5 {
+		t.Errorf("FLAT fold = %v, want ~0", f)
+	}
+	if byGene["ONLY_A"].Log2Fold >= 0 {
+		t.Errorf("ONLY_A fold = %v, want negative", byGene["ONLY_A"].Log2Fold)
+	}
+	if byGene["ONLY_B"].Log2Fold <= 0 {
+		t.Errorf("ONLY_B fold = %v, want positive", byGene["ONLY_B"].Log2Fold)
+	}
+	// Ranking: UP should rank above FLAT.
+	upRank, flatRank := -1, -1
+	for i, d := range diffs {
+		switch d.Gene {
+		case "UP":
+			upRank = i
+		case "FLAT":
+			flatRank = i
+		}
+	}
+	if upRank > flatRank {
+		t.Error("UP ranked below FLAT")
+	}
+}
+
+func TestDifferentialEmpty(t *testing.T) {
+	if d := Differential(nil, nil); len(d) != 0 {
+		t.Errorf("empty diff = %+v", d)
+	}
+}

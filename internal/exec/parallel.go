@@ -1,0 +1,145 @@
+package exec
+
+import (
+	"sync"
+
+	"repro/internal/sqltypes"
+)
+
+// Gather is the exchange operator that merges partitioned parallel
+// streams — "Gather Streams" in the paper's Figure 9/10 plans. Each child
+// runs in its own goroutine. In unordered mode rows arrive as produced;
+// in ordered mode children are drained in index order (a merging exchange
+// for range-partitioned inputs), with all children still producing
+// concurrently into bounded buffers.
+type Gather struct {
+	Children []Operator
+	Ordered  bool
+
+	rows    chan gatherMsg
+	done    chan struct{}
+	wg      sync.WaitGroup
+	err     error
+	errOnce sync.Once
+
+	// ordered mode
+	buffers []chan gatherMsg
+	current int
+}
+
+type gatherMsg struct {
+	row sqltypes.Row
+	err error
+}
+
+const gatherBuffer = 256
+
+// Open starts one producer goroutine per child.
+func (g *Gather) Open(ctx *Context) error {
+	g.done = make(chan struct{})
+	g.err = nil
+	if g.Ordered {
+		g.buffers = make([]chan gatherMsg, len(g.Children))
+		for i := range g.buffers {
+			g.buffers[i] = make(chan gatherMsg, gatherBuffer)
+		}
+		g.current = 0
+	} else {
+		g.rows = make(chan gatherMsg, gatherBuffer)
+	}
+	for i, child := range g.Children {
+		g.wg.Add(1)
+		go func(i int, child Operator) {
+			defer g.wg.Done()
+			var out chan gatherMsg
+			if g.Ordered {
+				out = g.buffers[i]
+				defer close(out)
+			} else {
+				out = g.rows
+			}
+			if err := child.Open(ctx); err != nil {
+				g.send(out, gatherMsg{err: err})
+				return
+			}
+			defer child.Close()
+			for {
+				row, ok, err := child.Next()
+				if err != nil {
+					g.send(out, gatherMsg{err: err})
+					return
+				}
+				if !ok {
+					return
+				}
+				if !g.send(out, gatherMsg{row: row.Clone()}) {
+					return // consumer gone
+				}
+			}
+		}(i, child)
+	}
+	if !g.Ordered {
+		go func() {
+			g.wg.Wait()
+			close(g.rows)
+		}()
+	}
+	return nil
+}
+
+// send delivers unless the consumer has closed the gather.
+func (g *Gather) send(out chan gatherMsg, msg gatherMsg) bool {
+	select {
+	case out <- msg:
+		return true
+	case <-g.done:
+		return false
+	}
+}
+
+// Next returns the next gathered row.
+func (g *Gather) Next() (sqltypes.Row, bool, error) {
+	if g.Ordered {
+		for g.current < len(g.buffers) {
+			msg, ok := <-g.buffers[g.current]
+			if !ok {
+				g.current++
+				continue
+			}
+			if msg.err != nil {
+				return nil, false, msg.err
+			}
+			return msg.row, true, nil
+		}
+		return nil, false, nil
+	}
+	msg, ok := <-g.rows
+	if !ok {
+		return nil, false, nil
+	}
+	if msg.err != nil {
+		return nil, false, msg.err
+	}
+	return msg.row, true, nil
+}
+
+// Close stops producers and waits for them.
+func (g *Gather) Close() error {
+	select {
+	case <-g.done:
+	default:
+		close(g.done)
+	}
+	// Drain so producers blocked on send can observe done.
+	if g.Ordered {
+		for _, ch := range g.buffers {
+			for range ch {
+			}
+		}
+	} else {
+		for range g.rows {
+		}
+	}
+	g.wg.Wait()
+	return nil
+}

@@ -1,0 +1,235 @@
+package exec
+
+import (
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/sqltypes"
+)
+
+// SortKey is one ORDER BY term.
+type SortKey struct {
+	Expr expr.Expr
+	Desc bool
+}
+
+// Sort materializes its input and emits it ordered by the keys.
+type Sort struct {
+	Keys  []SortKey
+	Child Operator
+
+	rows []sqltypes.Row
+	pos  int
+}
+
+// Open drains and sorts the child.
+func (s *Sort) Open(ctx *Context) error {
+	if err := s.Child.Open(ctx); err != nil {
+		return err
+	}
+	defer s.Child.Close()
+	s.rows = s.rows[:0]
+	s.pos = 0
+	rows, keys, err := drainWithKeys(s.Child, s.Keys)
+	if err != nil {
+		return err
+	}
+	sortRows(rows, keys, s.Keys)
+	s.rows = rows
+	return nil
+}
+
+// drainWithKeys materializes rows and their evaluated sort keys.
+func drainWithKeys(child Operator, sortKeys []SortKey) ([]sqltypes.Row, []sqltypes.Row, error) {
+	var rows []sqltypes.Row
+	var keys []sqltypes.Row
+	for {
+		row, ok, err := child.Next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			return rows, keys, nil
+		}
+		clone := row.Clone()
+		key := make(sqltypes.Row, len(sortKeys))
+		for i, k := range sortKeys {
+			v, err := k.Expr.Eval(clone)
+			if err != nil {
+				return nil, nil, err
+			}
+			key[i] = v
+		}
+		rows = append(rows, clone)
+		keys = append(keys, key)
+	}
+}
+
+// sortRows sorts rows (stably) by their precomputed keys, permuting the
+// keys alongside so callers can keep using them (TopN's trim does).
+func sortRows(rows, keys []sqltypes.Row, sortKeys []SortKey) {
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for i := range sortKeys {
+			c := sqltypes.Compare(ka[i], kb[i])
+			if c == 0 {
+				continue
+			}
+			if sortKeys[i].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	permutedRows := make([]sqltypes.Row, len(rows))
+	permutedKeys := make([]sqltypes.Row, len(keys))
+	for i, j := range idx {
+		permutedRows[i] = rows[j]
+		permutedKeys[i] = keys[j]
+	}
+	copy(rows, permutedRows)
+	copy(keys, permutedKeys)
+}
+
+// Next emits the next sorted row.
+func (s *Sort) Next() (sqltypes.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+// Close releases the buffered rows.
+func (s *Sort) Close() error {
+	s.rows = nil
+	return nil
+}
+
+// RowNumber implements ROW_NUMBER() OVER (ORDER BY ...): it sorts its
+// input by the window ordering and appends the 1-based row number as an
+// extra trailing column (projections then place it wherever the SELECT
+// list wants it). This is the paper's Query 1 ranking construct.
+type RowNumber struct {
+	OrderBy []SortKey
+	Child   Operator
+
+	rows []sqltypes.Row
+	pos  int
+	out  sqltypes.Row
+}
+
+// Open materializes and sorts.
+func (r *RowNumber) Open(ctx *Context) error {
+	if err := r.Child.Open(ctx); err != nil {
+		return err
+	}
+	defer r.Child.Close()
+	r.pos = 0
+	rows, keys, err := drainWithKeys(r.Child, r.OrderBy)
+	if err != nil {
+		return err
+	}
+	sortRows(rows, keys, r.OrderBy)
+	r.rows = rows
+	return nil
+}
+
+// Next emits the next row with its number appended.
+func (r *RowNumber) Next() (sqltypes.Row, bool, error) {
+	if r.pos >= len(r.rows) {
+		return nil, false, nil
+	}
+	row := r.rows[r.pos]
+	r.pos++
+	if cap(r.out) < len(row)+1 {
+		r.out = make(sqltypes.Row, len(row)+1)
+	}
+	r.out = r.out[:len(row)+1]
+	copy(r.out, row)
+	r.out[len(row)] = sqltypes.NewInt(int64(r.pos))
+	return r.out, true, nil
+}
+
+// Close releases buffered rows.
+func (r *RowNumber) Close() error {
+	r.rows = nil
+	return nil
+}
+
+// TopN keeps only the first N rows under the sort order; a fused
+// Sort+Limit that avoids materializing more than N rows.
+type TopN struct {
+	N     int64
+	Keys  []SortKey
+	Child Operator
+
+	rows []sqltypes.Row
+	keys []sqltypes.Row
+	pos  int
+}
+
+// Open drains the child keeping the N smallest rows.
+func (t *TopN) Open(ctx *Context) error {
+	if err := t.Child.Open(ctx); err != nil {
+		return err
+	}
+	defer t.Child.Close()
+	t.rows, t.keys, t.pos = nil, nil, 0
+	for {
+		row, ok, err := t.Child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		clone := row.Clone()
+		key := make(sqltypes.Row, len(t.Keys))
+		for i, k := range t.Keys {
+			v, err := k.Expr.Eval(clone)
+			if err != nil {
+				return err
+			}
+			key[i] = v
+		}
+		t.rows = append(t.rows, clone)
+		t.keys = append(t.keys, key)
+		// Lazy trim: allow 2N buffered, then cut back to N.
+		if int64(len(t.rows)) >= 2*t.N && t.N > 0 {
+			t.trim()
+		}
+	}
+	t.trim()
+	return nil
+}
+
+func (t *TopN) trim() {
+	sortRows(t.rows, t.keys, t.Keys)
+	if int64(len(t.rows)) > t.N {
+		t.rows = t.rows[:t.N]
+		t.keys = t.keys[:t.N]
+	}
+}
+
+// Next emits the next of the kept rows.
+func (t *TopN) Next() (sqltypes.Row, bool, error) {
+	if t.pos >= len(t.rows) {
+		return nil, false, nil
+	}
+	r := t.rows[t.pos]
+	t.pos++
+	return r, true, nil
+}
+
+// Close releases buffers.
+func (t *TopN) Close() error {
+	t.rows, t.keys = nil, nil
+	return nil
+}

@@ -1,0 +1,249 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/sqltypes"
+)
+
+// ScalarFunc is the signature of scalar functions — both engine built-ins
+// and registered user-defined functions (the paper's CLR scalar UDFs).
+type ScalarFunc func(args []sqltypes.Value) (sqltypes.Value, error)
+
+// Registry resolves scalar function names case-insensitively.
+type Registry struct {
+	fns map[string]ScalarFunc
+}
+
+// NewRegistry returns a registry pre-loaded with the T-SQL built-ins used
+// by the paper's queries.
+func NewRegistry() *Registry {
+	r := &Registry{fns: map[string]ScalarFunc{}}
+	for name, fn := range builtins {
+		r.fns[name] = fn
+	}
+	return r
+}
+
+// Register adds (or replaces) a scalar function.
+func (r *Registry) Register(name string, fn ScalarFunc) {
+	r.fns[strings.ToLower(name)] = fn
+}
+
+// Lookup resolves a function by name.
+func (r *Registry) Lookup(name string) (ScalarFunc, bool) {
+	fn, ok := r.fns[strings.ToLower(name)]
+	return fn, ok
+}
+
+func argCheck(name string, args []sqltypes.Value, want int) error {
+	if len(args) != want {
+		return fmt.Errorf("expr: %s expects %d arguments, got %d", name, want, len(args))
+	}
+	return nil
+}
+
+var builtins = map[string]ScalarFunc{
+	// CHARINDEX(substring, string [, start]) — 1-based position, 0 when
+	// absent; the optional T-SQL start offset begins the search there.
+	// Query 1 uses CHARINDEX('N', short_read_seq) = 0 to skip uncertain
+	// reads.
+	"charindex": func(args []sqltypes.Value) (sqltypes.Value, error) {
+		if len(args) != 2 && len(args) != 3 {
+			return sqltypes.Null, fmt.Errorf("expr: CHARINDEX expects 2 or 3 arguments, got %d", len(args))
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return sqltypes.Null, nil
+		}
+		s := args[1].AsString()
+		from := int64(1)
+		if len(args) == 3 {
+			if args[2].IsNull() {
+				return sqltypes.Null, nil
+			}
+			var err error
+			from, err = args[2].AsInt()
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if from < 1 {
+				from = 1
+			}
+		}
+		if from > int64(len(s)) {
+			return sqltypes.NewInt(0), nil
+		}
+		idx := strings.Index(s[from-1:], args[0].AsString())
+		if idx < 0 {
+			return sqltypes.NewInt(0), nil
+		}
+		return sqltypes.NewInt(from + int64(idx)), nil
+	},
+	// DATALENGTH(x) — byte length of the value.
+	"datalength": func(args []sqltypes.Value) (sqltypes.Value, error) {
+		if err := argCheck("DATALENGTH", args, 1); err != nil {
+			return sqltypes.Null, err
+		}
+		v := args[0]
+		switch v.K {
+		case sqltypes.KindNull:
+			return sqltypes.Null, nil
+		case sqltypes.KindString:
+			return sqltypes.NewInt(int64(len(v.S))), nil
+		case sqltypes.KindBytes:
+			return sqltypes.NewInt(int64(len(v.B))), nil
+		case sqltypes.KindInt, sqltypes.KindFloat:
+			return sqltypes.NewInt(8), nil
+		case sqltypes.KindBool:
+			return sqltypes.NewInt(1), nil
+		}
+		return sqltypes.Null, nil
+	},
+	"len": func(args []sqltypes.Value) (sqltypes.Value, error) {
+		if err := argCheck("LEN", args, 1); err != nil {
+			return sqltypes.Null, err
+		}
+		if args[0].IsNull() {
+			return sqltypes.Null, nil
+		}
+		return sqltypes.NewInt(int64(len(args[0].AsString()))), nil
+	},
+	"upper": func(args []sqltypes.Value) (sqltypes.Value, error) {
+		if err := argCheck("UPPER", args, 1); err != nil {
+			return sqltypes.Null, err
+		}
+		if args[0].IsNull() {
+			return sqltypes.Null, nil
+		}
+		return sqltypes.NewString(strings.ToUpper(args[0].AsString())), nil
+	},
+	"lower": func(args []sqltypes.Value) (sqltypes.Value, error) {
+		if err := argCheck("LOWER", args, 1); err != nil {
+			return sqltypes.Null, err
+		}
+		if args[0].IsNull() {
+			return sqltypes.Null, nil
+		}
+		return sqltypes.NewString(strings.ToLower(args[0].AsString())), nil
+	},
+	// SUBSTRING(s, start, len) — 1-based start, T-SQL clamping.
+	"substring": func(args []sqltypes.Value) (sqltypes.Value, error) {
+		if err := argCheck("SUBSTRING", args, 3); err != nil {
+			return sqltypes.Null, err
+		}
+		if args[0].IsNull() || args[1].IsNull() || args[2].IsNull() {
+			return sqltypes.Null, nil
+		}
+		s := args[0].AsString()
+		start, err := args[1].AsInt()
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		length, err := args[2].AsInt()
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if length < 0 {
+			return sqltypes.Null, fmt.Errorf("expr: SUBSTRING length must be non-negative")
+		}
+		lo := start - 1
+		if lo < 0 {
+			length += lo
+			lo = 0
+		}
+		if lo >= int64(len(s)) || length <= 0 {
+			return sqltypes.NewString(""), nil
+		}
+		hi := lo + length
+		if hi > int64(len(s)) {
+			hi = int64(len(s))
+		}
+		return sqltypes.NewString(s[lo:hi]), nil
+	},
+	"abs": func(args []sqltypes.Value) (sqltypes.Value, error) {
+		if err := argCheck("ABS", args, 1); err != nil {
+			return sqltypes.Null, err
+		}
+		v := args[0]
+		switch v.K {
+		case sqltypes.KindNull:
+			return sqltypes.Null, nil
+		case sqltypes.KindInt:
+			if v.I < 0 {
+				return sqltypes.NewInt(-v.I), nil
+			}
+			return v, nil
+		case sqltypes.KindFloat:
+			return sqltypes.NewFloat(math.Abs(v.F)), nil
+		}
+		return sqltypes.Null, fmt.Errorf("expr: ABS requires a number")
+	},
+	"round": func(args []sqltypes.Value) (sqltypes.Value, error) {
+		if err := argCheck("ROUND", args, 2); err != nil {
+			return sqltypes.Null, err
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return sqltypes.Null, nil
+		}
+		f, err := args[0].AsFloat()
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		d, err := args[1].AsInt()
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		scale := math.Pow(10, float64(d))
+		return sqltypes.NewFloat(math.Round(f*scale) / scale), nil
+	},
+	"reverse": func(args []sqltypes.Value) (sqltypes.Value, error) {
+		if err := argCheck("REVERSE", args, 1); err != nil {
+			return sqltypes.Null, err
+		}
+		if args[0].IsNull() {
+			return sqltypes.Null, nil
+		}
+		s := args[0].AsString()
+		b := []byte(s)
+		for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+			b[i], b[j] = b[j], b[i]
+		}
+		return sqltypes.NewString(string(b)), nil
+	},
+	"coalesce": func(args []sqltypes.Value) (sqltypes.Value, error) {
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return sqltypes.Null, nil
+	},
+	"cast_int": func(args []sqltypes.Value) (sqltypes.Value, error) {
+		if err := argCheck("CAST_INT", args, 1); err != nil {
+			return sqltypes.Null, err
+		}
+		if args[0].IsNull() {
+			return sqltypes.Null, nil
+		}
+		n, err := args[0].AsInt()
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewInt(n), nil
+	},
+	"cast_float": func(args []sqltypes.Value) (sqltypes.Value, error) {
+		if err := argCheck("CAST_FLOAT", args, 1); err != nil {
+			return sqltypes.Null, err
+		}
+		if args[0].IsNull() {
+			return sqltypes.Null, nil
+		}
+		f, err := args[0].AsFloat()
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewFloat(f), nil
+	},
+}

@@ -1,0 +1,160 @@
+package fastq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FASTAWrap is the conventional line width for FASTA sequence data; the
+// paper calls out the "line-wrapped sequences to 60 base pairs per line for
+// better readability" as an example of display-oriented formats.
+const FASTAWrap = 60
+
+// FastaRecord is one FASTA entry: a ">" header and a (possibly wrapped)
+// sequence body.
+type FastaRecord struct {
+	Name string // header up to the first space
+	Desc string // remainder of the header
+	Seq  string
+}
+
+// FastaReader parses FASTA records.
+type FastaReader struct {
+	br      *bufio.Reader
+	pending string // header of the next record, already consumed
+	started bool
+	done    bool
+}
+
+// NewFastaReader returns a reader consuming r.
+func NewFastaReader(r io.Reader) *FastaReader {
+	return &FastaReader{br: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Next returns the next record, or io.EOF after the last one.
+func (r *FastaReader) Next() (FastaRecord, error) {
+	if r.done {
+		return FastaRecord{}, io.EOF
+	}
+	header := r.pending
+	if !r.started {
+		// Find the first header line.
+		for {
+			line, err := r.readLine()
+			if err != nil {
+				r.done = true
+				return FastaRecord{}, err
+			}
+			if line == "" {
+				continue
+			}
+			if line[0] != '>' {
+				return FastaRecord{}, fmt.Errorf("fasta: expected '>' header, got %q", line)
+			}
+			header = line
+			break
+		}
+		r.started = true
+	}
+	var body strings.Builder
+	for {
+		line, err := r.readLine()
+		if err == io.EOF {
+			r.done = true
+			break
+		}
+		if err != nil {
+			return FastaRecord{}, err
+		}
+		if line == "" {
+			continue
+		}
+		if line[0] == '>' {
+			r.pending = line
+			break
+		}
+		body.WriteString(line)
+	}
+	rec := FastaRecord{Seq: body.String()}
+	head := strings.TrimPrefix(header, ">")
+	if i := strings.IndexByte(head, ' '); i >= 0 {
+		rec.Name, rec.Desc = head[:i], head[i+1:]
+	} else {
+		rec.Name = head
+	}
+	if rec.Name == "" {
+		return FastaRecord{}, fmt.Errorf("fasta: record with empty name")
+	}
+	return rec, nil
+}
+
+func (r *FastaReader) readLine() (string, error) {
+	line, err := r.br.ReadString('\n')
+	if len(line) == 0 && err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// ReadAllFasta slurps all records.
+func ReadAllFasta(r io.Reader) ([]FastaRecord, error) {
+	fr := NewFastaReader(r)
+	var out []FastaRecord
+	for {
+		rec, err := fr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// FastaWriter emits FASTA records wrapped at FASTAWrap columns.
+type FastaWriter struct {
+	bw   *bufio.Writer
+	Wrap int // columns per sequence line; FASTAWrap if 0
+}
+
+// NewFastaWriter returns a writer on w.
+func NewFastaWriter(w io.Writer) *FastaWriter {
+	return &FastaWriter{bw: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// Write appends one record.
+func (w *FastaWriter) Write(rec FastaRecord) error {
+	wrap := w.Wrap
+	if wrap <= 0 {
+		wrap = FASTAWrap
+	}
+	w.bw.WriteByte('>')
+	w.bw.WriteString(rec.Name)
+	if rec.Desc != "" {
+		w.bw.WriteByte(' ')
+		w.bw.WriteString(rec.Desc)
+	}
+	w.bw.WriteByte('\n')
+	for i := 0; i < len(rec.Seq); i += wrap {
+		end := i + wrap
+		if end > len(rec.Seq) {
+			end = len(rec.Seq)
+		}
+		w.bw.WriteString(rec.Seq[i:end])
+		w.bw.WriteByte('\n')
+	}
+	return w.flushErr()
+}
+
+func (w *FastaWriter) flushErr() error {
+	// bufio.Writer latches the first error; surface it without forcing a
+	// full flush on every record.
+	_, err := w.bw.Write(nil)
+	return err
+}
+
+// Flush commits buffered output.
+func (w *FastaWriter) Flush() error { return w.bw.Flush() }

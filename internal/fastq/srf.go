@@ -1,0 +1,231 @@
+package fastq
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// SRF-style container (paper Section 5.3.1): the Sequence Read Format
+// proposal packages level-1 short reads together with "core information
+// from the image analysis steps such as intensity and signal-to-noise
+// ratio values". This implementation is a compact binary container with
+// the same content classes: read name, called bases, qualities, and the
+// per-base 4-channel intensities the base caller saw.
+//
+// Layout:
+//
+//	header:  "SRF1" | uvarint record count
+//	record:  uvarint nameLen | name
+//	         uvarint seqLen  | bases | quals (Phred+33, seqLen bytes)
+//	         intensities: seqLen * 4 * uint16 (little endian, fixed-point
+//	         thousandths)
+
+// SRFMagic identifies the container.
+const SRFMagic = "SRF1"
+
+// SRFRecord is one read with its image-analysis intensities.
+type SRFRecord struct {
+	Name        string
+	Seq         string
+	Qual        string
+	Intensities [][4]uint16 // per base, channel order A,C,G,T
+}
+
+// Record converts to the plain FASTQ view.
+func (r *SRFRecord) Record() Record {
+	return Record{Name: r.Name, Seq: r.Seq, Qual: r.Qual}
+}
+
+// Validate checks structural invariants.
+func (r *SRFRecord) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("srf: record with empty name")
+	}
+	if len(r.Qual) != len(r.Seq) {
+		return fmt.Errorf("srf: record %q: qual length %d != seq length %d", r.Name, len(r.Qual), len(r.Seq))
+	}
+	if r.Intensities != nil && len(r.Intensities) != len(r.Seq) {
+		return fmt.Errorf("srf: record %q: %d intensity tuples for %d bases", r.Name, len(r.Intensities), len(r.Seq))
+	}
+	return nil
+}
+
+// AvgIntensity returns the mean called-channel intensity (in raw units,
+// 1.0 = nominal full signal) — a simple per-read signal summary.
+func (r *SRFRecord) AvgIntensity() float64 {
+	if len(r.Intensities) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, tuple := range r.Intensities {
+		best := tuple[0]
+		for _, v := range tuple[1:] {
+			if v > best {
+				best = v
+			}
+		}
+		total += float64(best) / 1000
+	}
+	return total / float64(len(r.Intensities))
+}
+
+// WriteSRF writes a complete container.
+func WriteSRF(w io.Writer, recs []SRFRecord) error {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	bw.WriteString(SRFMagic)
+	writeUvarint(bw, uint64(len(recs)))
+	for i := range recs {
+		if err := recs[i].Validate(); err != nil {
+			return err
+		}
+		r := &recs[i]
+		writeUvarint(bw, uint64(len(r.Name)))
+		bw.WriteString(r.Name)
+		writeUvarint(bw, uint64(len(r.Seq)))
+		bw.WriteString(r.Seq)
+		bw.WriteString(r.Qual)
+		var b [2]byte
+		for j := 0; j < len(r.Seq); j++ {
+			var tuple [4]uint16
+			if r.Intensities != nil {
+				tuple = r.Intensities[j]
+			}
+			for _, v := range tuple {
+				binary.LittleEndian.PutUint16(b[:], v)
+				bw.Write(b[:])
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeUvarint(bw *bufio.Writer, v uint64) {
+	var buf [10]byte
+	n := binary.PutUvarint(buf[:], v)
+	bw.Write(buf[:n])
+}
+
+// ReadSRF parses a complete container.
+func ReadSRF(r io.Reader) ([]SRFRecord, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(SRFMagic) || string(data[:4]) != SRFMagic {
+		return nil, fmt.Errorf("srf: bad magic")
+	}
+	pos := 4
+	count, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return nil, fmt.Errorf("srf: truncated header")
+	}
+	pos += n
+	out := make([]SRFRecord, 0, count)
+	var rec SRFRecord
+	for i := uint64(0); i < count; i++ {
+		consumed, err := srfEntry(data[pos:], true, &rec)
+		if err != nil {
+			return nil, err
+		}
+		if consumed == 0 {
+			return nil, fmt.Errorf("srf: truncated record %d", i)
+		}
+		pos += consumed
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// SRFRecordEntry returns an EntryFunc for ChunkedScanner that decodes SRF
+// records into *rec, skipping the container header transparently — so the
+// same streaming TVF machinery that serves FASTQ FileStreams serves SRF
+// FileStreams (the paper: "our hybrid approach would naturally extend to
+// encapsulate SRF files as FileStreams too").
+func SRFRecordEntry(rec *SRFRecord) EntryFunc {
+	headerDone := false
+	remaining := uint64(0)
+	return func(data []byte, atEOF bool) (int, error) {
+		if !headerDone {
+			if len(data) < 5 {
+				if atEOF {
+					return 0, fmt.Errorf("srf: truncated header")
+				}
+				return 0, nil
+			}
+			if string(data[:4]) != SRFMagic {
+				return 0, fmt.Errorf("srf: bad magic")
+			}
+			count, n := binary.Uvarint(data[4:])
+			if n <= 0 {
+				if atEOF {
+					return 0, fmt.Errorf("srf: truncated header")
+				}
+				return 0, nil
+			}
+			headerDone = true
+			remaining = count
+			return 4 + n, ErrSkipEntry
+		}
+		if remaining == 0 {
+			if len(data) > 0 {
+				return 0, fmt.Errorf("srf: %d trailing bytes after final record", len(data))
+			}
+			return 0, fmt.Errorf("srf: read past declared record count")
+		}
+		consumed, err := srfEntry(data, atEOF, rec)
+		if err != nil || consumed == 0 {
+			return 0, err
+		}
+		remaining--
+		return consumed, nil
+	}
+}
+
+// srfEntry decodes one record; returns 0 when data is incomplete.
+func srfEntry(data []byte, atEOF bool, rec *SRFRecord) (int, error) {
+	pos := 0
+	nameLen, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return srfMore(atEOF)
+	}
+	pos += n
+	if pos+int(nameLen) > len(data) {
+		return srfMore(atEOF)
+	}
+	name := data[pos : pos+int(nameLen)]
+	pos += int(nameLen)
+	seqLen, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return srfMore(atEOF)
+	}
+	pos += n
+	need := int(seqLen)*2 + int(seqLen)*8
+	if pos+need > len(data) {
+		return srfMore(atEOF)
+	}
+	seqB := data[pos : pos+int(seqLen)]
+	pos += int(seqLen)
+	qualB := data[pos : pos+int(seqLen)]
+	pos += int(seqLen)
+	intens := make([][4]uint16, seqLen)
+	for i := 0; i < int(seqLen); i++ {
+		for c := 0; c < 4; c++ {
+			intens[i][c] = binary.LittleEndian.Uint16(data[pos:])
+			pos += 2
+		}
+	}
+	rec.Name = string(name)
+	rec.Seq = string(seqB)
+	rec.Qual = string(qualB)
+	rec.Intensities = intens
+	return pos, nil
+}
+
+func srfMore(atEOF bool) (int, error) {
+	if atEOF {
+		return 0, fmt.Errorf("srf: truncated record at end of file")
+	}
+	return 0, nil
+}

@@ -1,0 +1,239 @@
+package fastq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// AlignmentRecord is one line of the level-2 alignment text format — the
+// "human readable text file" a MAQ-style aligner emits after its binary
+// output is converted (paper Section 2.1). Tab-separated columns:
+//
+//	read_name  ref_name  pos  strand  mismatches  mapq  seq  quals
+//
+// pos is the 0-based position on the reference; strand is '+' or '-'; for
+// '-' alignments seq/quals are already reverse-complemented into reference
+// orientation.
+type AlignmentRecord struct {
+	ReadName   string
+	RefName    string
+	Pos        int64
+	Strand     byte
+	Mismatches int
+	MapQ       int
+	Seq        string
+	Qual       string
+}
+
+// WriteAlignments emits records in the tab-separated text format.
+func WriteAlignments(w io.Writer, recs []AlignmentRecord) error {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	for i := range recs {
+		if err := writeAlignment(bw, &recs[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// AlignmentWriter streams alignment records to w.
+type AlignmentWriter struct{ bw *bufio.Writer }
+
+// NewAlignmentWriter returns a writer on w.
+func NewAlignmentWriter(w io.Writer) *AlignmentWriter {
+	return &AlignmentWriter{bw: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// Write appends one record.
+func (w *AlignmentWriter) Write(rec *AlignmentRecord) error { return writeAlignment(w.bw, rec) }
+
+// Flush commits buffered output.
+func (w *AlignmentWriter) Flush() error { return w.bw.Flush() }
+
+func writeAlignment(bw *bufio.Writer, r *AlignmentRecord) error {
+	bw.WriteString(r.ReadName)
+	bw.WriteByte('\t')
+	bw.WriteString(r.RefName)
+	bw.WriteByte('\t')
+	bw.WriteString(strconv.FormatInt(r.Pos, 10))
+	bw.WriteByte('\t')
+	bw.WriteByte(r.Strand)
+	bw.WriteByte('\t')
+	bw.WriteString(strconv.Itoa(r.Mismatches))
+	bw.WriteByte('\t')
+	bw.WriteString(strconv.Itoa(r.MapQ))
+	bw.WriteByte('\t')
+	bw.WriteString(r.Seq)
+	bw.WriteByte('\t')
+	bw.WriteString(r.Qual)
+	return bw.WriteByte('\n')
+}
+
+// AlignmentReader parses the alignment text format.
+type AlignmentReader struct {
+	br   *bufio.Reader
+	line int
+}
+
+// NewAlignmentReader returns a reader consuming r.
+func NewAlignmentReader(r io.Reader) *AlignmentReader {
+	return &AlignmentReader{br: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Next returns the next record, or io.EOF after the last one.
+func (r *AlignmentReader) Next() (AlignmentRecord, error) {
+	var rec AlignmentRecord
+	line, err := r.br.ReadString('\n')
+	if len(line) == 0 && err != nil {
+		return rec, err
+	}
+	r.line++
+	line = strings.TrimRight(line, "\r\n")
+	fields := strings.Split(line, "\t")
+	if len(fields) != 8 {
+		return rec, fmt.Errorf("alignment: line %d: %d fields, want 8", r.line, len(fields))
+	}
+	rec.ReadName, rec.RefName = fields[0], fields[1]
+	rec.Pos, err = strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return rec, fmt.Errorf("alignment: line %d: bad pos %q", r.line, fields[2])
+	}
+	if len(fields[3]) != 1 || (fields[3][0] != '+' && fields[3][0] != '-') {
+		return rec, fmt.Errorf("alignment: line %d: bad strand %q", r.line, fields[3])
+	}
+	rec.Strand = fields[3][0]
+	rec.Mismatches, err = strconv.Atoi(fields[4])
+	if err != nil {
+		return rec, fmt.Errorf("alignment: line %d: bad mismatch count %q", r.line, fields[4])
+	}
+	rec.MapQ, err = strconv.Atoi(fields[5])
+	if err != nil {
+		return rec, fmt.Errorf("alignment: line %d: bad mapq %q", r.line, fields[5])
+	}
+	rec.Seq, rec.Qual = fields[6], fields[7]
+	if len(rec.Seq) != len(rec.Qual) {
+		return rec, fmt.Errorf("alignment: line %d: seq/qual length mismatch", r.line)
+	}
+	return rec, nil
+}
+
+// ReadAllAlignments slurps every record.
+func ReadAllAlignments(r io.Reader) ([]AlignmentRecord, error) {
+	ar := NewAlignmentReader(r)
+	var out []AlignmentRecord
+	for {
+		rec, err := ar.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// TagRecord is one line of the unique-tag ("binning") output of a digital
+// gene expression study: the tag sequence and its observed frequency.
+type TagRecord struct {
+	Seq       string
+	Frequency int64
+}
+
+// WriteTags emits tags as "seq<TAB>frequency" lines.
+func WriteTags(w io.Writer, tags []TagRecord) error {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	for _, t := range tags {
+		bw.WriteString(t.Seq)
+		bw.WriteByte('\t')
+		bw.WriteString(strconv.FormatInt(t.Frequency, 10))
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadTags parses the tag format.
+func ReadTags(r io.Reader) ([]TagRecord, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	var out []TagRecord
+	lineNo := 0
+	for {
+		line, err := br.ReadString('\n')
+		if len(line) == 0 && err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, err
+		}
+		lineNo++
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			continue
+		}
+		i := strings.IndexByte(line, '\t')
+		if i < 0 {
+			return nil, fmt.Errorf("tags: line %d: missing tab", lineNo)
+		}
+		freq, err := strconv.ParseInt(line[i+1:], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("tags: line %d: bad frequency %q", lineNo, line[i+1:])
+		}
+		out = append(out, TagRecord{Seq: line[:i], Frequency: freq})
+	}
+}
+
+// ExpressionRecord is one line of the level-3 gene expression output: a
+// gene and the total frequency and count of tags aligned to it (the result
+// rows of the paper's Query 2).
+type ExpressionRecord struct {
+	Gene           string
+	TotalFrequency int64
+	TagCount       int64
+}
+
+// WriteExpression emits expression records as tab-separated lines.
+func WriteExpression(w io.Writer, recs []ExpressionRecord) error {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	for _, e := range recs {
+		bw.WriteString(e.Gene)
+		bw.WriteByte('\t')
+		bw.WriteString(strconv.FormatInt(e.TotalFrequency, 10))
+		bw.WriteByte('\t')
+		bw.WriteString(strconv.FormatInt(e.TagCount, 10))
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadExpression parses the expression format.
+func ReadExpression(r io.Reader) ([]ExpressionRecord, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	var out []ExpressionRecord
+	lineNo := 0
+	for {
+		line, err := br.ReadString('\n')
+		if len(line) == 0 && err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, err
+		}
+		lineNo++
+		fields := strings.Split(strings.TrimRight(line, "\r\n"), "\t")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("expression: line %d: %d fields, want 3", lineNo, len(fields))
+		}
+		tf, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("expression: line %d: bad total %q", lineNo, fields[1])
+		}
+		tc, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("expression: line %d: bad count %q", lineNo, fields[2])
+		}
+		out = append(out, ExpressionRecord{Gene: fields[0], TotalFrequency: tf, TagCount: tc})
+	}
+}

@@ -1,0 +1,333 @@
+// Package gen generates the synthetic genomics workloads of the paper's two
+// scenarios: re-sequencing for the 1000 Genomes Project (Section 2.1.1,
+// mostly-unique reads sampled across a reference genome) and digital gene
+// expression studies (Section 2.1.2, heavily repeating tags whose frequency
+// reflects gene activity). All generation is deterministic in a seed so the
+// benchmark tables are reproducible.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/seq"
+)
+
+// Chromosome is one reference sequence.
+type Chromosome struct {
+	Name string
+	Seq  string
+}
+
+// Genome is a set of reference sequences — the role of the Human reference
+// genome ("the 25 chromosomes", Section 5.1.2) in the paper's experiments.
+type Genome struct {
+	Chroms []Chromosome
+}
+
+// TotalLength is the summed chromosome length in base pairs.
+func (g *Genome) TotalLength() int {
+	n := 0
+	for _, c := range g.Chroms {
+		n += len(c.Seq)
+	}
+	return n
+}
+
+// Chrom returns the chromosome with the given name, or nil.
+func (g *Genome) Chrom(name string) *Chromosome {
+	for i := range g.Chroms {
+		if g.Chroms[i].Name == name {
+			return &g.Chroms[i]
+		}
+	}
+	return nil
+}
+
+// GenomeSpec configures GenerateGenome.
+type GenomeSpec struct {
+	Chromosomes int     // number of chromosomes
+	ChromLength int     // bases per chromosome
+	GCContent   float64 // target G+C fraction, 0 means 0.41 (human-like)
+	Seed        int64
+}
+
+// GenerateGenome produces a random reference genome. To keep alignment
+// realistic a small fraction of each chromosome is duplicated segments
+// (repeats), so some reads map ambiguously, as on real genomes.
+func GenerateGenome(spec GenomeSpec) *Genome {
+	gc := spec.GCContent
+	if gc == 0 {
+		gc = 0.41
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	g := &Genome{}
+	for c := 0; c < spec.Chromosomes; c++ {
+		b := make([]byte, spec.ChromLength)
+		for i := range b {
+			r := rng.Float64()
+			switch {
+			case r < gc/2:
+				b[i] = 'G'
+			case r < gc:
+				b[i] = 'C'
+			case r < gc+(1-gc)/2:
+				b[i] = 'A'
+			default:
+				b[i] = 'T'
+			}
+		}
+		// Sprinkle a few repeated segments (~2% of the chromosome).
+		if spec.ChromLength > 2000 {
+			segLen := 500
+			copies := spec.ChromLength / 50 / segLen
+			for r := 0; r < copies; r++ {
+				src := rng.Intn(spec.ChromLength - segLen)
+				dst := rng.Intn(spec.ChromLength - segLen)
+				copy(b[dst:dst+segLen], b[src:src+segLen])
+			}
+		}
+		g.Chroms = append(g.Chroms, Chromosome{
+			Name: fmt.Sprintf("chr%d", c+1),
+			Seq:  string(b),
+		})
+	}
+	return g
+}
+
+// FragmentOrigin records where a sampled template fragment came from, so
+// tests can verify aligner output against ground truth.
+type FragmentOrigin struct {
+	Chrom string
+	Pos   int  // 0-based position of the fragment on the forward strand
+	Minus bool // true when the template is the reverse-complement strand
+	Seq   string
+}
+
+// ResequencingSpec configures SampleFragments for the 1000 Genomes style
+// workload: reads sampled uniformly across the genome ("individual genomes
+// are sequenced with 40x coverage"); almost all resulting reads are unique.
+type ResequencingSpec struct {
+	Reads   int
+	ReadLen int
+	Seed    int64
+	// SNPRate introduces individual variation against the reference: each
+	// base of a sampled fragment is flipped with this probability, making
+	// consensus/SNP calling meaningful. Typical human variation ~0.001.
+	SNPRate float64
+	// BothStrands samples the reverse complement half the time.
+	BothStrands bool
+}
+
+// SampleFragments draws template fragments from the genome.
+func SampleFragments(g *Genome, spec ResequencingSpec) []FragmentOrigin {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	out := make([]FragmentOrigin, 0, spec.Reads)
+	type span struct {
+		chrom string
+		seq   string
+	}
+	var spans []span
+	total := 0
+	for _, c := range g.Chroms {
+		if len(c.Seq) >= spec.ReadLen {
+			spans = append(spans, span{c.Name, c.Seq})
+			total += len(c.Seq) - spec.ReadLen + 1
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	for i := 0; i < spec.Reads; i++ {
+		// Pick a chromosome weighted by its sampleable length.
+		k := rng.Intn(total)
+		var sp span
+		for _, s := range spans {
+			n := len(s.seq) - spec.ReadLen + 1
+			if k < n {
+				sp = s
+				break
+			}
+			k -= n
+		}
+		pos := k
+		frag := sp.seq[pos : pos+spec.ReadLen]
+		if spec.SNPRate > 0 {
+			frag = mutate(rng, frag, spec.SNPRate)
+		}
+		minus := spec.BothStrands && rng.Intn(2) == 1
+		if minus {
+			frag = seq.ReverseComplement(frag)
+		}
+		out = append(out, FragmentOrigin{Chrom: sp.chrom, Pos: pos, Minus: minus, Seq: frag})
+	}
+	return out
+}
+
+func mutate(rng *rand.Rand, s string, rate float64) string {
+	var b []byte
+	for i := 0; i < len(s); i++ {
+		if rng.Float64() < rate {
+			if b == nil {
+				b = []byte(s)
+			}
+			old := b[i]
+			for {
+				nb := seq.Alphabet[rng.Intn(4)]
+				if nb != old {
+					b[i] = nb
+					break
+				}
+			}
+		}
+	}
+	if b == nil {
+		return s
+	}
+	return string(b)
+}
+
+// PlantedSNP records one substitution introduced by MutateGenome.
+type PlantedSNP struct {
+	Chrom string
+	Pos   int
+	Ref   byte
+	Alt   byte
+}
+
+// MutateGenome derives an individual genome from a reference by planting
+// SNPs at the given per-base rate — the coherent individual variation a
+// re-sequencing project recovers (as opposed to ResequencingSpec.SNPRate,
+// which models independent per-read errors).
+func MutateGenome(ref *Genome, rate float64, seed int64) (*Genome, []PlantedSNP) {
+	rng := rand.New(rand.NewSource(seed))
+	out := &Genome{}
+	var snps []PlantedSNP
+	for _, c := range ref.Chroms {
+		b := []byte(c.Seq)
+		for i := range b {
+			if rng.Float64() >= rate {
+				continue
+			}
+			old := b[i]
+			if _, ok := seq.CodeOf(old); !ok {
+				continue
+			}
+			for {
+				nb := seq.Alphabet[rng.Intn(4)]
+				if nb != old {
+					b[i] = nb
+					break
+				}
+			}
+			snps = append(snps, PlantedSNP{Chrom: c.Name, Pos: i, Ref: old, Alt: b[i]})
+		}
+		out.Chroms = append(out.Chroms, Chromosome{Name: c.Name, Seq: string(b)})
+	}
+	return out, snps
+}
+
+// Gene is a transcribed region with a fixed tag site, the unit of a digital
+// gene expression study. The tag is the fragment sequenced when this gene's
+// mRNA is sampled, so its observed frequency measures the gene's activity.
+type Gene struct {
+	Name   string
+	Chrom  string
+	TagPos int // 0-based tag-site position on the chromosome
+	TagLen int
+	Weight float64 // relative expression level
+}
+
+// Tag returns the gene's tag sequence from the genome.
+func (g *Gene) Tag(genome *Genome) string {
+	c := genome.Chrom(g.Chrom)
+	if c == nil || g.TagPos+g.TagLen > len(c.Seq) {
+		return ""
+	}
+	return c.Seq[g.TagPos : g.TagPos+g.TagLen]
+}
+
+// DGESpec configures the digital gene expression workload.
+type DGESpec struct {
+	Genes  int
+	TagLen int
+	// ZipfS is the skew of the expression distribution; gene expression is
+	// famously heavy-tailed ("only a fraction of the genome is active in a
+	// cell and tags are repeating", Section 2.1.2). Must be > 1.
+	ZipfS float64
+	Seed  int64
+}
+
+// GenerateGenes places genes with Zipf-distributed expression weights on
+// the genome. Gene i's weight is 1/rank^s, so a few genes dominate the
+// sampled tags — this drives the strong page-compression results of
+// Table 1.
+func GenerateGenes(g *Genome, spec DGESpec) []Gene {
+	if spec.ZipfS <= 1 {
+		spec.ZipfS = 1.3
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	genes := make([]Gene, 0, spec.Genes)
+	for i := 0; i < spec.Genes; i++ {
+		c := g.Chroms[rng.Intn(len(g.Chroms))]
+		if len(c.Seq) < spec.TagLen {
+			continue
+		}
+		pos := rng.Intn(len(c.Seq) - spec.TagLen)
+		genes = append(genes, Gene{
+			Name:   fmt.Sprintf("GENE%04d", i+1),
+			Chrom:  c.Name,
+			TagPos: pos,
+			TagLen: spec.TagLen,
+			Weight: 1 / math.Pow(float64(i+1), spec.ZipfS),
+		})
+	}
+	return genes
+}
+
+// SampleTags draws n tag templates according to gene expression weights and
+// returns the templates plus the ground-truth per-gene counts.
+func SampleTags(genome *Genome, genes []Gene, n int, seed int64) (templates []string, truth map[string]int) {
+	rng := rand.New(rand.NewSource(seed))
+	cum := make([]float64, len(genes))
+	total := 0.0
+	for i, g := range genes {
+		total += g.Weight
+		cum[i] = total
+	}
+	truth = make(map[string]int, len(genes))
+	templates = make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		r := rng.Float64() * total
+		// Binary search the cumulative weights.
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		g := genes[lo]
+		tag := g.Tag(genome)
+		if tag == "" {
+			continue
+		}
+		templates = append(templates, tag)
+		truth[g.Name]++
+	}
+	return templates, truth
+}
+
+// ReadName1000G builds paper-style composite textual identifiers
+// ("the name of the sequencer machine with the flowcell id, the lane and
+// tile numbers ... and the x and y coordinates", Section 5.1.1) for
+// synthetic reads when the sequencer simulation is bypassed.
+func ReadName1000G(machine string, run, flowcell, lane, tile, x, y int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s_%d:%d:%d:%d:%d:%d", machine, run, flowcell, lane, tile, x, y)
+	return b.String()
+}

@@ -1,0 +1,205 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func testGenome(t *testing.T) *Genome {
+	t.Helper()
+	return GenerateGenome(GenomeSpec{Chromosomes: 3, ChromLength: 10_000, Seed: 42})
+}
+
+func TestGenerateGenome(t *testing.T) {
+	g := testGenome(t)
+	if len(g.Chroms) != 3 {
+		t.Fatalf("%d chromosomes", len(g.Chroms))
+	}
+	if g.TotalLength() != 30_000 {
+		t.Errorf("total length %d", g.TotalLength())
+	}
+	for _, c := range g.Chroms {
+		if !seq.IsValid(c.Seq) {
+			t.Errorf("%s contains invalid symbols", c.Name)
+		}
+		gc := seq.GCContent(c.Seq)
+		if gc < 0.35 || gc > 0.47 {
+			t.Errorf("%s GC content %.3f outside human-like band", c.Name, gc)
+		}
+	}
+	if g.Chrom("chr2") == nil {
+		t.Error("Chrom(chr2) = nil")
+	}
+	if g.Chrom("chrX") != nil {
+		t.Error("Chrom(chrX) != nil")
+	}
+}
+
+func TestGenerateGenomeDeterministic(t *testing.T) {
+	a := GenerateGenome(GenomeSpec{Chromosomes: 1, ChromLength: 1000, Seed: 7})
+	b := GenerateGenome(GenomeSpec{Chromosomes: 1, ChromLength: 1000, Seed: 7})
+	if a.Chroms[0].Seq != b.Chroms[0].Seq {
+		t.Error("same seed, different genome")
+	}
+	c := GenerateGenome(GenomeSpec{Chromosomes: 1, ChromLength: 1000, Seed: 8})
+	if a.Chroms[0].Seq == c.Chroms[0].Seq {
+		t.Error("different seeds, same genome")
+	}
+}
+
+func TestSampleFragmentsGroundTruth(t *testing.T) {
+	g := testGenome(t)
+	frags := SampleFragments(g, ResequencingSpec{Reads: 200, ReadLen: 36, Seed: 1})
+	if len(frags) != 200 {
+		t.Fatalf("%d fragments", len(frags))
+	}
+	for i, f := range frags {
+		c := g.Chrom(f.Chrom)
+		if c == nil {
+			t.Fatalf("fragment %d on unknown chromosome %q", i, f.Chrom)
+		}
+		want := c.Seq[f.Pos : f.Pos+36]
+		if f.Seq != want {
+			t.Errorf("fragment %d seq does not match origin (no SNPs requested)", i)
+		}
+	}
+}
+
+func TestSampleFragmentsSNPs(t *testing.T) {
+	g := testGenome(t)
+	frags := SampleFragments(g, ResequencingSpec{Reads: 500, ReadLen: 36, Seed: 1, SNPRate: 0.01})
+	mismatches := 0
+	for _, f := range frags {
+		c := g.Chrom(f.Chrom)
+		mismatches += seq.Hamming(f.Seq, c.Seq[f.Pos:f.Pos+36])
+	}
+	// Expect ~0.01 * 500 * 36 = 180 mutations; allow wide tolerance.
+	if mismatches < 60 || mismatches > 400 {
+		t.Errorf("SNP count %d far from expectation ~180", mismatches)
+	}
+}
+
+func TestSampleFragmentsBothStrands(t *testing.T) {
+	g := testGenome(t)
+	frags := SampleFragments(g, ResequencingSpec{Reads: 300, ReadLen: 36, Seed: 5, BothStrands: true})
+	minus := 0
+	for _, f := range frags {
+		c := g.Chrom(f.Chrom)
+		fwd := c.Seq[f.Pos : f.Pos+36]
+		if f.Minus {
+			minus++
+			if f.Seq != seq.ReverseComplement(fwd) {
+				t.Fatal("minus-strand fragment is not the reverse complement of its origin")
+			}
+		} else if f.Seq != fwd {
+			t.Fatal("plus-strand fragment does not match origin")
+		}
+	}
+	if minus < 100 || minus > 200 {
+		t.Errorf("minus-strand fraction %d/300 not ~half", minus)
+	}
+}
+
+func TestSampleFragmentsMostlyUnique(t *testing.T) {
+	// The defining property of the 1000 Genomes workload (Section 5.1.2):
+	// "almost all short reads are unique".
+	g := GenerateGenome(GenomeSpec{Chromosomes: 2, ChromLength: 100_000, Seed: 3})
+	frags := SampleFragments(g, ResequencingSpec{Reads: 2000, ReadLen: 36, Seed: 9})
+	uniq := map[string]bool{}
+	for _, f := range frags {
+		uniq[f.Seq] = true
+	}
+	if float64(len(uniq)) < 0.95*float64(len(frags)) {
+		t.Errorf("only %d/%d unique reads; want ~all unique", len(uniq), len(frags))
+	}
+}
+
+func TestGenerateGenesAndTags(t *testing.T) {
+	g := testGenome(t)
+	genes := GenerateGenes(g, DGESpec{Genes: 50, TagLen: 21, ZipfS: 1.3, Seed: 2})
+	if len(genes) != 50 {
+		t.Fatalf("%d genes", len(genes))
+	}
+	for _, gene := range genes {
+		tag := gene.Tag(g)
+		if len(tag) != 21 {
+			t.Errorf("%s tag length %d", gene.Name, len(tag))
+		}
+	}
+	// Weights must be strictly decreasing (Zipf by rank).
+	for i := 1; i < len(genes); i++ {
+		if genes[i].Weight >= genes[i-1].Weight {
+			t.Errorf("weights not decreasing at rank %d", i)
+		}
+	}
+	templates, truth := SampleTags(g, genes, 5000, 4)
+	if len(templates) != 5000 {
+		t.Fatalf("%d templates", len(templates))
+	}
+	// The defining property of the DGE workload: tags repeat heavily.
+	uniq := map[string]bool{}
+	for _, tpl := range templates {
+		uniq[tpl] = true
+	}
+	if len(uniq) > 60 {
+		t.Errorf("%d unique tags from 50 genes; tags should repeat", len(uniq))
+	}
+	// Truth counts sum to the number of templates.
+	sum := 0
+	for _, c := range truth {
+		sum += c
+	}
+	if sum != 5000 {
+		t.Errorf("truth counts sum to %d", sum)
+	}
+	// Expression skew: the top gene should dominate.
+	if truth[genes[0].Name] < truth[genes[len(genes)-1].Name] {
+		t.Error("rank-1 gene not more expressed than last-rank gene")
+	}
+}
+
+func TestMutateGenome(t *testing.T) {
+	ref := GenerateGenome(GenomeSpec{Chromosomes: 2, ChromLength: 20_000, Seed: 4})
+	ind, snps := MutateGenome(ref, 0.001, 5)
+	if len(ind.Chroms) != 2 || ind.TotalLength() != ref.TotalLength() {
+		t.Fatal("individual genome shape changed")
+	}
+	// Expect ~40 SNPs; allow wide tolerance.
+	if len(snps) < 10 || len(snps) > 120 {
+		t.Errorf("%d SNPs planted, expected ~40", len(snps))
+	}
+	// Every reported SNP is a real difference, and every difference is
+	// reported.
+	diffs := 0
+	for i, c := range ref.Chroms {
+		for p := range c.Seq {
+			if c.Seq[p] != ind.Chroms[i].Seq[p] {
+				diffs++
+			}
+		}
+	}
+	if diffs != len(snps) {
+		t.Errorf("%d actual differences, %d reported", diffs, len(snps))
+	}
+	for _, s := range snps {
+		c := ref.Chrom(s.Chrom)
+		ic := ind.Chrom(s.Chrom)
+		if c.Seq[s.Pos] != s.Ref || ic.Seq[s.Pos] != s.Alt {
+			t.Fatalf("SNP record %+v does not match genomes", s)
+		}
+	}
+	// Zero rate mutates nothing.
+	same, none := MutateGenome(ref, 0, 5)
+	if len(none) != 0 || same.Chroms[0].Seq != ref.Chroms[0].Seq {
+		t.Error("zero-rate mutation changed the genome")
+	}
+}
+
+func TestReadName1000G(t *testing.T) {
+	name := ReadName1000G("IL4", 855, 1, 1, 954, 659, 12)
+	if !strings.HasPrefix(name, "IL4_855:1:1:954:659") {
+		t.Errorf("name = %q", name)
+	}
+}

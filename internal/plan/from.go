@@ -1,0 +1,546 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/sqlparse"
+	"repro/internal/sqltypes"
+)
+
+// planFrom plans a FROM item. conjuncts are WHERE terms available for
+// pushdown; terms consumed by a scan are removed from the returned
+// remainder.
+func (pl *Planner) planFrom(ref sqlparse.TableRef, conjuncts []sqlparse.Expr) (*relation, []sqlparse.Expr, error) {
+	switch t := ref.(type) {
+	case *sqlparse.NamedTable:
+		return pl.planNamedTable(t, conjuncts)
+	case *sqlparse.FuncRef:
+		rel, err := pl.planTVF(t, nil)
+		return rel, conjuncts, err
+	case *sqlparse.SubqueryRef:
+		node, err := pl.PlanSelect(t.Query)
+		if err != nil {
+			return nil, nil, err
+		}
+		cols := make([]ColMeta, len(node.Cols))
+		for i, c := range node.Cols {
+			cols[i] = ColMeta{Qual: t.Alias, Name: c.Name}
+		}
+		return &relation{node: node, cols: cols}, conjuncts, nil
+	case *sqlparse.JoinRef:
+		return pl.planJoin(t, conjuncts)
+	case *sqlparse.ApplyRef:
+		left, remaining, err := pl.planFrom(t.Left, conjuncts)
+		if err != nil {
+			return nil, nil, err
+		}
+		rel, err := pl.planApply(left, t.Fn)
+		return rel, remaining, err
+	}
+	return nil, nil, fmt.Errorf("plan: unsupported FROM item %T", ref)
+}
+
+// planNamedTable builds a (possibly parallel) scan with pushed predicates.
+func (pl *Planner) planNamedTable(t *sqlparse.NamedTable, conjuncts []sqlparse.Expr) (*relation, []sqlparse.Expr, error) {
+	tab := pl.Provider.Table(t.Name)
+	if tab == nil {
+		return nil, nil, fmt.Errorf("plan: unknown table %q", t.Name)
+	}
+	qual := t.Alias
+	if qual == "" {
+		qual = t.Name
+	}
+	cols := make([]ColMeta, len(tab.Columns))
+	for i, c := range tab.Columns {
+		cols[i] = ColMeta{Qual: qual, Name: c.Name}
+	}
+	sc := &scope{cols: cols}
+
+	// Consume pushable conjuncts.
+	var pushed []sqlparse.Expr
+	var remaining []sqlparse.Expr
+	for _, c := range conjuncts {
+		if refsResolvableIn(c, sc) {
+			pushed = append(pushed, c)
+		} else {
+			remaining = append(remaining, c)
+		}
+	}
+	var pred expr.Expr
+	if len(pushed) > 0 {
+		b := &binder{pl: pl, scope: sc}
+		var err error
+		pred, err = b.bind(joinConjuncts(pushed))
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	parallel := pl.DOP > 1 && pl.Provider.RowCountEstimate(tab) >= pl.ParallelThreshold
+	partsN := 1
+	if parallel {
+		partsN = pl.DOP
+	}
+	parts := func() ([]exec.Operator, error) {
+		ops, err := pl.Provider.ScanPartitions(tab, partsN)
+		if err != nil {
+			return nil, err
+		}
+		if pred != nil {
+			for i := range ops {
+				ops[i] = &exec.Filter{Pred: pred, Child: ops[i]}
+			}
+		}
+		return ops, nil
+	}
+
+	scanOp := "Table Scan"
+	var ordered []ColMeta
+	if tab.Clustered {
+		scanOp = "Clustered Index Scan"
+		for _, pk := range tab.PrimaryKey {
+			ordered = append(ordered, ColMeta{Qual: qual, Name: tab.Columns[pk].Name})
+		}
+	}
+	detail := fmt.Sprintf("[%s]", tab.Name)
+	if pred != nil {
+		detail += fmt.Sprintf(" WHERE:(%s)", pred)
+	}
+	var node *Node
+	scanLeaf := &Node{Op: scanOp, Detail: detail, Cols: cols}
+	scanLeaf.Build = func() (exec.Operator, error) {
+		ops, err := parts()
+		if err != nil {
+			return nil, err
+		}
+		return ops[0], nil
+	}
+	if partsN > 1 {
+		node = &Node{
+			Op:       "Parallelism (Gather Streams)",
+			Detail:   fmt.Sprintf("DOP %d", partsN),
+			Children: []*Node{scanLeaf},
+			Cols:     cols,
+			Build: func() (exec.Operator, error) {
+				ops, err := parts()
+				if err != nil {
+					return nil, err
+				}
+				return &exec.Gather{Children: ops, Ordered: tab.Clustered}, nil
+			},
+		}
+	} else {
+		node = scanLeaf
+	}
+	rel := &relation{node: node, cols: cols, ordered: ordered}
+	if partsN > 1 {
+		rel.parts = parts
+		rel.partsN = partsN
+	}
+	return rel, remaining, nil
+}
+
+// planTVF builds a table-valued function scan. outer, when non-nil, is
+// the scope for correlated arguments (CROSS APPLY); otherwise arguments
+// must be constants.
+func (pl *Planner) planTVF(fn *sqlparse.FuncRef, outer *scope) (*relation, error) {
+	tvf, ok := pl.Provider.TVF(fn.Name)
+	if !ok {
+		return nil, fmt.Errorf("plan: unknown table-valued function %q", fn.Name)
+	}
+	b := &binder{pl: pl, scope: outer}
+	args, err := b.bindAll(fn.Args)
+	if err != nil {
+		return nil, err
+	}
+	// Constant argument values, where known, inform the schema.
+	constArgs := make([]sqltypes.Value, len(args))
+	for i, a := range args {
+		if lit, ok := a.(*expr.Lit); ok {
+			constArgs[i] = lit.V
+		}
+	}
+	schema, err := tvf.Schema(constArgs)
+	if err != nil {
+		return nil, err
+	}
+	qual := fn.Alias
+	if qual == "" {
+		qual = fn.Name
+	}
+	cols := make([]ColMeta, len(schema))
+	for i, c := range schema {
+		cols[i] = ColMeta{Qual: qual, Name: c.Name}
+	}
+	node := &Node{
+		Op:     "Table-valued Function",
+		Detail: fmt.Sprintf("[%s]", fn.Name),
+		Cols:   cols,
+		Build: func() (exec.Operator, error) {
+			vals := make([]sqltypes.Value, len(args))
+			for i, a := range args {
+				v, err := a.Eval(nil)
+				if err != nil {
+					return nil, fmt.Errorf("plan: TVF %s argument %d: %w", fn.Name, i+1, err)
+				}
+				vals[i] = v
+			}
+			return &exec.Source{
+				Label: fn.Name,
+				Factory: func(*exec.Context) (exec.RowIterator, error) {
+					return tvf.Iterator(vals)
+				},
+			}, nil
+		},
+	}
+	return &relation{node: node, cols: cols}, nil
+}
+
+// planApply plans CROSS APPLY fn(...) where arguments reference the outer
+// row (Query 3's per-alignment PivotAlignment expansion).
+func (pl *Planner) planApply(left *relation, fn *sqlparse.FuncRef) (*relation, error) {
+	tvf, ok := pl.Provider.TVF(fn.Name)
+	if !ok {
+		return nil, fmt.Errorf("plan: unknown table-valued function %q", fn.Name)
+	}
+	b := &binder{pl: pl, scope: &scope{cols: left.cols}}
+	args, err := b.bindAll(fn.Args)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := tvf.Schema(make([]sqltypes.Value, len(args)))
+	if err != nil {
+		return nil, err
+	}
+	qual := fn.Alias
+	if qual == "" {
+		qual = fn.Name
+	}
+	cols := append([]ColMeta{}, left.cols...)
+	for _, c := range schema {
+		cols = append(cols, ColMeta{Qual: qual, Name: c.Name})
+	}
+	leftNode := left.node
+	node := &Node{
+		Op:       "Nested Loops (Cross Apply)",
+		Detail:   fmt.Sprintf("TVF:[%s]", fn.Name),
+		Children: []*Node{leftNode, {Op: "Table-valued Function", Detail: fmt.Sprintf("[%s]", fn.Name)}},
+		Cols:     cols,
+		Build: func() (exec.Operator, error) {
+			c, err := buildChild(leftNode)
+			if err != nil {
+				return nil, err
+			}
+			return &exec.Apply{
+				Child: c,
+				Inner: func(ctx *exec.Context, outer sqltypes.Row) (exec.RowIterator, error) {
+					vals := make([]sqltypes.Value, len(args))
+					for i, a := range args {
+						v, err := a.Eval(outer)
+						if err != nil {
+							return nil, err
+						}
+						vals[i] = v
+					}
+					return tvf.Iterator(vals)
+				},
+			}, nil
+		},
+	}
+	// Ordering of the outer input is preserved by the nested-loops apply.
+	return &relation{node: node, cols: cols, ordered: left.ordered}, nil
+}
+
+// planJoin plans an inner join, preferring a (possibly parallel,
+// range-partitioned) merge join when both sides are clustered on the join
+// key — the paper's Figure 10 plan — and falling back to hash join.
+func (pl *Planner) planJoin(j *sqlparse.JoinRef, conjuncts []sqlparse.Expr) (*relation, []sqlparse.Expr, error) {
+	left, remaining, err := pl.planFrom(j.Left, conjuncts)
+	if err != nil {
+		return nil, nil, err
+	}
+	right, remaining, err := pl.planFrom(j.Right, remaining)
+	if err != nil {
+		return nil, nil, err
+	}
+	combined := append(append([]ColMeta{}, left.cols...), right.cols...)
+	leftScope := &scope{cols: left.cols}
+	rightScope := &scope{cols: right.cols}
+
+	// Split the ON condition into equi-join keys and residual predicates.
+	var leftKeyIdents, rightKeyIdents []*sqlparse.Ident
+	var residual []sqlparse.Expr
+	for _, c := range splitConjuncts(j.On) {
+		if b, ok := c.(*sqlparse.Binary); ok && b.Op == "=" {
+			lid, lok := b.L.(*sqlparse.Ident)
+			rid, rok := b.R.(*sqlparse.Ident)
+			if lok && rok {
+				switch {
+				case refsResolvableIn(lid, leftScope) && refsResolvableIn(rid, rightScope):
+					leftKeyIdents = append(leftKeyIdents, lid)
+					rightKeyIdents = append(rightKeyIdents, rid)
+					continue
+				case refsResolvableIn(rid, leftScope) && refsResolvableIn(lid, rightScope):
+					leftKeyIdents = append(leftKeyIdents, rid)
+					rightKeyIdents = append(rightKeyIdents, lid)
+					continue
+				}
+			}
+		}
+		residual = append(residual, c)
+	}
+	if len(leftKeyIdents) == 0 {
+		return nil, nil, fmt.Errorf("plan: join requires at least one equi-join condition")
+	}
+	lb := &binder{pl: pl, scope: leftScope}
+	leftKeys, err := lb.bindAll(identExprs(leftKeyIdents))
+	if err != nil {
+		return nil, nil, err
+	}
+	rb := &binder{pl: pl, scope: rightScope}
+	rightKeys, err := rb.bindAll(identExprs(rightKeyIdents))
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var rel *relation
+	if mj := pl.tryMergeJoin(j, left, right, leftKeyIdents, rightKeyIdents, leftKeys, rightKeys, remaining); mj != nil {
+		rel = &mj.relation
+		// tryMergeJoin consumed the pushable conjuncts itself.
+		remaining = mj.leftoverConjuncts
+	} else {
+		leftNode, rightNode := left.node, right.node
+		node := &Node{
+			Op:       "Hash Match (Inner Join)",
+			Detail:   fmt.Sprintf("HASH:[%s]=[%s]", describeExprs(leftKeys), describeExprs(rightKeys)),
+			Children: []*Node{leftNode, rightNode},
+			Cols:     combined,
+			Build: func() (exec.Operator, error) {
+				l, err := buildChild(leftNode)
+				if err != nil {
+					return nil, err
+				}
+				r, err := buildChild(rightNode)
+				if err != nil {
+					return nil, err
+				}
+				return &exec.HashJoin{
+					LeftKeys: leftKeys, RightKeys: rightKeys,
+					Left: l, Right: r,
+				}, nil
+			},
+		}
+		rel = &relation{node: node, cols: combined}
+	}
+	rel.cols = combined
+
+	if len(residual) > 0 {
+		b := &binder{pl: pl, scope: &scope{cols: combined}}
+		pred, err := b.bind(joinConjuncts(residual))
+		if err != nil {
+			return nil, nil, err
+		}
+		rel = filterRelation(rel, pred)
+	}
+	return rel, remaining, nil
+}
+
+func identExprs(ids []*sqlparse.Ident) []sqlparse.Expr {
+	out := make([]sqlparse.Expr, len(ids))
+	for i, id := range ids {
+		out[i] = id
+	}
+	return out
+}
+
+// tryMergeJoin returns a merge-join relation when both join inputs are
+// base tables clustered on their single join key column; otherwise nil.
+func (pl *Planner) tryMergeJoin(j *sqlparse.JoinRef, left, right *relation,
+	leftKeyIdents, rightKeyIdents []*sqlparse.Ident,
+	leftKeys, rightKeys []expr.Expr, conjuncts []sqlparse.Expr) *relationWithLeftovers {
+
+	if len(leftKeyIdents) != 1 {
+		return nil
+	}
+	lt, lok := j.Left.(*sqlparse.NamedTable)
+	rt, rok := j.Right.(*sqlparse.NamedTable)
+	if !lok || !rok {
+		return nil
+	}
+	ltab, rtab := pl.Provider.Table(lt.Name), pl.Provider.Table(rt.Name)
+	if ltab == nil || rtab == nil || !ltab.Clustered || !rtab.Clustered {
+		return nil
+	}
+	if !clusteredOnKey(ltab, leftKeyIdents[0].Name) || !clusteredOnKey(rtab, rightKeyIdents[0].Name) {
+		return nil
+	}
+	if keyType(ltab) != catalog.TypeInt && keyType(ltab) != catalog.TypeBigInt {
+		return nil
+	}
+
+	// Pushdown into either side.
+	lqual := tableQual(lt)
+	rqual := tableQual(rt)
+	leftScope := &scope{cols: left.cols}
+	rightScope := &scope{cols: right.cols}
+	var leftPred, rightPred expr.Expr
+	var leftovers []sqlparse.Expr
+	for _, c := range conjuncts {
+		switch {
+		case refsResolvableIn(c, leftScope):
+			b := &binder{pl: pl, scope: leftScope}
+			p, err := b.bind(c)
+			if err != nil {
+				return nil
+			}
+			leftPred = andExpr(leftPred, p)
+		case refsResolvableIn(c, rightScope):
+			b := &binder{pl: pl, scope: rightScope}
+			p, err := b.bind(c)
+			if err != nil {
+				return nil
+			}
+			rightPred = andExpr(rightPred, p)
+		default:
+			leftovers = append(leftovers, c)
+		}
+	}
+
+	parallel := pl.DOP > 1 &&
+		(pl.Provider.RowCountEstimate(ltab) >= pl.ParallelThreshold ||
+			pl.Provider.RowCountEstimate(rtab) >= pl.ParallelThreshold)
+	partsN := 1
+	if parallel {
+		partsN = pl.DOP
+	}
+
+	combined := append(append([]ColMeta{}, left.cols...), right.cols...)
+	buildParts := func() ([]exec.Operator, error) {
+		var ranges [][2]*sqltypes.Value
+		if partsN > 1 {
+			var err error
+			ranges, err = pl.Provider.KeyRanges(ltab, partsN)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			ranges = [][2]*sqltypes.Value{{nil, nil}}
+		}
+		ops := make([]exec.Operator, 0, len(ranges))
+		for _, rg := range ranges {
+			lscan, err := pl.Provider.OrderedScanRange(ltab, rg[0], rg[1])
+			if err != nil {
+				return nil, err
+			}
+			rscan, err := pl.Provider.OrderedScanRange(rtab, rg[0], rg[1])
+			if err != nil {
+				return nil, err
+			}
+			var lop exec.Operator = lscan
+			if leftPred != nil {
+				lop = &exec.Filter{Pred: leftPred, Child: lop}
+			}
+			var rop exec.Operator = rscan
+			if rightPred != nil {
+				rop = &exec.Filter{Pred: rightPred, Child: rop}
+			}
+			ops = append(ops, &exec.MergeJoin{
+				LeftKeys: leftKeys, RightKeys: rightKeys,
+				Left: lop, Right: rop,
+			})
+		}
+		return ops, nil
+	}
+
+	mjDetail := fmt.Sprintf("MERGE:[%s.%s]=[%s.%s]", lqual, leftKeyIdents[0].Name, rqual, rightKeyIdents[0].Name)
+	scanDetail := func(tab *catalog.Table, pred expr.Expr) string {
+		d := fmt.Sprintf("[%s] (ordered)", tab.Name)
+		if pred != nil {
+			d += fmt.Sprintf(" WHERE:(%s)", pred)
+		}
+		return d
+	}
+	mjNode := &Node{
+		Op:     "Merge Join (Inner Join)",
+		Detail: mjDetail,
+		Children: []*Node{
+			{Op: "Clustered Index Scan", Detail: scanDetail(ltab, leftPred)},
+			{Op: "Clustered Index Scan", Detail: scanDetail(rtab, rightPred)},
+		},
+		Cols: combined,
+	}
+	var node *Node
+	if partsN > 1 {
+		node = &Node{
+			Op:       "Parallelism (Gather Streams, ordered)",
+			Detail:   fmt.Sprintf("DOP %d, range-partitioned on %s.%s", partsN, lqual, leftKeyIdents[0].Name),
+			Children: []*Node{mjNode},
+			Cols:     combined,
+			Build: func() (exec.Operator, error) {
+				ops, err := buildParts()
+				if err != nil {
+					return nil, err
+				}
+				return &exec.Gather{Children: ops, Ordered: true}, nil
+			},
+		}
+	} else {
+		node = mjNode
+		mjNode.Build = func() (exec.Operator, error) {
+			ops, err := buildParts()
+			if err != nil {
+				return nil, err
+			}
+			return ops[0], nil
+		}
+	}
+	rel := &relationWithLeftovers{
+		relation: relation{
+			node: node,
+			cols: combined,
+			// Output is ordered by the join key.
+			ordered: []ColMeta{{Qual: lqual, Name: leftKeyIdents[0].Name}},
+		},
+		leftoverConjuncts: leftovers,
+	}
+	if partsN > 1 {
+		rel.parts = buildParts
+		rel.partsN = partsN
+	}
+	return rel
+}
+
+// relationWithLeftovers carries unpushed conjuncts out of tryMergeJoin.
+type relationWithLeftovers struct {
+	relation
+	leftoverConjuncts []sqlparse.Expr
+}
+
+func clusteredOnKey(t *catalog.Table, col string) bool {
+	if len(t.PrimaryKey) == 0 {
+		return false
+	}
+	return strings.EqualFold(t.Columns[t.PrimaryKey[0]].Name, col)
+}
+
+func keyType(t *catalog.Table) catalog.TypeName {
+	return t.Columns[t.PrimaryKey[0]].Type.Name
+}
+
+func tableQual(t *sqlparse.NamedTable) string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+func andExpr(a, b expr.Expr) expr.Expr {
+	if a == nil {
+		return b
+	}
+	return &expr.Logic{And: true, L: a, R: b}
+}

@@ -1,0 +1,153 @@
+// Package plan binds parsed SQL against the catalog and produces physical
+// plans: operator trees that execute via package exec and render as the
+// indented plan text of the paper's Figures 9 and 10. The planner makes
+// the same physical decisions the paper highlights — predicate pushdown,
+// hash vs merge join based on clustered keys, parallel hash aggregation
+// with partial/final merge, and parallel range-partitioned merge joins.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/sqltypes"
+)
+
+// TVF is a table-valued function — the pull-model extension of the paper's
+// Section 4.1. Schema must tolerate nil argument values (CROSS APPLY binds
+// arguments per row).
+type TVF interface {
+	Schema(args []sqltypes.Value) ([]catalog.Column, error)
+	Iterator(args []sqltypes.Value) (exec.RowIterator, error)
+}
+
+// Provider supplies catalog lookups and physical access paths; implemented
+// by the engine (package core).
+type Provider interface {
+	// Table resolves a base table, or nil.
+	Table(name string) *catalog.Table
+	// Scalar resolves a scalar function (built-in or UDF).
+	Scalar(name string) (expr.ScalarFunc, bool)
+	// Agg resolves an aggregate function (built-in or UDA).
+	Agg(name string) (exec.AggFactory, bool)
+	// TVF resolves a table-valued function.
+	TVF(name string) (TVF, bool)
+	// ScanPartitions returns `parts` independent operators that together
+	// scan the whole table exactly once (heap page ranges, or a single
+	// full scan when parts == 1).
+	ScanPartitions(t *catalog.Table, parts int) ([]exec.Operator, error)
+	// OrderedScanRange returns an operator scanning a clustered table in
+	// primary-key order restricted to [lo, hi) on the first key column;
+	// nil bounds are unbounded.
+	OrderedScanRange(t *catalog.Table, lo, hi *sqltypes.Value) (exec.Operator, error)
+	// KeyRanges splits a clustered table's first (integer) key column
+	// into up to `parts` contiguous ranges for partitioned merge joins.
+	KeyRanges(t *catalog.Table, parts int) ([][2]*sqltypes.Value, error)
+	// RowCountEstimate guides parallelism decisions.
+	RowCountEstimate(t *catalog.Table) int64
+}
+
+// ColMeta describes one output column of a plan node.
+type ColMeta struct {
+	Qual string // table alias/qualifier, may be empty
+	Name string
+}
+
+// Node is a physical plan node: display metadata plus a Build factory that
+// instantiates fresh exec operators (parallel plans call Build once per
+// partition chain).
+type Node struct {
+	Op       string
+	Detail   string
+	Children []*Node
+	Cols     []ColMeta
+	Build    func() (exec.Operator, error)
+}
+
+// Explain renders the plan in the indented style of the paper's plan
+// figures.
+func (n *Node) Explain() string {
+	var sb strings.Builder
+	n.explain(&sb, 0)
+	return sb.String()
+}
+
+func (n *Node) explain(sb *strings.Builder, depth int) {
+	sb.WriteString(strings.Repeat("   ", depth))
+	sb.WriteString("|--")
+	sb.WriteString(n.Op)
+	if n.Detail != "" {
+		sb.WriteString(" ")
+		sb.WriteString(n.Detail)
+	}
+	sb.WriteString("\n")
+	for _, c := range n.Children {
+		c.explain(sb, depth+1)
+	}
+}
+
+// Planner turns SELECT ASTs into physical plans.
+type Planner struct {
+	Provider Provider
+	// DOP is the maximum degree of parallelism (usually NumCPU).
+	DOP int
+	// ParallelThreshold is the minimum estimated row count before the
+	// planner considers a parallel plan.
+	ParallelThreshold int64
+}
+
+// NewPlanner returns a planner with the given provider and DOP.
+func NewPlanner(p Provider, dop int) *Planner {
+	if dop < 1 {
+		dop = 1
+	}
+	return &Planner{Provider: p, DOP: dop, ParallelThreshold: 10_000}
+}
+
+func buildChild(n *Node) (exec.Operator, error) {
+	if n.Build == nil {
+		return nil, fmt.Errorf("plan: node %q is not executable", n.Op)
+	}
+	return n.Build()
+}
+
+// newFilterNode wraps a child with a predicate filter.
+func newFilterNode(pred expr.Expr, child *Node) *Node {
+	return &Node{
+		Op:       "Filter",
+		Detail:   fmt.Sprintf("WHERE:(%s)", pred),
+		Children: []*Node{child},
+		Cols:     child.Cols,
+		Build: func() (exec.Operator, error) {
+			c, err := buildChild(child)
+			if err != nil {
+				return nil, err
+			}
+			return &exec.Filter{Pred: pred, Child: c}, nil
+		},
+	}
+}
+
+// newProjectNode wraps a child with computed output expressions.
+func newProjectNode(exprs []expr.Expr, cols []ColMeta, child *Node) *Node {
+	parts := make([]string, len(exprs))
+	for i, e := range exprs {
+		parts[i] = e.String()
+	}
+	return &Node{
+		Op:       "Compute Scalar",
+		Detail:   fmt.Sprintf("DEFINE:[%s]", strings.Join(parts, ", ")),
+		Children: []*Node{child},
+		Cols:     cols,
+		Build: func() (exec.Operator, error) {
+			c, err := buildChild(child)
+			if err != nil {
+				return nil, err
+			}
+			return &exec.Project{Exprs: exprs, Child: c}, nil
+		},
+	}
+}

@@ -1,0 +1,300 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/sqlparse"
+	"repro/internal/sqltypes"
+)
+
+// fakeProvider serves two in-memory tables: a heap "t" and a clustered
+// pair "left"/"right" keyed by their first column.
+type fakeProvider struct {
+	scalars *expr.Registry
+	tables  map[string]*catalog.Table
+	rows    map[string][]sqltypes.Row
+}
+
+func newFakeProvider() *fakeProvider {
+	intT, _ := catalog.ParseType("BIGINT")
+	strT, _ := catalog.ParseType("VARCHAR(50)")
+	p := &fakeProvider{
+		scalars: expr.NewRegistry(),
+		tables:  map[string]*catalog.Table{},
+		rows:    map[string][]sqltypes.Row{},
+	}
+	p.tables["t"] = &catalog.Table{
+		ID: 1, Name: "t",
+		Columns: []catalog.Column{{Name: "a", Type: intT}, {Name: "s", Type: strT}},
+	}
+	p.tables["left"] = &catalog.Table{
+		ID: 2, Name: "left_t",
+		Columns:    []catalog.Column{{Name: "id", Type: intT}, {Name: "lv", Type: strT}},
+		PrimaryKey: []int{0}, Clustered: true,
+	}
+	p.tables["right_t"] = &catalog.Table{
+		ID: 3, Name: "right_t",
+		Columns:    []catalog.Column{{Name: "rid", Type: intT}, {Name: "rv", Type: strT}},
+		PrimaryKey: []int{0}, Clustered: true,
+	}
+	for i := 0; i < 10; i++ {
+		p.rows["t"] = append(p.rows["t"], sqltypes.Row{
+			sqltypes.NewInt(int64(i)), sqltypes.NewString(fmt.Sprintf("s%d", i%3)),
+		})
+		p.rows["left_t"] = append(p.rows["left_t"], sqltypes.Row{
+			sqltypes.NewInt(int64(i)), sqltypes.NewString(fmt.Sprintf("L%d", i)),
+		})
+		if i%2 == 0 {
+			p.rows["right_t"] = append(p.rows["right_t"], sqltypes.Row{
+				sqltypes.NewInt(int64(i)), sqltypes.NewString(fmt.Sprintf("R%d", i)),
+			})
+		}
+	}
+	return p
+}
+
+func (p *fakeProvider) Table(name string) *catalog.Table {
+	if t, ok := p.tables[strings.ToLower(name)]; ok {
+		return t
+	}
+	return nil
+}
+func (p *fakeProvider) Scalar(name string) (expr.ScalarFunc, bool) { return p.scalars.Lookup(name) }
+func (p *fakeProvider) Agg(name string) (exec.AggFactory, bool) {
+	if f := exec.BuiltinAggregate(name); f != nil {
+		return f, true
+	}
+	return nil, false
+}
+func (p *fakeProvider) TVF(string) (TVF, bool) { return nil, false }
+func (p *fakeProvider) ScanPartitions(t *catalog.Table, parts int) ([]exec.Operator, error) {
+	rows := p.rows[strings.ToLower(t.Name)]
+	if parts < 1 {
+		parts = 1
+	}
+	var ops []exec.Operator
+	for i := 0; i < parts; i++ {
+		lo, hi := len(rows)*i/parts, len(rows)*(i+1)/parts
+		ops = append(ops, exec.NewValues(rows[lo:hi]))
+	}
+	return ops, nil
+}
+func (p *fakeProvider) OrderedScanRange(t *catalog.Table, lo, hi *sqltypes.Value) (exec.Operator, error) {
+	var out []sqltypes.Row
+	for _, r := range p.rows[strings.ToLower(t.Name)] {
+		if lo != nil && sqltypes.Compare(r[0], *lo) < 0 {
+			continue
+		}
+		if hi != nil && sqltypes.Compare(r[0], *hi) >= 0 {
+			continue
+		}
+		out = append(out, r)
+	}
+	return exec.NewValues(out), nil
+}
+func (p *fakeProvider) KeyRanges(t *catalog.Table, parts int) ([][2]*sqltypes.Value, error) {
+	mid := sqltypes.NewInt(5)
+	if parts <= 1 {
+		return [][2]*sqltypes.Value{{nil, nil}}, nil
+	}
+	return [][2]*sqltypes.Value{{nil, &mid}, {&mid, nil}}, nil
+}
+func (p *fakeProvider) RowCountEstimate(t *catalog.Table) int64 {
+	return int64(len(p.rows[strings.ToLower(t.Name)]))
+}
+
+func planQuery(t *testing.T, pl *Planner, sql string) *Node {
+	t.Helper()
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := pl.PlanSelect(stmt.(*sqlparse.Select))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return node
+}
+
+func runPlan(t *testing.T, node *Node) []sqltypes.Row {
+	t.Helper()
+	op, err := node.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := exec.Run(&exec.Context{DOP: 2}, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestPlanSimpleSelect(t *testing.T) {
+	pl := NewPlanner(newFakeProvider(), 1)
+	node := planQuery(t, pl, "SELECT a, s FROM t WHERE a >= 7")
+	rows := runPlan(t, node)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if node.Cols[0].Name != "a" || node.Cols[1].Name != "s" {
+		t.Errorf("cols = %v", node.Cols)
+	}
+}
+
+func TestPlanPushdownShowsInScan(t *testing.T) {
+	pl := NewPlanner(newFakeProvider(), 1)
+	node := planQuery(t, pl, "SELECT a FROM t WHERE a = 1")
+	text := node.Explain()
+	if !strings.Contains(text, "Table Scan") || !strings.Contains(text, "WHERE:") {
+		t.Errorf("predicate not pushed into scan:\n%s", text)
+	}
+	if strings.Contains(text, "|--Filter") {
+		t.Errorf("stray filter node above pushed scan:\n%s", text)
+	}
+}
+
+func TestPlanParallelDecision(t *testing.T) {
+	p := newFakeProvider()
+	pl := NewPlanner(p, 2)
+	pl.ParallelThreshold = 5 // our fake table has 10 rows
+	node := planQuery(t, pl, "SELECT COUNT(*) FROM t")
+	if !strings.Contains(node.Explain(), "Parallelism (Gather Streams)") {
+		t.Errorf("expected parallel plan:\n%s", node.Explain())
+	}
+	rows := runPlan(t, node)
+	if rows[0][0].I != 10 {
+		t.Errorf("count = %v", rows)
+	}
+	// Small tables stay serial.
+	pl.ParallelThreshold = 1000
+	node2 := planQuery(t, pl, "SELECT COUNT(*) FROM t")
+	if strings.Contains(node2.Explain(), "Parallelism") {
+		t.Errorf("small table got a parallel plan:\n%s", node2.Explain())
+	}
+}
+
+func TestPlanMergeJoinSelection(t *testing.T) {
+	pl := NewPlanner(newFakeProvider(), 1)
+	node := planQuery(t, pl, "SELECT lv, rv FROM left JOIN right_t ON id = rid")
+	text := node.Explain()
+	if !strings.Contains(text, "Merge Join") {
+		t.Fatalf("clustered join did not choose merge join:\n%s", text)
+	}
+	rows := runPlan(t, node)
+	if len(rows) != 5 {
+		t.Errorf("join rows = %v", rows)
+	}
+}
+
+func TestPlanHashJoinFallback(t *testing.T) {
+	pl := NewPlanner(newFakeProvider(), 1)
+	// Heap table on one side: no merge join possible.
+	node := planQuery(t, pl, "SELECT s, rv FROM t JOIN right_t ON a = rid")
+	text := node.Explain()
+	if !strings.Contains(text, "Hash Match (Inner Join)") {
+		t.Fatalf("expected hash join:\n%s", text)
+	}
+	rows := runPlan(t, node)
+	if len(rows) != 5 {
+		t.Errorf("join rows = %v", rows)
+	}
+}
+
+func TestPlanParallelMergeJoinRanges(t *testing.T) {
+	p := newFakeProvider()
+	pl := NewPlanner(p, 2)
+	pl.ParallelThreshold = 5
+	node := planQuery(t, pl, "SELECT COUNT(*) FROM left JOIN right_t ON id = rid")
+	text := node.Explain()
+	// The aggregate absorbs the merge-join partitions: each worker runs
+	// its own range's merge join and the partials merge.
+	if !strings.Contains(text, "Merge Join") || !strings.Contains(text, "partial per thread") {
+		t.Fatalf("expected parallel aggregate over merge-join partitions:\n%s", text)
+	}
+	// Without aggregation the ordered gather shows its partitioning.
+	plain := planQuery(t, pl, "SELECT lv, rv FROM left JOIN right_t ON id = rid")
+	if !strings.Contains(plain.Explain(), "range-partitioned") {
+		t.Fatalf("expected range-partitioned gather:\n%s", plain.Explain())
+	}
+	rows := runPlan(t, node)
+	if rows[0][0].I != 5 {
+		t.Errorf("count = %v", rows)
+	}
+}
+
+func TestPlanStreamAggregateOverClusteredOrder(t *testing.T) {
+	pl := NewPlanner(newFakeProvider(), 1)
+	node := planQuery(t, pl, "SELECT id, COUNT(*) FROM left GROUP BY id")
+	if !strings.Contains(node.Explain(), "Stream Aggregate") {
+		t.Errorf("group-by on clustered key should stream aggregate:\n%s", node.Explain())
+	}
+	// Grouping a heap column hashes instead.
+	node2 := planQuery(t, pl, "SELECT s, COUNT(*) FROM t GROUP BY s")
+	if !strings.Contains(node2.Explain(), "Hash Match (Aggregate)") {
+		t.Errorf("heap group-by should hash aggregate:\n%s", node2.Explain())
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	pl := NewPlanner(newFakeProvider(), 1)
+	cases := []string{
+		"SELECT nope FROM t",
+		"SELECT a FROM missing",
+		"SELECT t.a FROM t JOIN right_t ON a < rid", // no equi conjunct
+		"SELECT UNKNOWNFN(a) FROM t",
+		"SELECT a FROM t HAVING COUNT(*) > 1 ORDER BY a", // HAVING w/o group: collected agg makes it grouped; 'a' unresolvable
+		"SELECT * FROM t GROUP BY a",
+		"SELECT COUNT(*) FROM t WHERE COUNT(*) > 1", // aggregate in WHERE
+	}
+	for _, sql := range cases {
+		stmt, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", sql, err)
+		}
+		if _, err := pl.PlanSelect(stmt.(*sqlparse.Select)); err == nil {
+			t.Errorf("PlanSelect(%q) succeeded", sql)
+		}
+	}
+}
+
+func TestPlanAmbiguousColumn(t *testing.T) {
+	pl := NewPlanner(newFakeProvider(), 1)
+	stmt, _ := sqlparse.Parse("SELECT id FROM left l1 JOIN left l2 ON l1.id = l2.id")
+	if _, err := pl.PlanSelect(stmt.(*sqlparse.Select)); err == nil ||
+		!strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ambiguous column error missing, got %v", err)
+	}
+}
+
+func TestPlanOrderByAlias(t *testing.T) {
+	pl := NewPlanner(newFakeProvider(), 1)
+	node := planQuery(t, pl, "SELECT a * 2 AS dbl FROM t ORDER BY dbl DESC")
+	rows := runPlan(t, node)
+	if rows[0][0].I != 18 || rows[len(rows)-1][0].I != 0 {
+		t.Errorf("alias order-by rows = %v", rows)
+	}
+}
+
+func TestExplainTreeShape(t *testing.T) {
+	pl := NewPlanner(newFakeProvider(), 1)
+	node := planQuery(t, pl, "SELECT s, COUNT(*) FROM t GROUP BY s ORDER BY s")
+	text := node.Explain()
+	// Indentation encodes the tree.
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("explain too shallow:\n%s", text)
+	}
+	if !strings.HasPrefix(lines[0], "|--") {
+		t.Errorf("root line = %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if !strings.Contains(l, "|--") {
+			t.Errorf("line missing branch marker: %q", l)
+		}
+	}
+}

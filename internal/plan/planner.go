@@ -1,0 +1,503 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/sqlparse"
+	"repro/internal/sqltypes"
+)
+
+// relation is an intermediate planning result: a materialized node plus
+// physical properties the planner exploits (partitionability for parallel
+// aggregation, ordering for stream aggregation and merge joins).
+type relation struct {
+	node *Node
+	cols []ColMeta
+	// parts builds n independent partition chains that together produce
+	// the relation exactly once; nil when the relation cannot be
+	// partitioned.
+	parts  func() ([]exec.Operator, error)
+	partsN int
+	// ordered is the prefix column ordering of the output, if any.
+	ordered []ColMeta
+}
+
+// PlanSelect plans a SELECT into a physical plan tree.
+func (pl *Planner) PlanSelect(sel *sqlparse.Select) (*Node, error) {
+	// FROM (with WHERE pushdown).
+	var rel *relation
+	var remaining []sqlparse.Expr
+	if sel.From != nil {
+		var conjuncts []sqlparse.Expr
+		if sel.Where != nil {
+			conjuncts = splitConjuncts(sel.Where)
+		}
+		var err error
+		rel, remaining, err = pl.planFrom(sel.From, conjuncts)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if sel.Where != nil {
+			return nil, fmt.Errorf("plan: WHERE without FROM")
+		}
+		rel = &relation{
+			node: &Node{
+				Op: "Constant Scan",
+				Build: func() (exec.Operator, error) {
+					return exec.NewValues([]sqltypes.Row{{}}), nil
+				},
+			},
+		}
+		rel.node.Cols = nil
+	}
+	// Residual WHERE that could not be pushed into any single side.
+	if len(remaining) > 0 {
+		b := &binder{pl: pl, scope: &scope{cols: rel.cols}}
+		pred, err := b.bind(joinConjuncts(remaining))
+		if err != nil {
+			return nil, err
+		}
+		rel = filterRelation(rel, pred)
+	}
+
+	// Aggregation.
+	subst := map[string]int{}
+	aggSeen := map[string]*sqlparse.FuncCall{}
+	var aggOrder []string
+	for _, item := range sel.Items {
+		if !item.Star {
+			pl.collectAggCalls(item.Expr, aggSeen, &aggOrder)
+		}
+	}
+	if sel.Having != nil {
+		pl.collectAggCalls(sel.Having, aggSeen, &aggOrder)
+	}
+	for _, o := range sel.OrderBy {
+		pl.collectAggCalls(o.Expr, aggSeen, &aggOrder)
+	}
+	grouped := len(sel.GroupBy) > 0 || len(aggOrder) > 0
+	if grouped {
+		var err error
+		rel, err = pl.planAggregate(sel, rel, aggSeen, aggOrder, subst)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// HAVING.
+	if sel.Having != nil {
+		if !grouped {
+			return nil, fmt.Errorf("plan: HAVING requires GROUP BY or aggregates")
+		}
+		b := &binder{pl: pl, scope: &scope{}, aggSubst: subst}
+		pred, err := b.bind(sel.Having)
+		if err != nil {
+			return nil, err
+		}
+		rel = filterRelation(rel, pred)
+	}
+
+	// Window functions (ROW_NUMBER() OVER (ORDER BY ...)).
+	var windowCall *sqlparse.FuncCall
+	for _, item := range sel.Items {
+		if item.Star {
+			continue
+		}
+		if err := findWindow(item.Expr, &windowCall); err != nil {
+			return nil, err
+		}
+	}
+	if windowCall != nil {
+		if !strings.EqualFold(windowCall.Name, "row_number") {
+			return nil, fmt.Errorf("plan: unsupported window function %s", windowCall.Name)
+		}
+		b := pl.postBinder(rel, grouped, subst)
+		var keys []exec.SortKey
+		for _, o := range windowCall.Over.OrderBy {
+			e, err := b.bind(o.Expr)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, exec.SortKey{Expr: e, Desc: o.Desc})
+		}
+		appendAt := len(rel.cols)
+		if grouped {
+			appendAt = groupedWidth(subst)
+		}
+		rel = windowRelation(rel, keys, grouped)
+		subst[exprKey(windowCall)] = appendAt
+	}
+
+	// Projection.
+	var outExprs []expr.Expr
+	var outCols []ColMeta
+	b := pl.postBinder(rel, grouped, subst)
+	for _, item := range sel.Items {
+		if item.Star {
+			if grouped {
+				return nil, fmt.Errorf("plan: SELECT * is not valid with GROUP BY")
+			}
+			for i, c := range rel.cols {
+				if item.Qualifier != "" && !strings.EqualFold(c.Qual, item.Qualifier) {
+					continue
+				}
+				outExprs = append(outExprs, &expr.Col{Idx: i, Name: c.Name})
+				outCols = append(outCols, c)
+			}
+			continue
+		}
+		e, err := b.bind(item.Expr)
+		if err != nil {
+			return nil, err
+		}
+		outExprs = append(outExprs, e)
+		outCols = append(outCols, ColMeta{Name: outputName(item)})
+	}
+
+	// ORDER BY: bind pre-projection (aliases fall back to select items).
+	var sortKeys []exec.SortKey
+	for _, o := range sel.OrderBy {
+		e, err := b.bind(o.Expr)
+		if err != nil {
+			// Alias reference?
+			if id, ok := o.Expr.(*sqlparse.Ident); ok && id.Qualifier == "" {
+				found := false
+				for i, item := range sel.Items {
+					if strings.EqualFold(item.Alias, id.Name) {
+						e, found = outExprs[i], true
+						break
+					}
+				}
+				if found {
+					sortKeys = append(sortKeys, exec.SortKey{Expr: e, Desc: o.Desc})
+					continue
+				}
+			}
+			return nil, err
+		}
+		sortKeys = append(sortKeys, exec.SortKey{Expr: e, Desc: o.Desc})
+	}
+	node := rel.node
+	if len(sortKeys) > 0 {
+		if sel.Top >= 0 {
+			node = topNNode(sel.Top, sortKeys, node)
+		} else {
+			node = sortNode(sortKeys, node)
+		}
+	} else if sel.Top >= 0 {
+		child := node
+		node = &Node{
+			Op: "Top", Detail: fmt.Sprintf("TOP %d", sel.Top),
+			Children: []*Node{child}, Cols: child.Cols,
+			Build: func() (exec.Operator, error) {
+				c, err := buildChild(child)
+				if err != nil {
+					return nil, err
+				}
+				return &exec.Limit{N: sel.Top, Child: c}, nil
+			},
+		}
+	}
+	return newProjectNode(outExprs, outCols, node), nil
+}
+
+// groupedWidth returns the row width of an aggregate output given its
+// substitution map (max index + 1).
+func groupedWidth(subst map[string]int) int {
+	w := 0
+	for _, idx := range subst {
+		if idx+1 > w {
+			w = idx + 1
+		}
+	}
+	return w
+}
+
+// postBinder returns a binder for expressions evaluated above the
+// aggregation boundary (or above the base relation when not grouped).
+func (pl *Planner) postBinder(rel *relation, grouped bool, subst map[string]int) *binder {
+	if grouped {
+		return &binder{pl: pl, scope: &scope{}, aggSubst: subst}
+	}
+	return &binder{pl: pl, scope: &scope{cols: rel.cols}, aggSubst: subst}
+}
+
+func outputName(item sqlparse.SelectItem) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if id, ok := item.Expr.(*sqlparse.Ident); ok {
+		return id.Name
+	}
+	if fc, ok := item.Expr.(*sqlparse.FuncCall); ok {
+		return strings.ToLower(fc.Name)
+	}
+	return ""
+}
+
+func findWindow(e sqlparse.Expr, out **sqlparse.FuncCall) error {
+	switch t := e.(type) {
+	case *sqlparse.Unary:
+		return findWindow(t.X, out)
+	case *sqlparse.Binary:
+		if err := findWindow(t.L, out); err != nil {
+			return err
+		}
+		return findWindow(t.R, out)
+	case *sqlparse.FuncCall:
+		if t.Over != nil {
+			if *out != nil && exprKey(*out) != exprKey(t) {
+				return fmt.Errorf("plan: multiple distinct window functions are not supported")
+			}
+			*out = t
+			return nil
+		}
+		for _, a := range t.Args {
+			if err := findWindow(a, out); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// planAggregate builds the grouping node, choosing between parallel hash
+// aggregation (Figure 9's plan), stream aggregation over ordered input
+// (the consensus pipeline of Section 5.3.3), and plain hash aggregation.
+func (pl *Planner) planAggregate(sel *sqlparse.Select, rel *relation,
+	aggSeen map[string]*sqlparse.FuncCall, aggOrder []string, subst map[string]int) (*relation, error) {
+
+	inputBinder := &binder{pl: pl, scope: &scope{cols: rel.cols}}
+	groupExprs, err := inputBinder.bindAll(sel.GroupBy)
+	if err != nil {
+		return nil, err
+	}
+	for i, g := range sel.GroupBy {
+		subst[exprKey(g)] = i
+	}
+	var aggSpecs []exec.AggSpec
+	for j, key := range aggOrder {
+		call := aggSeen[key]
+		factory, _ := pl.Provider.Agg(call.Name)
+		spec := exec.AggSpec{Name: strings.ToUpper(call.Name), Factory: factory}
+		if !call.Star {
+			args, err := inputBinder.bindAll(call.Args)
+			if err != nil {
+				return nil, err
+			}
+			spec.Args = args
+		}
+		aggSpecs = append(aggSpecs, spec)
+		subst[key] = len(groupExprs) + j
+	}
+
+	outCols := make([]ColMeta, 0, len(groupExprs)+len(aggSpecs))
+	for _, g := range sel.GroupBy {
+		name := ""
+		if id, ok := g.(*sqlparse.Ident); ok {
+			name = id.Name
+		}
+		outCols = append(outCols, ColMeta{Name: name})
+	}
+	for _, key := range aggOrder {
+		outCols = append(outCols, ColMeta{Name: strings.ToLower(aggSeen[key].Name)})
+	}
+
+	groupDesc := describeExprs(groupExprs)
+	aggDesc := describeAggs(aggSpecs)
+
+	// Stream aggregation when the input ordering covers the group-by
+	// columns as a prefix.
+	if len(groupExprs) > 0 && orderedCovers(rel, sel.GroupBy) {
+		child := rel.node
+		node := &Node{
+			Op:       "Stream Aggregate",
+			Detail:   fmt.Sprintf("GROUP BY:[%s] AGG:[%s]", groupDesc, aggDesc),
+			Children: []*Node{child},
+			Cols:     outCols,
+			Build: func() (exec.Operator, error) {
+				c, err := buildChild(child)
+				if err != nil {
+					return nil, err
+				}
+				return &exec.StreamAggregate{GroupBy: groupExprs, Aggs: aggSpecs, Child: c}, nil
+			},
+		}
+		return &relation{node: node, cols: outCols}, nil
+	}
+
+	// Parallel hash aggregation over a partitionable input.
+	if rel.parts != nil && rel.partsN > 1 {
+		parts := rel.parts
+		partsN := rel.partsN
+		scanChildren := rel.node.Children
+		node := &Node{
+			Op:     "Parallelism (Gather Streams)",
+			Detail: fmt.Sprintf("DOP %d", partsN),
+			Children: []*Node{{
+				Op:       "Hash Match (Aggregate, partial per thread + merge)",
+				Detail:   fmt.Sprintf("GROUP BY:[%s] AGG:[%s]", groupDesc, aggDesc),
+				Children: scanChildren,
+				Cols:     outCols,
+			}},
+			Cols: outCols,
+			Build: func() (exec.Operator, error) {
+				children, err := parts()
+				if err != nil {
+					return nil, err
+				}
+				return &exec.ParallelHashAggregate{
+					GroupBy:    groupExprs,
+					Aggs:       aggSpecs,
+					Partitions: children,
+				}, nil
+			},
+		}
+		return &relation{node: node, cols: outCols}, nil
+	}
+
+	child := rel.node
+	node := &Node{
+		Op:       "Hash Match (Aggregate)",
+		Detail:   fmt.Sprintf("GROUP BY:[%s] AGG:[%s]", groupDesc, aggDesc),
+		Children: []*Node{child},
+		Cols:     outCols,
+		Build: func() (exec.Operator, error) {
+			c, err := buildChild(child)
+			if err != nil {
+				return nil, err
+			}
+			return &exec.HashAggregate{GroupBy: groupExprs, Aggs: aggSpecs, Child: c}, nil
+		},
+	}
+	return &relation{node: node, cols: outCols}, nil
+}
+
+func describeExprs(list []expr.Expr) string {
+	parts := make([]string, len(list))
+	for i, e := range list {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+func describeAggs(specs []exec.AggSpec) string {
+	parts := make([]string, len(specs))
+	for i, s := range specs {
+		if len(s.Args) == 0 {
+			parts[i] = s.Name + "(*)"
+		} else {
+			parts[i] = s.Name + "(" + describeExprs(s.Args) + ")"
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// orderedCovers reports whether rel's physical ordering starts with the
+// GROUP BY columns (simple identifiers only).
+func orderedCovers(rel *relation, groupBy []sqlparse.Expr) bool {
+	if len(rel.ordered) < len(groupBy) {
+		return false
+	}
+	for i, g := range groupBy {
+		id, ok := g.(*sqlparse.Ident)
+		if !ok {
+			return false
+		}
+		c := rel.ordered[i]
+		if !strings.EqualFold(c.Name, id.Name) {
+			return false
+		}
+		if id.Qualifier != "" && !strings.EqualFold(c.Qual, id.Qualifier) {
+			return false
+		}
+	}
+	return true
+}
+
+func filterRelation(rel *relation, pred expr.Expr) *relation {
+	node := newFilterNode(pred, rel.node)
+	out := &relation{node: node, cols: rel.cols, ordered: rel.ordered}
+	if rel.parts != nil {
+		inner := rel.parts
+		out.partsN = rel.partsN
+		out.parts = func() ([]exec.Operator, error) {
+			children, err := inner()
+			if err != nil {
+				return nil, err
+			}
+			for i := range children {
+				children[i] = &exec.Filter{Pred: pred, Child: children[i]}
+			}
+			return children, nil
+		}
+	}
+	return out
+}
+
+func windowRelation(rel *relation, keys []exec.SortKey, grouped bool) *relation {
+	child := rel.node
+	cols := append(append([]ColMeta{}, rel.cols...), ColMeta{Name: "row_number"})
+	node := &Node{
+		Op:       "Sequence Project (ROW_NUMBER)",
+		Detail:   fmt.Sprintf("ORDER BY:[%s]", describeSortKeys(keys)),
+		Children: []*Node{child},
+		Cols:     cols,
+		Build: func() (exec.Operator, error) {
+			c, err := buildChild(child)
+			if err != nil {
+				return nil, err
+			}
+			return &exec.RowNumber{OrderBy: keys, Child: c}, nil
+		},
+	}
+	return &relation{node: node, cols: cols}
+}
+
+func describeSortKeys(keys []exec.SortKey) string {
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		dir := "ASC"
+		if k.Desc {
+			dir = "DESC"
+		}
+		parts[i] = k.Expr.String() + " " + dir
+	}
+	return strings.Join(parts, ", ")
+}
+
+func sortNode(keys []exec.SortKey, child *Node) *Node {
+	return &Node{
+		Op:       "Sort",
+		Detail:   fmt.Sprintf("ORDER BY:[%s]", describeSortKeys(keys)),
+		Children: []*Node{child},
+		Cols:     child.Cols,
+		Build: func() (exec.Operator, error) {
+			c, err := buildChild(child)
+			if err != nil {
+				return nil, err
+			}
+			return &exec.Sort{Keys: keys, Child: c}, nil
+		},
+	}
+}
+
+func topNNode(n int64, keys []exec.SortKey, child *Node) *Node {
+	return &Node{
+		Op:       "Top N Sort",
+		Detail:   fmt.Sprintf("TOP %d ORDER BY:[%s]", n, describeSortKeys(keys)),
+		Children: []*Node{child},
+		Cols:     child.Cols,
+		Build: func() (exec.Operator, error) {
+			c, err := buildChild(child)
+			if err != nil {
+				return nil, err
+			}
+			return &exec.TopN{N: n, Keys: keys, Child: c}, nil
+		},
+	}
+}

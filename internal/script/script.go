@@ -1,0 +1,157 @@
+// Package script reimplements the paper's sequential "Perl script"
+// baselines: single-threaded slurp-process-write programs whose resource
+// profile (Figure 7: read everything into memory, then process on one
+// core, then write) contrasts with the engine's parallel plans (Figure 8).
+// Phase timings are recorded so the experiment harness can render the
+// paper's resource-consumption comparison.
+package script
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/fastq"
+	"repro/internal/seq"
+)
+
+// Phase is one timed stage of a script run.
+type Phase struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Trace is the phase breakdown of a run.
+type Trace struct {
+	Phases []Phase
+	Total  time.Duration
+}
+
+// String renders the trace as a one-line summary.
+func (t Trace) String() string {
+	s := ""
+	for i, p := range t.Phases {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s=%.2fs", p.Name, p.Duration.Seconds())
+	}
+	return fmt.Sprintf("total=%.2fs (%s)", t.Total.Seconds(), s)
+}
+
+// BinUniqueReads is the 26-line-Perl-script equivalent from Section 4.2.1:
+// read the entire FASTQ input into memory, count distinct sequences
+// (skipping reads with 'N'), sort by descending frequency, and write
+// "seq<TAB>count" lines. Deliberately sequential and memory-hungry.
+func BinUniqueReads(in io.Reader, out io.Writer) (Trace, int, error) {
+	var tr Trace
+	start := time.Now()
+
+	// Phase 1: slurp ("it first reads all data into main memory").
+	reads, err := fastq.ReadAll(in)
+	if err != nil {
+		return tr, 0, err
+	}
+	tRead := time.Now()
+	tr.Phases = append(tr.Phases, Phase{"read", tRead.Sub(start)})
+
+	// Phase 2: process on one core.
+	counts := make(map[string]int64)
+	for i := range reads {
+		s := reads[i].Seq
+		if seq.HasN(s) {
+			continue
+		}
+		counts[s]++
+	}
+	type kv struct {
+		s string
+		n int64
+	}
+	sorted := make([]kv, 0, len(counts))
+	for s, n := range counts {
+		sorted = append(sorted, kv{s, n})
+	}
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].n != sorted[b].n {
+			return sorted[a].n > sorted[b].n
+		}
+		return sorted[a].s < sorted[b].s
+	})
+	tProc := time.Now()
+	tr.Phases = append(tr.Phases, Phase{"process", tProc.Sub(tRead)})
+
+	// Phase 3: write the result.
+	tags := make([]fastq.TagRecord, len(sorted))
+	for i, e := range sorted {
+		tags[i] = fastq.TagRecord{Seq: e.s, Frequency: e.n}
+	}
+	if err := fastq.WriteTags(out, tags); err != nil {
+		return tr, 0, err
+	}
+	tr.Phases = append(tr.Phases, Phase{"write", time.Since(tProc)})
+	tr.Total = time.Since(start)
+	return tr, len(tags), nil
+}
+
+// ExpressionScript is the sequential version of the paper's Query 2
+// workflow: read an alignment file and a tag-frequency file, join them in
+// memory, group by gene, and write the expression table.
+func ExpressionScript(alignments io.Reader, tags io.Reader, out io.Writer,
+	resolve func(ref string, pos int64) (string, bool)) (Trace, int, error) {
+	var tr Trace
+	start := time.Now()
+	aligns, err := fastq.ReadAllAlignments(alignments)
+	if err != nil {
+		return tr, 0, err
+	}
+	tagList, err := fastq.ReadTags(tags)
+	if err != nil {
+		return tr, 0, err
+	}
+	tRead := time.Now()
+	tr.Phases = append(tr.Phases, Phase{"read", tRead.Sub(start)})
+
+	freq := make(map[string]int64, len(tagList))
+	for _, t := range tagList {
+		freq[t.Seq] = t.Frequency
+	}
+	type acc struct{ total, tags int64 }
+	byGene := map[string]*acc{}
+	for i := range aligns {
+		gene, ok := resolve(aligns[i].RefName, aligns[i].Pos)
+		if !ok {
+			continue
+		}
+		g := byGene[gene]
+		if g == nil {
+			g = &acc{}
+			byGene[gene] = g
+		}
+		f := freq[aligns[i].Seq]
+		if f == 0 {
+			f = 1
+		}
+		g.total += f
+		g.tags++
+	}
+	var recs []fastq.ExpressionRecord
+	for gene, g := range byGene {
+		recs = append(recs, fastq.ExpressionRecord{Gene: gene, TotalFrequency: g.total, TagCount: g.tags})
+	}
+	sort.Slice(recs, func(a, b int) bool {
+		if recs[a].TotalFrequency != recs[b].TotalFrequency {
+			return recs[a].TotalFrequency > recs[b].TotalFrequency
+		}
+		return recs[a].Gene < recs[b].Gene
+	})
+	tProc := time.Now()
+	tr.Phases = append(tr.Phases, Phase{"process", tProc.Sub(tRead)})
+	if err := fastq.WriteExpression(out, recs); err != nil {
+		return tr, 0, err
+	}
+	tr.Phases = append(tr.Phases, Phase{"write", time.Since(tProc)})
+	tr.Total = time.Since(start)
+	return tr, len(recs), nil
+}

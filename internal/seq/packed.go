@@ -1,0 +1,158 @@
+package seq
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Packed is the 2-bit packed sequence representation — the paper's proposed
+// genomic sequence UDT ("a bit-encoding of the sequences could reduce the
+// size to just about a quarter", Section 5.1.2). Four bases are stored per
+// byte; uncertain 'N' calls are kept in a sparse exception list so that the
+// common all-called case costs exactly ceil(n/4) bytes plus a small header.
+//
+// The wire encoding produced by Encode is:
+//
+//	varint  length in bases
+//	varint  number of N exceptions
+//	varint* N positions (delta encoded)
+//	bytes   packed 2-bit payload, little-endian within the byte
+type Packed struct {
+	n      int      // length in bases
+	data   []byte   // ceil(n/4) bytes, 2 bits per base
+	nified []uint32 // sorted positions that are 'N'
+}
+
+// ErrBadSymbol is returned by Pack for symbols outside A/C/G/T/N.
+var ErrBadSymbol = errors.New("seq: symbol outside ACGTN alphabet")
+
+// Pack converts a textual sequence into the packed representation.
+func Pack(s string) (Packed, error) {
+	p := Packed{n: len(s), data: make([]byte, (len(s)+3)/4)}
+	for i := 0; i < len(s); i++ {
+		code, ok := CodeOf(s[i])
+		if !ok {
+			if s[i] != 'N' && s[i] != 'n' {
+				return Packed{}, fmt.Errorf("%w: %q at position %d", ErrBadSymbol, s[i], i)
+			}
+			p.nified = append(p.nified, uint32(i))
+			code = BaseA // placeholder bits under the exception
+		}
+		p.data[i>>2] |= code << uint((i&3)*2)
+	}
+	return p, nil
+}
+
+// Len returns the sequence length in bases.
+func (p Packed) Len() int { return p.n }
+
+// Base returns the symbol at position i.
+func (p Packed) Base(i int) byte {
+	if i < 0 || i >= p.n {
+		panic("seq: Packed.Base out of range")
+	}
+	for _, x := range p.nified {
+		if int(x) == i {
+			return 'N'
+		}
+		if int(x) > i {
+			break
+		}
+	}
+	return SymbolOf(p.data[i>>2] >> uint((i&3)*2))
+}
+
+// Unpack reconstructs the textual sequence.
+func (p Packed) Unpack() string {
+	out := make([]byte, p.n)
+	for i := 0; i < p.n; i++ {
+		out[i] = SymbolOf(p.data[i>>2] >> uint((i&3)*2))
+	}
+	for _, x := range p.nified {
+		out[x] = 'N'
+	}
+	return string(out)
+}
+
+// Encode serializes the packed sequence; see the type comment for layout.
+func (p Packed) Encode() []byte {
+	buf := make([]byte, 0, 2*binaryMaxVarint+len(p.nified)*binaryMaxVarint+len(p.data))
+	buf = appendUvarint(buf, uint64(p.n))
+	buf = appendUvarint(buf, uint64(len(p.nified)))
+	prev := uint32(0)
+	for _, x := range p.nified {
+		buf = appendUvarint(buf, uint64(x-prev))
+		prev = x
+	}
+	return append(buf, p.data...)
+}
+
+// Decode is the inverse of Encode.
+func Decode(b []byte) (Packed, error) {
+	n, k := readUvarint(b)
+	if k <= 0 {
+		return Packed{}, errors.New("seq: truncated packed sequence header")
+	}
+	b = b[k:]
+	nn, k := readUvarint(b)
+	if k <= 0 {
+		return Packed{}, errors.New("seq: truncated packed exception count")
+	}
+	b = b[k:]
+	p := Packed{n: int(n)}
+	if nn > n {
+		return Packed{}, errors.New("seq: more N exceptions than bases")
+	}
+	var prev uint32
+	for i := uint64(0); i < nn; i++ {
+		d, k := readUvarint(b)
+		if k <= 0 {
+			return Packed{}, errors.New("seq: truncated packed exception list")
+		}
+		b = b[k:]
+		prev += uint32(d)
+		if int(prev) >= p.n {
+			return Packed{}, errors.New("seq: N exception beyond sequence end")
+		}
+		p.nified = append(p.nified, prev)
+	}
+	want := (p.n + 3) / 4
+	if len(b) < want {
+		return Packed{}, fmt.Errorf("seq: packed payload truncated: have %d bytes, want %d", len(b), want)
+	}
+	p.data = append([]byte(nil), b[:want]...)
+	return p, nil
+}
+
+// PackedSize returns the encoded size in bytes of a sequence of n bases with
+// k N-exceptions, assuming single-byte varints (true for reads under 128bp).
+func PackedSize(n, k int) int {
+	return 2 + k + (n+3)/4
+}
+
+const binaryMaxVarint = 5
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}
+
+func readUvarint(b []byte) (uint64, int) {
+	var v uint64
+	var s uint
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if c < 0x80 {
+			if i > 9 || i == 9 && c > 1 {
+				return 0, -(i + 1)
+			}
+			return v | uint64(c)<<s, i + 1
+		}
+		v |= uint64(c&0x7f) << s
+		s += 7
+	}
+	return 0, 0
+}

@@ -1,0 +1,86 @@
+package seq
+
+import (
+	"fmt"
+	"math"
+)
+
+// Phred quality scores. A quality Q encodes the base-calling error
+// probability p as Q = -10*log10(p). FASTQ shifts qualities "into the
+// visible ASCII character space" (paper Section 3, Figure 3); we use the
+// Sanger/Illumina-1.8 offset of 33.
+const (
+	PhredOffset = 33
+	// MaxQuality is the largest representable score; the paper quotes a
+	// value range of 0 to 100 for the logarithmic-transformed error
+	// probabilities coming out of image analysis.
+	MaxQuality = 93 // '~' - 33, the largest printable encoding
+)
+
+// Quality is a single per-base Phred score.
+type Quality uint8
+
+// ErrorProbability converts the score back to the probability that the base
+// call is wrong.
+func (q Quality) ErrorProbability() float64 {
+	return math.Pow(10, -float64(q)/10)
+}
+
+// QualityFromProbability converts an error probability into the nearest
+// Phred score, clamped to [0, MaxQuality].
+func QualityFromProbability(p float64) Quality {
+	if p <= 0 {
+		return MaxQuality
+	}
+	q := -10 * math.Log10(p)
+	if q < 0 {
+		q = 0
+	}
+	if q > MaxQuality {
+		q = MaxQuality
+	}
+	return Quality(math.Round(q))
+}
+
+// EncodeQualities converts raw scores to the printable FASTQ representation.
+func EncodeQualities(qs []Quality) string {
+	out := make([]byte, len(qs))
+	for i, q := range qs {
+		if q > MaxQuality {
+			q = MaxQuality
+		}
+		out[i] = byte(q) + PhredOffset
+	}
+	return string(out)
+}
+
+// DecodeQualities parses the printable FASTQ representation back into raw
+// scores. It rejects characters below the offset, which indicate either a
+// corrupt file or a different (Solexa-64) encoding.
+func DecodeQualities(s string) ([]Quality, error) {
+	out := make([]Quality, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] < PhredOffset {
+			return nil, fmt.Errorf("seq: quality character %q below Phred+33 range at position %d", s[i], i)
+		}
+		out[i] = Quality(s[i] - PhredOffset)
+	}
+	return out, nil
+}
+
+// AverageQuality returns the mean score of an encoded quality string, used
+// by quality-control filters. Returns 0 for an empty string.
+func AverageQuality(encoded string) float64 {
+	if len(encoded) == 0 {
+		return 0
+	}
+	sum := 0
+	for i := 0; i < len(encoded); i++ {
+		q := int(encoded[i]) - PhredOffset
+		if q < 0 {
+			q = 0
+		}
+		sum += q
+	}
+	return float64(sum) / float64(len(encoded))
+}

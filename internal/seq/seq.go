@@ -1,0 +1,128 @@
+// Package seq provides the genomic sequence primitives used throughout the
+// system: the DNA alphabet, compact 2-bit packed sequences (the "domain
+// specific short-read data type" that Section 5.1.2 of the paper proposes),
+// Phred quality scores, and small utilities such as reverse complement and
+// GC content.
+package seq
+
+// Base codes. The packed representation stores A, C, G, T in 2 bits; N (an
+// uncertain call) cannot be packed and is tracked separately by callers that
+// need it (see Packed).
+const (
+	BaseA = 0
+	BaseC = 1
+	BaseG = 2
+	BaseT = 3
+)
+
+// Alphabet is the set of unambiguous DNA symbols in code order.
+const Alphabet = "ACGT"
+
+// CodeOf returns the 2-bit code for an unambiguous base symbol and ok=false
+// for anything else (including 'N'); lowercase symbols are accepted.
+func CodeOf(b byte) (code byte, ok bool) {
+	switch b {
+	case 'A', 'a':
+		return BaseA, true
+	case 'C', 'c':
+		return BaseC, true
+	case 'G', 'g':
+		return BaseG, true
+	case 'T', 't':
+		return BaseT, true
+	}
+	return 0, false
+}
+
+// SymbolOf is the inverse of CodeOf for valid codes 0..3.
+func SymbolOf(code byte) byte {
+	return Alphabet[code&3]
+}
+
+// IsValid reports whether every symbol of s is an A/C/G/T/N (case
+// insensitive). This is the validity rule of the FASTQ files the paper works
+// with: reads may contain uncertain 'N' calls but nothing else.
+func IsValid(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case 'A', 'C', 'G', 'T', 'N', 'a', 'c', 'g', 't', 'n':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// HasN reports whether the sequence contains at least one uncertain 'N'
+// call. Query 1 of the paper filters these out with
+// CHARINDEX('N', short_read_seq) = 0.
+func HasN(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == 'N' || s[i] == 'n' {
+			return true
+		}
+	}
+	return false
+}
+
+// Complement returns the Watson-Crick complement of a single symbol.
+// 'N' (and anything unrecognized) complements to 'N'.
+func Complement(b byte) byte {
+	switch b {
+	case 'A', 'a':
+		return 'T'
+	case 'C', 'c':
+		return 'G'
+	case 'G', 'g':
+		return 'C'
+	case 'T', 't':
+		return 'A'
+	}
+	return 'N'
+}
+
+// ReverseComplement returns the reverse complement of s as a new string.
+// Alignments on the reverse strand store the reverse complement of the read
+// so that all alignment records are expressed in reference coordinates.
+func ReverseComplement(s string) string {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		out[len(s)-1-i] = Complement(s[i])
+	}
+	return string(out)
+}
+
+// GCContent returns the fraction of G/C symbols among the unambiguous
+// symbols of s, and 0 for an empty or all-N sequence.
+func GCContent(s string) float64 {
+	gc, acgt := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case 'G', 'g', 'C', 'c':
+			gc++
+			acgt++
+		case 'A', 'a', 'T', 't':
+			acgt++
+		}
+	}
+	if acgt == 0 {
+		return 0
+	}
+	return float64(gc) / float64(acgt)
+}
+
+// Hamming returns the number of mismatching positions between two equal
+// length sequences; positions where either side is 'N' count as mismatches.
+// It panics if the lengths differ, which is a programming error in callers.
+func Hamming(a, b string) int {
+	if len(a) != len(b) {
+		panic("seq: Hamming on sequences of different length")
+	}
+	d := 0
+	for i := 0; i < len(a); i++ {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d
+}

@@ -1,0 +1,243 @@
+// Package sequencer simulates a high-throughput sequencing instrument and
+// its primary data analysis (paper Phases 0-1). The real pipeline produces
+// 750 GB of level-0 tile images per run which are base-called into FASTQ
+// and then deleted; since no instrument is available here, this package
+// synthesizes the same observable output — per-lane short reads with
+// realistic identifiers (machine_run:lane:tile:x:y), per-base Phred
+// qualities derived from simulated 4-channel signal intensities, and a
+// cycle-dependent error model — so every downstream stage (storage,
+// alignment, binning, consensus) exercises the paths the paper measures.
+package sequencer
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/fastq"
+	"repro/internal/seq"
+)
+
+// Flowcell describes the physical geometry the paper lays out in Section
+// 2.1: 8 lanes per flowcell, each divided into ~300 tiles; one lane is
+// normally reserved for a control sample.
+type Flowcell struct {
+	ID           int
+	Lanes        int
+	TilesPerLane int
+}
+
+// DefaultFlowcell matches the paper's description.
+func DefaultFlowcell(id int) Flowcell {
+	return Flowcell{ID: id, Lanes: 8, TilesPerLane: 300}
+}
+
+// ControlLane is the lane index conventionally reserved for the control
+// sample.
+const ControlLane = 8
+
+// Instrument is the simulated sequencer with its optical noise model.
+type Instrument struct {
+	// Machine is the instrument name used as the read-name prefix,
+	// e.g. "IL4" in the paper's example read IL4_855:1:1:954:659.
+	Machine string
+	// ReadLength in base pairs; current short-read technology in the
+	// paper ranges 35..300 bp.
+	ReadLength int
+	// Sigma is the per-channel optical noise at cycle 1.
+	Sigma float64
+	// Phasing is the fractional noise growth per cycle; it makes
+	// qualities decay toward the 3' end of reads, as in real data.
+	Phasing float64
+	// TileWidth/TileHeight bound the simulated cluster coordinates.
+	TileWidth, TileHeight int
+}
+
+// NewInstrument returns an instrument with a realistic default noise model:
+// roughly Q28 median quality at cycle 1 decaying toward Q16 at cycle 36,
+// with a ~0.5% miscall rate — in line with GA-era Illumina data.
+func NewInstrument(machine string, readLength int) *Instrument {
+	return &Instrument{
+		Machine:    machine,
+		ReadLength: readLength,
+		Sigma:      0.22,
+		Phasing:    0.015,
+		TileWidth:  2048,
+		TileHeight: 2048,
+	}
+}
+
+// Signal is a single sequencing cycle's 4-channel intensity measurement for
+// one cluster — the essence of a level-0 data point after image analysis
+// has located the cluster.
+type Signal [4]float64
+
+// Run sequences the given template fragments on one lane and returns the
+// level-1 short reads. Fragments shorter than the read length are sequenced
+// to their full length (as with short DGE tags); longer fragments are read
+// from their 5' end. The run is deterministic in seed.
+func (ins *Instrument) Run(fc Flowcell, lane, runNo int, templates []string, seed int64) ([]fastq.Record, error) {
+	reads, _, err := ins.run(fc, lane, runNo, templates, seed, false)
+	return reads, err
+}
+
+func (ins *Instrument) run(fc Flowcell, lane, runNo int, templates []string, seed int64, capture bool) ([]fastq.Record, [][][4]uint16, error) {
+	if lane < 1 || lane > fc.Lanes {
+		return nil, nil, fmt.Errorf("sequencer: lane %d outside flowcell with %d lanes", lane, fc.Lanes)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	reads := make([]fastq.Record, 0, len(templates))
+	var signals [][][4]uint16
+	if capture {
+		signals = make([][][4]uint16, 0, len(templates))
+	}
+	type coord struct{ tile, x, y int }
+	used := make(map[coord]bool, len(templates))
+	for i, tmpl := range templates {
+		n := ins.ReadLength
+		if n > len(tmpl) {
+			n = len(tmpl)
+		}
+		if n == 0 {
+			return nil, nil, fmt.Errorf("sequencer: empty template at index %d", i)
+		}
+		bases := make([]byte, n)
+		quals := make([]seq.Quality, n)
+		var intens [][4]uint16
+		if capture {
+			intens = make([][4]uint16, n)
+		}
+		for c := 0; c < n; c++ {
+			sig := ins.measure(rng, tmpl[c], c)
+			b, q := CallBaseFromSignal(sig, ins.noiseAt(c))
+			bases[c], quals[c] = b, q
+			if capture {
+				for ch := 0; ch < 4; ch++ {
+					v := sig[ch] * 1000
+					if v < 0 {
+						v = 0
+					}
+					if v > 65535 {
+						v = 65535
+					}
+					intens[c][ch] = uint16(v)
+				}
+			}
+		}
+		// Cluster coordinates are physically unique on a flowcell; keep
+		// the simulated ones unique too so read names never collide.
+		var pos coord
+		for {
+			pos = coord{
+				tile: rng.Intn(fc.TilesPerLane) + 1,
+				x:    rng.Intn(ins.TileWidth),
+				y:    rng.Intn(ins.TileHeight),
+			}
+			if !used[pos] {
+				used[pos] = true
+				break
+			}
+		}
+		reads = append(reads, fastq.Record{
+			Name: fmt.Sprintf("%s_%d:%d:%d:%d:%d:%d", ins.Machine, runNo, fc.ID, lane, pos.tile, pos.x, pos.y),
+			Seq:  string(bases),
+			Qual: seq.EncodeQualities(quals),
+		})
+		if capture {
+			signals = append(signals, intens)
+		}
+	}
+	return reads, signals, nil
+}
+
+// noiseAt returns the effective channel noise at a given cycle.
+func (ins *Instrument) noiseAt(cycle int) float64 {
+	return ins.Sigma * (1 + ins.Phasing*float64(cycle))
+}
+
+// measure synthesizes the 4-channel intensities for one cycle. The channel
+// of the true base fluoresces near 1.0; the others show residual
+// cross-talk near 0.08. An 'N' in the template (an ambiguous region of the
+// sample) fluoresces weakly on all channels.
+func (ins *Instrument) measure(rng *rand.Rand, trueBase byte, cycle int) Signal {
+	noise := ins.noiseAt(cycle)
+	var sig Signal
+	code, ok := seq.CodeOf(trueBase)
+	for ch := 0; ch < 4; ch++ {
+		mean := 0.08
+		if ok && byte(ch) == code {
+			mean = 1.0
+		} else if !ok {
+			mean = 0.18 // ambiguous template: all channels weak
+		}
+		v := mean + rng.NormFloat64()*noise
+		if v < 0 {
+			v = 0
+		}
+		sig[ch] = v
+	}
+	return sig
+}
+
+// CallBaseFromSignal performs the base-calling step of primary data
+// analysis on one cycle's intensities: the brightest channel wins, and the
+// Phred quality is derived from the gap between the two brightest channels
+// relative to the noise floor — "the logarithmic-transformed error
+// probabilities from the image analysis phase" (paper Section 3).
+//
+// Weak or ambiguous signals are called 'N' with quality 0.
+func CallBaseFromSignal(sig Signal, noise float64) (byte, seq.Quality) {
+	best, second := 0, -1
+	for ch := 1; ch < 4; ch++ {
+		if sig[ch] > sig[best] {
+			second = best
+			best = ch
+		} else if second < 0 || sig[ch] > sig[second] {
+			second = ch
+		}
+	}
+	gap := sig[best] - sig[second]
+	if sig[best] < 0.35 || gap < noise/4 {
+		return 'N', 0
+	}
+	// Probability that Gaussian noise of the runner-up channel overtakes
+	// the gap: p ≈ 0.5 * erfc(gap / (2σ)).
+	p := 0.5 * math.Erfc(gap/(2*noise))
+	return seq.SymbolOf(byte(best)), seq.QualityFromProbability(p)
+}
+
+// RunSRF is Run with the level-0 signal intensities retained, producing
+// SRF-style records ("SRF files include not only the actual short reads
+// and quality values, but also some core information from the image
+// analysis steps such as intensity and signal-to-noise ratio values",
+// paper Section 5.3.1). Intensities are stored fixed-point in
+// thousandths. The called bases, qualities and read names are identical
+// to what Run produces for the same seed.
+func (ins *Instrument) RunSRF(fc Flowcell, lane, runNo int, templates []string, seed int64) ([]fastq.SRFRecord, error) {
+	reads, signals, err := ins.run(fc, lane, runNo, templates, seed, true)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]fastq.SRFRecord, len(reads))
+	for i, r := range reads {
+		out[i] = fastq.SRFRecord{Name: r.Name, Seq: r.Seq, Qual: r.Qual, Intensities: signals[i]}
+	}
+	return out, nil
+}
+
+// LaneFiles runs one lane per sample-template set and is a convenience for
+// building whole-flowcell outputs: result[i] is the read set of lane i+1.
+func (ins *Instrument) LaneFiles(fc Flowcell, runNo int, lanes [][]string, seed int64) ([][]fastq.Record, error) {
+	if len(lanes) > fc.Lanes {
+		return nil, fmt.Errorf("sequencer: %d lane template sets for a flowcell with %d lanes", len(lanes), fc.Lanes)
+	}
+	out := make([][]fastq.Record, len(lanes))
+	for i, templates := range lanes {
+		recs, err := ins.Run(fc, i+1, runNo, templates, seed+int64(i)*7919)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = recs
+	}
+	return out, nil
+}

@@ -1,0 +1,201 @@
+package sequencer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestRunProducesValidReads(t *testing.T) {
+	ins := NewInstrument("IL4", 36)
+	fc := DefaultFlowcell(1)
+	templates := []string{
+		strings.Repeat("ACGT", 20),
+		strings.Repeat("GATTACA", 10),
+		"ACGTNACGTNACGTNACGTNACGTNACGTNACGTNACGTN",
+	}
+	reads, err := ins.Run(fc, 1, 855, templates, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) != len(templates) {
+		t.Fatalf("%d reads, want %d", len(reads), len(templates))
+	}
+	for i, r := range reads {
+		if err := r.Validate(); err != nil {
+			t.Errorf("read %d: %v", i, err)
+		}
+		if len(r.Seq) != 36 {
+			t.Errorf("read %d length = %d, want 36", i, len(r.Seq))
+		}
+		if !seq.IsValid(r.Seq) {
+			t.Errorf("read %d has invalid symbols: %q", i, r.Seq)
+		}
+		if !strings.HasPrefix(r.Name, "IL4_855:1:1:") {
+			t.Errorf("read %d name = %q, want IL4_855:1:1:... prefix", i, r.Name)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	ins := NewInstrument("IL4", 36)
+	fc := DefaultFlowcell(1)
+	templates := []string{strings.Repeat("ACGT", 20)}
+	a, err := ins.Run(fc, 1, 855, templates, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ins.Run(fc, 1, 855, templates, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Error("same seed produced different reads")
+	}
+	c, err := ins.Run(fc, 1, 855, templates, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Seq == c[0].Seq && a[0].Qual == c[0].Qual && a[0].Name == c[0].Name {
+		t.Error("different seeds produced identical reads (suspicious)")
+	}
+}
+
+func TestRunMostlyAccurate(t *testing.T) {
+	// With the default noise model the vast majority of calls must match
+	// the template, and the per-base quality should predict accuracy.
+	ins := NewInstrument("IL4", 36)
+	fc := DefaultFlowcell(1)
+	tmpl := strings.Repeat("ACGTTGCA", 5)[:36]
+	templates := make([]string, 500)
+	for i := range templates {
+		templates[i] = tmpl
+	}
+	reads, err := ins.Run(fc, 1, 855, templates, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miscalls, bases := 0, 0
+	for _, r := range reads {
+		for i := 0; i < len(r.Seq); i++ {
+			bases++
+			if r.Seq[i] != tmpl[i] && r.Seq[i] != 'N' {
+				miscalls++
+			}
+		}
+	}
+	errRate := float64(miscalls) / float64(bases)
+	if errRate > 0.05 {
+		t.Errorf("error rate %.4f too high for default noise model", errRate)
+	}
+	if errRate == 0 {
+		t.Error("error rate exactly 0: noise model not exercising miscalls")
+	}
+}
+
+func TestQualityDecaysWithCycle(t *testing.T) {
+	ins := NewInstrument("IL4", 72)
+	fc := DefaultFlowcell(1)
+	tmpl := strings.Repeat("ACGT", 18)
+	templates := make([]string, 300)
+	for i := range templates {
+		templates[i] = tmpl
+	}
+	reads, err := ins.Run(fc, 1, 855, templates, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, late := 0.0, 0.0
+	for _, r := range reads {
+		early += seq.AverageQuality(r.Qual[:12])
+		late += seq.AverageQuality(r.Qual[60:])
+	}
+	if late >= early {
+		t.Errorf("late-cycle quality %.1f >= early-cycle %.1f; phasing model broken",
+			late/300, early/300)
+	}
+}
+
+func TestAmbiguousTemplateCallsN(t *testing.T) {
+	ins := NewInstrument("IL4", 10)
+	fc := DefaultFlowcell(1)
+	reads, err := ins.Run(fc, 1, 855, []string{"NNNNNNNNNN"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := strings.Count(reads[0].Seq, "N")
+	if n < 5 {
+		t.Errorf("only %d/10 N calls for an all-ambiguous template", n)
+	}
+}
+
+func TestCallBaseFromSignal(t *testing.T) {
+	// Clean signal: confident call.
+	b, q := CallBaseFromSignal(Signal{1.0, 0.05, 0.08, 0.07}, 0.1)
+	if b != 'A' {
+		t.Errorf("called %q, want A", b)
+	}
+	if q < 30 {
+		t.Errorf("clean signal quality %d, want >= 30", q)
+	}
+	// Ambiguous signal: N.
+	b, q = CallBaseFromSignal(Signal{0.5, 0.5, 0.1, 0.1}, 0.1)
+	if b != 'N' || q != 0 {
+		t.Errorf("ambiguous signal called %q Q%d, want N Q0", b, q)
+	}
+	// Weak signal: N.
+	b, _ = CallBaseFromSignal(Signal{0.2, 0.05, 0.05, 0.05}, 0.1)
+	if b != 'N' {
+		t.Errorf("weak signal called %q, want N", b)
+	}
+	// Each channel maps to its base.
+	for ch, want := range []byte("ACGT") {
+		var sig Signal
+		sig[ch] = 1.0
+		got, _ := CallBaseFromSignal(sig, 0.05)
+		if got != want {
+			t.Errorf("channel %d called %q, want %q", ch, got, want)
+		}
+	}
+}
+
+func TestRunRejectsBadLane(t *testing.T) {
+	ins := NewInstrument("IL4", 36)
+	fc := DefaultFlowcell(1)
+	if _, err := ins.Run(fc, 0, 1, []string{"ACGT"}, 1); err == nil {
+		t.Error("lane 0 accepted")
+	}
+	if _, err := ins.Run(fc, 9, 1, []string{"ACGT"}, 1); err == nil {
+		t.Error("lane 9 accepted on 8-lane flowcell")
+	}
+}
+
+func TestRunRejectsEmptyTemplate(t *testing.T) {
+	ins := NewInstrument("IL4", 36)
+	if _, err := ins.Run(DefaultFlowcell(1), 1, 1, []string{""}, 1); err == nil {
+		t.Error("empty template accepted")
+	}
+}
+
+func TestLaneFiles(t *testing.T) {
+	ins := NewInstrument("IL4", 8)
+	fc := DefaultFlowcell(2)
+	lanes := [][]string{
+		{"ACGTACGT", "GGGGCCCC"},
+		{"TTTTAAAA"},
+	}
+	out, err := ins.LaneFiles(fc, 1, lanes, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || len(out[0]) != 2 || len(out[1]) != 1 {
+		t.Fatalf("shape = %d/%v", len(out), out)
+	}
+	if !strings.Contains(out[1][0].Name, ":2:2:") {
+		t.Errorf("lane-2 read name %q missing flowcell:lane segment", out[1][0].Name)
+	}
+	if _, err := ins.LaneFiles(fc, 1, make([][]string, 9), 1); err == nil {
+		t.Error("9 lanes accepted on 8-lane flowcell")
+	}
+}

@@ -1,0 +1,211 @@
+package sqlparse
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateTable is CREATE TABLE with the paper's physical options.
+type CreateTable struct {
+	Name        string
+	Cols        []ColDef
+	PK          []string // from a table-level PRIMARY KEY (...) clause or column flags
+	Clustered   bool
+	Compression string // "", "ROW", "PAGE" (DATA_COMPRESSION option)
+	FileGroup   string // FILESTREAM_ON target (recorded, informational)
+}
+
+func (*CreateTable) stmt() {}
+
+// ColDef is one column definition.
+type ColDef struct {
+	Name        string
+	Type        string // raw type spelling, resolved by the catalog
+	NotNull     bool
+	PK          bool // inline PRIMARY KEY
+	PKClustered bool // inline PRIMARY KEY CLUSTERED
+	RowGUID     bool // ROWGUIDCOL, informational
+}
+
+// DropTable is DROP TABLE.
+type DropTable struct{ Name string }
+
+func (*DropTable) stmt() {}
+
+// Insert is INSERT INTO ... VALUES or INSERT INTO ... SELECT.
+type Insert struct {
+	Table string
+	Cols  []string // optional explicit column list
+	Rows  [][]Expr // VALUES form
+	Query *Select  // SELECT form
+}
+
+func (*Insert) stmt() {}
+
+// Select is a SELECT query.
+type Select struct {
+	Top     int64 // -1 when absent
+	Items   []SelectItem
+	From    TableRef // nil for FROM-less selects
+	Where   Expr
+	GroupBy []Expr
+	Having  Expr
+	OrderBy []OrderItem
+}
+
+func (*Select) stmt() {}
+
+// SelectItem is one projection.
+type SelectItem struct {
+	Star      bool
+	Qualifier string // t.* qualifier
+	Expr      Expr
+	Alias     string
+}
+
+// OrderItem is one ORDER BY term.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// TableRef is a FROM-clause item.
+type TableRef interface{ tableRef() }
+
+// NamedTable references a base table.
+type NamedTable struct{ Name, Alias string }
+
+func (*NamedTable) tableRef() {}
+
+// SubqueryRef is a derived table.
+type SubqueryRef struct {
+	Query *Select
+	Alias string
+}
+
+func (*SubqueryRef) tableRef() {}
+
+// FuncRef is a table-valued function source.
+type FuncRef struct {
+	Name  string
+	Args  []Expr
+	Alias string
+}
+
+func (*FuncRef) tableRef() {}
+
+// JoinRef is an INNER JOIN with an ON condition.
+type JoinRef struct {
+	Left, Right TableRef
+	On          Expr
+}
+
+func (*JoinRef) tableRef() {}
+
+// ApplyRef is CROSS APPLY of a table-valued function whose arguments may
+// reference the outer row (Query 3's PivotAlignment).
+type ApplyRef struct {
+	Left TableRef
+	Fn   *FuncRef
+}
+
+func (*ApplyRef) tableRef() {}
+
+// BeginTxn, CommitTxn, RollbackTxn, Checkpoint are transaction control.
+type BeginTxn struct{}
+
+func (*BeginTxn) stmt() {}
+
+// CommitTxn commits the open transaction.
+type CommitTxn struct{}
+
+func (*CommitTxn) stmt() {}
+
+// RollbackTxn aborts the open transaction.
+type RollbackTxn struct{}
+
+func (*RollbackTxn) stmt() {}
+
+// Checkpoint forces a storage checkpoint (CHECKPOINT statement).
+type Checkpoint struct{}
+
+func (*Checkpoint) stmt() {}
+
+// Explain wraps a statement to print its plan instead of running it.
+type Explain struct{ Stmt Statement }
+
+func (*Explain) stmt() {}
+
+// --- Expressions ---
+
+// Expr is a parsed scalar expression.
+type Expr interface{ expr() }
+
+// NumberLit is an integer or float literal.
+type NumberLit struct {
+	IsFloat bool
+	I       int64
+	F       float64
+}
+
+func (*NumberLit) expr() {}
+
+// StringLit is a string literal.
+type StringLit struct{ S string }
+
+func (*StringLit) expr() {}
+
+// NullLit is NULL.
+type NullLit struct{}
+
+func (*NullLit) expr() {}
+
+// Ident is a possibly-qualified column reference.
+type Ident struct{ Qualifier, Name string }
+
+func (*Ident) expr() {}
+
+// Unary is -x or NOT x.
+type Unary struct {
+	Op string // "-" or "NOT"
+	X  Expr
+}
+
+func (*Unary) expr() {}
+
+// Binary covers arithmetic, comparison, AND and OR.
+type Binary struct {
+	Op   string // + - * / % = <> < <= > >= AND OR
+	L, R Expr
+}
+
+func (*Binary) expr() {}
+
+// FuncCall is a scalar function or aggregate invocation; Star marks
+// COUNT(*); Over marks window functions.
+type FuncCall struct {
+	Name string
+	Args []Expr
+	Star bool
+	Over *OverClause
+}
+
+func (*FuncCall) expr() {}
+
+// OverClause is the OVER (ORDER BY ...) of a window function.
+type OverClause struct{ OrderBy []OrderItem }
+
+// IsNullExpr is x IS [NOT] NULL.
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+func (*IsNullExpr) expr() {}
+
+// LikeExpr is x [NOT] LIKE 'pattern'.
+type LikeExpr struct {
+	X       Expr
+	Pattern string
+	Not     bool
+}
+
+func (*LikeExpr) expr() {}

@@ -1,0 +1,880 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one SQL statement (a trailing semicolon is allowed).
+func Parse(src string) (Statement, error) {
+	stmts, err := ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("sql: expected one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+// ParseAll parses a semicolon-separated script.
+func ParseAll(src string) ([]Statement, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	var out []Statement
+	for {
+		for p.acceptPunct(";") {
+		}
+		if p.peek().kind == tkEOF {
+			return out, nil
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		if !p.acceptPunct(";") && p.peek().kind != tkEOF {
+			return nil, p.errHere("expected ';' or end of input")
+		}
+	}
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) peek2() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errHere(format string, args ...interface{}) error {
+	t := p.peek()
+	ctx := t.text
+	if t.kind == tkEOF {
+		ctx = "<end>"
+	}
+	return &Error{Pos: t.pos, Msg: fmt.Sprintf(format, args...), Context: ctx}
+}
+
+// isKw reports whether the current token is the given keyword.
+func (p *parser) isKw(kw string) bool {
+	t := p.peek()
+	return t.kind == tkIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if p.isKw(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errHere("expected %s", strings.ToUpper(kw))
+	}
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	t := p.peek()
+	if t.kind == tkPunct && t.text == s {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return p.errHere("expected %q", s)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tkIdent {
+		return "", p.errHere("expected identifier")
+	}
+	p.advance()
+	return t.text, nil
+}
+
+// reserved keywords that terminate identifier-ish contexts.
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "order": true,
+	"having": true, "join": true, "inner": true, "cross": true, "apply": true,
+	"on": true, "and": true, "or": true, "not": true, "as": true, "by": true,
+	"insert": true, "into": true, "values": true, "create": true, "drop": true,
+	"table": true, "top": true, "like": true, "is": true, "null": true,
+	"asc": true, "desc": true, "with": true, "primary": true, "key": true,
+	"begin": true, "commit": true, "rollback": true, "checkpoint": true,
+	"explain": true, "over": true, "union": true,
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.isKw("explain"):
+		p.advance()
+		inner, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		return &Explain{Stmt: inner}, nil
+	case p.isKw("select"):
+		return p.selectStmt()
+	case p.isKw("create"):
+		return p.createTable()
+	case p.isKw("drop"):
+		p.advance()
+		if err := p.expectKw("table"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropTable{Name: name}, nil
+	case p.isKw("insert"):
+		return p.insert()
+	case p.isKw("begin"):
+		p.advance()
+		if !p.acceptKw("transaction") {
+			p.acceptKw("tran")
+		}
+		return &BeginTxn{}, nil
+	case p.isKw("commit"):
+		p.advance()
+		if !p.acceptKw("transaction") {
+			p.acceptKw("tran")
+		}
+		return &CommitTxn{}, nil
+	case p.isKw("rollback"):
+		p.advance()
+		if !p.acceptKw("transaction") {
+			p.acceptKw("tran")
+		}
+		return &RollbackTxn{}, nil
+	case p.isKw("checkpoint"):
+		p.advance()
+		return &Checkpoint{}, nil
+	}
+	return nil, p.errHere("expected a statement")
+}
+
+func (p *parser) createTable() (Statement, error) {
+	p.advance() // CREATE
+	if err := p.expectKw("table"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{Name: name}
+	for {
+		if p.isKw("primary") {
+			p.advance()
+			if err := p.expectKw("key"); err != nil {
+				return nil, err
+			}
+			if p.acceptKw("clustered") {
+				ct.Clustered = true
+			}
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			for {
+				col, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				ct.PK = append(ct.PK, col)
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+		} else {
+			col, err := p.colDef()
+			if err != nil {
+				return nil, err
+			}
+			if col.PK {
+				ct.PK = append(ct.PK, col.Name)
+			}
+			if col.PKClustered {
+				ct.Clustered = true
+			}
+			ct.Cols = append(ct.Cols, *col)
+		}
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.isKw("with"):
+			p.advance()
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			opt, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if !strings.EqualFold(opt, "data_compression") {
+				return nil, p.errHere("unknown table option %q", opt)
+			}
+			if err := p.expectPunct("="); err != nil {
+				return nil, err
+			}
+			mode, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			mode = strings.ToUpper(mode)
+			if mode != "ROW" && mode != "PAGE" && mode != "NONE" {
+				return nil, p.errHere("DATA_COMPRESSION must be NONE, ROW or PAGE")
+			}
+			ct.Compression = mode
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+		case p.isKw("filestream_on"):
+			p.advance()
+			fg, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ct.FileGroup = fg
+		default:
+			return ct, nil
+		}
+	}
+}
+
+func (p *parser) colDef() (*ColDef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	typeName, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	spec := strings.ToUpper(typeName)
+	if p.acceptPunct("(") {
+		t := p.peek()
+		if t.kind == tkNumber || (t.kind == tkIdent && strings.EqualFold(t.text, "max")) {
+			p.advance()
+			spec += "(" + strings.ToUpper(t.text) + ")"
+		} else {
+			return nil, p.errHere("expected a length or MAX")
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	col := &ColDef{Name: name, Type: spec}
+	for {
+		switch {
+		case p.isKw("filestream"):
+			p.advance()
+			col.Type += " FILESTREAM"
+		case p.isKw("rowguidcol"):
+			p.advance()
+			col.RowGUID = true
+		case p.isKw("not"):
+			p.advance()
+			if err := p.expectKw("null"); err != nil {
+				return nil, err
+			}
+			col.NotNull = true
+		case p.isKw("null"):
+			p.advance()
+		case p.isKw("primary"):
+			p.advance()
+			if err := p.expectKw("key"); err != nil {
+				return nil, err
+			}
+			col.PK = true
+			if p.acceptKw("clustered") {
+				col.PKClustered = true
+			}
+		default:
+			return col, nil
+		}
+	}
+}
+
+func (p *parser) insert() (Statement, error) {
+	p.advance() // INSERT
+	if err := p.expectKw("into"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: name}
+	if p.acceptPunct("(") {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ins.Cols = append(ins.Cols, col)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.isKw("values") {
+		p.advance()
+		for {
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			var row []Expr
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, e)
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			ins.Rows = append(ins.Rows, row)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		return ins, nil
+	}
+	if p.isKw("select") {
+		q, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		ins.Query = q.(*Select)
+		return ins, nil
+	}
+	return nil, p.errHere("expected VALUES or SELECT")
+}
+
+func (p *parser) selectStmt() (Statement, error) {
+	sel, err := p.selectBody()
+	if err != nil {
+		return nil, err
+	}
+	return sel, nil
+}
+
+func (p *parser) selectBody() (*Select, error) {
+	if err := p.expectKw("select"); err != nil {
+		return nil, err
+	}
+	sel := &Select{Top: -1}
+	if p.acceptKw("top") {
+		t := p.peek()
+		if t.kind != tkNumber {
+			return nil, p.errHere("expected a number after TOP")
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, p.errHere("bad TOP count %q", t.text)
+		}
+		p.advance()
+		sel.Top = n
+	}
+	// Select list.
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, *item)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if p.acceptKw("from") {
+		from, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = from
+	}
+	if p.acceptKw("where") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.isKw("group") {
+		p.advance()
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("having") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	if p.isKw("order") {
+		p.advance()
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		items, err := p.orderList()
+		if err != nil {
+			return nil, err
+		}
+		sel.OrderBy = items
+	}
+	return sel, nil
+}
+
+func (p *parser) orderList() ([]OrderItem, error) {
+	var out []OrderItem
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		item := OrderItem{Expr: e}
+		if p.acceptKw("desc") {
+			item.Desc = true
+		} else {
+			p.acceptKw("asc")
+		}
+		out = append(out, item)
+		if !p.acceptPunct(",") {
+			return out, nil
+		}
+	}
+}
+
+func (p *parser) selectItem() (*SelectItem, error) {
+	if p.acceptPunct("*") {
+		return &SelectItem{Star: true}, nil
+	}
+	// t.* form.
+	if p.peek().kind == tkIdent && !reserved[strings.ToLower(p.peek().text)] &&
+		p.peek2().kind == tkPunct && p.peek2().text == "." {
+		save := p.pos
+		q, _ := p.ident()
+		p.advance() // '.'
+		if p.acceptPunct("*") {
+			return &SelectItem{Star: true, Qualifier: q}, nil
+		}
+		p.pos = save
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	item := &SelectItem{Expr: e}
+	if p.acceptKw("as") {
+		alias, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		item.Alias = alias
+	} else if t := p.peek(); t.kind == tkIdent && !reserved[strings.ToLower(t.text)] {
+		item.Alias = t.text
+		p.advance()
+	}
+	return item, nil
+}
+
+// tableRef parses a FROM item with left-associative JOIN / CROSS APPLY.
+func (p *parser) tableRef() (TableRef, error) {
+	left, err := p.tablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.isKw("join") || p.isKw("inner"):
+			p.acceptKw("inner")
+			if err := p.expectKw("join"); err != nil {
+				return nil, err
+			}
+			right, err := p.tablePrimary()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("on"); err != nil {
+				return nil, err
+			}
+			on, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			left = &JoinRef{Left: left, Right: right, On: on}
+		case p.isKw("cross"):
+			p.advance()
+			if err := p.expectKw("apply"); err != nil {
+				return nil, err
+			}
+			fnRef, err := p.tablePrimary()
+			if err != nil {
+				return nil, err
+			}
+			fn, ok := fnRef.(*FuncRef)
+			if !ok {
+				return nil, p.errHere("CROSS APPLY requires a table-valued function")
+			}
+			left = &ApplyRef{Left: left, Fn: fn}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) tablePrimary() (TableRef, error) {
+	if p.acceptPunct("(") {
+		q, err := p.selectBody()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		alias := ""
+		p.acceptKw("as")
+		if t := p.peek(); t.kind == tkIdent && !reserved[strings.ToLower(t.text)] {
+			alias = t.text
+			p.advance()
+		}
+		return &SubqueryRef{Query: q, Alias: alias}, nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptPunct("(") {
+		// Table-valued function.
+		fn := &FuncRef{Name: name}
+		if !p.acceptPunct(")") {
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				fn.Args = append(fn.Args, e)
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+		}
+		p.acceptKw("as")
+		if t := p.peek(); t.kind == tkIdent && !reserved[strings.ToLower(t.text)] {
+			fn.Alias = t.text
+			p.advance()
+		}
+		return fn, nil
+	}
+	ref := &NamedTable{Name: name}
+	p.acceptKw("as")
+	if t := p.peek(); t.kind == tkIdent && !reserved[strings.ToLower(t.text)] {
+		ref.Alias = t.text
+		p.advance()
+	}
+	return ref, nil
+}
+
+// --- Expression parsing (precedence climbing) ---
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("or") {
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "OR", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	left, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("and") {
+		right, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "AND", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.acceptKw("not") {
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x}, nil
+	}
+	return p.comparison()
+}
+
+func (p *parser) comparison() (Expr, error) {
+	left, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.isKw("is") {
+		p.advance()
+		not := p.acceptKw("not")
+		if err := p.expectKw("null"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{X: left, Not: not}, nil
+	}
+	// [NOT] LIKE 'pattern'
+	notLike := false
+	if p.isKw("not") && strings.EqualFold(p.peek2().text, "like") {
+		p.advance()
+		notLike = true
+	}
+	if p.acceptKw("like") {
+		t := p.peek()
+		if t.kind != tkString {
+			return nil, p.errHere("LIKE requires a string literal pattern")
+		}
+		p.advance()
+		return &LikeExpr{X: left, Pattern: t.text, Not: notLike}, nil
+	}
+	t := p.peek()
+	if t.kind == tkPunct {
+		switch t.text {
+		case "=", "<>", "!=", "<", "<=", ">", ">=":
+			p.advance()
+			right, err := p.additive()
+			if err != nil {
+				return nil, err
+			}
+			op := t.text
+			if op == "!=" {
+				op = "<>"
+			}
+			return &Binary{Op: op, L: left, R: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) additive() (Expr, error) {
+	left, err := p.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tkPunct && (t.text == "+" || t.text == "-") {
+			p.advance()
+			right, err := p.multiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: t.text, L: left, R: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) multiplicative() (Expr, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tkPunct && (t.text == "*" || t.text == "/" || t.text == "%") {
+			p.advance()
+			right, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: t.text, L: left, R: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.acceptPunct("-") {
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tkNumber:
+		p.advance()
+		if strings.ContainsRune(t.text, '.') {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errHere("bad number %q", t.text)
+			}
+			return &NumberLit{IsFloat: true, F: f}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errHere("bad number %q", t.text)
+		}
+		return &NumberLit{I: n}, nil
+	case tkString:
+		p.advance()
+		return &StringLit{S: t.text}, nil
+	case tkPunct:
+		if t.text == "(" {
+			p.advance()
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tkIdent:
+		if strings.EqualFold(t.text, "null") {
+			p.advance()
+			return &NullLit{}, nil
+		}
+		name := t.text
+		p.advance()
+		// Function call?
+		if p.acceptPunct("(") {
+			fc := &FuncCall{Name: name}
+			if p.acceptPunct("*") {
+				fc.Star = true
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+			} else if !p.acceptPunct(")") {
+				for {
+					e, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, e)
+					if !p.acceptPunct(",") {
+						break
+					}
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+			}
+			if p.acceptKw("over") {
+				if err := p.expectPunct("("); err != nil {
+					return nil, err
+				}
+				over := &OverClause{}
+				if p.isKw("order") {
+					p.advance()
+					if err := p.expectKw("by"); err != nil {
+						return nil, err
+					}
+					items, err := p.orderList()
+					if err != nil {
+						return nil, err
+					}
+					over.OrderBy = items
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				fc.Over = over
+			}
+			return fc, nil
+		}
+		// Qualified column a.b?
+		if p.acceptPunct(".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &Ident{Qualifier: name, Name: col}, nil
+		}
+		return &Ident{Name: name}, nil
+	}
+	return nil, p.errHere("expected an expression")
+}

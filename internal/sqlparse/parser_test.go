@@ -1,0 +1,301 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) Statement {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return s
+}
+
+func TestParseCreateTablePaperExample(t *testing.T) {
+	// The ShortReadFiles DDL from Section 3.3 (modulo the paper's own
+	// typo FILSTREAMGROUP).
+	src := `CREATE TABLE ShortReadFiles (
+	    guid   uniqueidentifier ROWGUIDCOL PRIMARY KEY,
+	    sample INT,
+	    lane   INT,
+	    reads  VARBINARY(MAX) FILESTREAM
+	) FILESTREAM_ON FileStreamGroup`
+	ct := parseOne(t, src).(*CreateTable)
+	if ct.Name != "ShortReadFiles" || len(ct.Cols) != 4 {
+		t.Fatalf("parsed %+v", ct)
+	}
+	if !ct.Cols[0].RowGUID || !ct.Cols[0].PK {
+		t.Error("guid column flags lost")
+	}
+	if len(ct.PK) != 1 || ct.PK[0] != "guid" {
+		t.Errorf("PK = %v", ct.PK)
+	}
+	if ct.Cols[3].Type != "VARBINARY(MAX) FILESTREAM" {
+		t.Errorf("reads type = %q", ct.Cols[3].Type)
+	}
+	if ct.FileGroup != "FileStreamGroup" {
+		t.Errorf("filegroup = %q", ct.FileGroup)
+	}
+}
+
+func TestParseCreateTableCompression(t *testing.T) {
+	src := `CREATE TABLE T1 (c1 int, c2 nvarchar(50)) WITH (DATA_COMPRESSION = ROW)`
+	ct := parseOne(t, src).(*CreateTable)
+	if ct.Compression != "ROW" {
+		t.Errorf("compression = %q", ct.Compression)
+	}
+	src2 := `CREATE TABLE T2 (c1 int, c2 nvarchar(50)) WITH (DATA_COMPRESSION = PAGE)`
+	if ct2 := parseOne(t, src2).(*CreateTable); ct2.Compression != "PAGE" {
+		t.Errorf("compression = %q", ct2.Compression)
+	}
+}
+
+func TestParseCreateTableCompositePK(t *testing.T) {
+	src := `CREATE TABLE Alignment (
+	    a_id BIGINT NOT NULL, a_g_id INT, a_pos BIGINT,
+	    PRIMARY KEY CLUSTERED (a_g_id, a_pos, a_id)
+	)`
+	ct := parseOne(t, src).(*CreateTable)
+	if !ct.Clustered || len(ct.PK) != 3 {
+		t.Fatalf("%+v", ct)
+	}
+	if !ct.Cols[0].NotNull {
+		t.Error("NOT NULL lost")
+	}
+}
+
+func TestParseQuery1FromPaper(t *testing.T) {
+	src := `SELECT ROW_NUMBER() OVER (ORDER BY COUNT(*) DESC),
+	       COUNT(*), short_read_seq
+	  FROM [Read]
+	 WHERE r_e_id=1 AND r_sg_id=2 AND r_s_id=1
+	       AND CHARINDEX('N', short_read_seq)=0
+	 GROUP BY short_read_seq`
+	sel := parseOne(t, src).(*Select)
+	if len(sel.Items) != 3 {
+		t.Fatalf("%d select items", len(sel.Items))
+	}
+	rn, ok := sel.Items[0].Expr.(*FuncCall)
+	if !ok || !strings.EqualFold(rn.Name, "row_number") || rn.Over == nil {
+		t.Fatalf("item 0 = %+v", sel.Items[0].Expr)
+	}
+	if len(rn.Over.OrderBy) != 1 || !rn.Over.OrderBy[0].Desc {
+		t.Error("OVER (ORDER BY ... DESC) lost")
+	}
+	if _, ok := rn.Over.OrderBy[0].Expr.(*FuncCall); !ok {
+		t.Error("window order expr should be COUNT(*)")
+	}
+	nt, ok := sel.From.(*NamedTable)
+	if !ok || nt.Name != "Read" {
+		t.Errorf("FROM = %+v", sel.From)
+	}
+	if sel.Where == nil || len(sel.GroupBy) != 1 {
+		t.Error("WHERE/GROUP BY lost")
+	}
+}
+
+func TestParseQuery2FromPaper(t *testing.T) {
+	src := `INSERT INTO GeneExpression
+	  SELECT a_g_id, a_e_id, a_sg_id, a_s_id,
+	         SUM(t_frequency), COUNT(a_t_id)
+	    FROM Alignment JOIN Tag ON (a_t_id = t_id)
+	   WHERE a_e_id=1 AND a_sg_id=1 AND a_s_id=1
+	   GROUP BY a_g_id, a_e_id, a_sg_id, a_s_id`
+	ins := parseOne(t, src).(*Insert)
+	if ins.Table != "GeneExpression" || ins.Query == nil {
+		t.Fatalf("%+v", ins)
+	}
+	join, ok := ins.Query.From.(*JoinRef)
+	if !ok {
+		t.Fatalf("FROM = %+v", ins.Query.From)
+	}
+	if _, ok := join.On.(*Binary); !ok {
+		t.Error("ON condition lost")
+	}
+	if len(ins.Query.GroupBy) != 4 {
+		t.Errorf("GROUP BY arity = %d", len(ins.Query.GroupBy))
+	}
+}
+
+func TestParseQuery3CrossApply(t *testing.T) {
+	src := `SELECT chromosome, AssembleSequence(pos, b)
+	  FROM (SELECT chromosome, pos, CallBase(base, qual) b
+	          FROM Alignments JOIN [Read] ON (a_r_id = r_id)
+	          CROSS APPLY PivotAlignment(pos, seq, quals) AS pa
+	         WHERE a_e_id = 1
+	         GROUP BY chromosome, pos) t
+	 GROUP BY chromosome`
+	sel := parseOne(t, src).(*Select)
+	sub, ok := sel.From.(*SubqueryRef)
+	if !ok || sub.Alias != "t" {
+		t.Fatalf("FROM = %+v", sel.From)
+	}
+	apply, ok := sub.Query.From.(*ApplyRef)
+	if !ok {
+		t.Fatalf("inner FROM = %+v", sub.Query.From)
+	}
+	if apply.Fn.Name != "PivotAlignment" || len(apply.Fn.Args) != 3 {
+		t.Errorf("apply fn = %+v", apply.Fn)
+	}
+	if _, ok := apply.Left.(*JoinRef); !ok {
+		t.Error("apply left should be a join")
+	}
+}
+
+func TestParseTVFInFrom(t *testing.T) {
+	src := `SELECT * FROM ListShortReads(855, 1, 'FastQ')`
+	sel := parseOne(t, src).(*Select)
+	fn, ok := sel.From.(*FuncRef)
+	if !ok || fn.Name != "ListShortReads" || len(fn.Args) != 3 {
+		t.Fatalf("FROM = %+v", sel.From)
+	}
+	if !sel.Items[0].Star {
+		t.Error("star lost")
+	}
+}
+
+func TestParseInsertValues(t *testing.T) {
+	src := `INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)`
+	ins := parseOne(t, src).(*Insert)
+	if len(ins.Cols) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("%+v", ins)
+	}
+	if _, ok := ins.Rows[1][1].(*NullLit); !ok {
+		t.Error("NULL literal lost")
+	}
+}
+
+func TestParseSelectFeatures(t *testing.T) {
+	src := `SELECT TOP 10 t.a AS x, u.*, COUNT(b), 2.5 * -c
+	  FROM t JOIN u ON t.id = u.id
+	 WHERE a LIKE 'chr%' OR b IS NOT NULL AND NOT c = 3
+	 GROUP BY a HAVING COUNT(*) > 5
+	 ORDER BY x DESC, a ASC`
+	sel := parseOne(t, src).(*Select)
+	if sel.Top != 10 {
+		t.Errorf("TOP = %d", sel.Top)
+	}
+	if len(sel.Items) != 4 {
+		t.Fatalf("items = %d", len(sel.Items))
+	}
+	if sel.Items[0].Alias != "x" {
+		t.Error("alias lost")
+	}
+	if !sel.Items[1].Star || sel.Items[1].Qualifier != "u" {
+		t.Error("qualified star lost")
+	}
+	if sel.Having == nil {
+		t.Error("HAVING lost")
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("ORDER BY = %+v", sel.OrderBy)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	sel := parseOne(t, `SELECT 1 + 2 * 3`).(*Select)
+	add := sel.Items[0].Expr.(*Binary)
+	if add.Op != "+" {
+		t.Fatalf("top op = %s", add.Op)
+	}
+	if mul, ok := add.R.(*Binary); !ok || mul.Op != "*" {
+		t.Error("* should bind tighter than +")
+	}
+	sel2 := parseOne(t, `SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3`).(*Select)
+	or := sel2.Where.(*Binary)
+	if or.Op != "OR" {
+		t.Fatalf("top logical = %s", or.Op)
+	}
+	if and, ok := or.R.(*Binary); !ok || and.Op != "AND" {
+		t.Error("AND should bind tighter than OR")
+	}
+}
+
+func TestParseTransactionStatements(t *testing.T) {
+	if _, ok := parseOne(t, "BEGIN TRANSACTION").(*BeginTxn); !ok {
+		t.Error("BEGIN TRANSACTION")
+	}
+	if _, ok := parseOne(t, "BEGIN TRAN").(*BeginTxn); !ok {
+		t.Error("BEGIN TRAN")
+	}
+	if _, ok := parseOne(t, "COMMIT").(*CommitTxn); !ok {
+		t.Error("COMMIT")
+	}
+	if _, ok := parseOne(t, "ROLLBACK").(*RollbackTxn); !ok {
+		t.Error("ROLLBACK")
+	}
+	if _, ok := parseOne(t, "CHECKPOINT").(*Checkpoint); !ok {
+		t.Error("CHECKPOINT")
+	}
+	if _, ok := parseOne(t, "DROP TABLE t").(*DropTable); !ok {
+		t.Error("DROP TABLE")
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	ex := parseOne(t, "EXPLAIN SELECT * FROM t").(*Explain)
+	if _, ok := ex.Stmt.(*Select); !ok {
+		t.Error("EXPLAIN payload lost")
+	}
+}
+
+func TestParseAllScript(t *testing.T) {
+	stmts, err := ParseAll(`
+	  CREATE TABLE t (a INT);
+	  INSERT INTO t VALUES (1);
+	  -- a comment
+	  SELECT * FROM t; /* block comment */
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("%d statements", len(stmts))
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	sel := parseOne(t, `SELECT 'it''s a FASTQ'`).(*Select)
+	s := sel.Items[0].Expr.(*StringLit)
+	if s.S != "it's a FASTQ" {
+		t.Errorf("string = %q", s.S)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"CREATE TABLE t",
+		"CREATE TABLE t (a )",
+		"INSERT INTO t",
+		"SELECT 'unterminated",
+		"SELECT [unterminated",
+		"SELECT * FROM t GROUP a",
+		"FROBNICATE",
+		"SELECT a FROM t; garbage",
+		"CREATE TABLE t (a INT) WITH (DATA_COMPRESSION = LZ4)",
+	}
+	for _, src := range bad {
+		if _, err := ParseAll(src); err == nil {
+			// Empty scripts parse to zero statements - that case is fine.
+			if src == "" {
+				continue
+			}
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseQualifiedIdent(t *testing.T) {
+	sel := parseOne(t, "SELECT t.a FROM t").(*Select)
+	id := sel.Items[0].Expr.(*Ident)
+	if id.Qualifier != "t" || id.Name != "a" {
+		t.Errorf("ident = %+v", id)
+	}
+}

@@ -1,0 +1,302 @@
+// Package sqltypes defines the runtime value model of the relational
+// engine: the tagged Value union, rows, comparison/hash semantics, and the
+// SQL scalar type descriptors shared by the catalog, storage and execution
+// layers.
+package sqltypes
+
+import (
+	"bytes"
+	"fmt"
+	"hash/maphash"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates runtime value kinds.
+type Kind uint8
+
+// Value kinds. KindBool values store 0/1 in the I field.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBytes
+	KindBool
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "STRING"
+	case KindBytes:
+		return "BYTES"
+	case KindBool:
+		return "BOOL"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Value is the engine's scalar. The zero Value is SQL NULL.
+type Value struct {
+	K Kind
+	I int64
+	F float64
+	S string
+	B []byte
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// NewInt returns an integer value.
+func NewInt(v int64) Value { return Value{K: KindInt, I: v} }
+
+// NewFloat returns a float value.
+func NewFloat(v float64) Value { return Value{K: KindFloat, F: v} }
+
+// NewString returns a string value.
+func NewString(v string) Value { return Value{K: KindString, S: v} }
+
+// NewBytes returns a binary value.
+func NewBytes(v []byte) Value { return Value{K: KindBytes, B: v} }
+
+// NewBool returns a boolean value.
+func NewBool(v bool) Value {
+	if v {
+		return Value{K: KindBool, I: 1}
+	}
+	return Value{K: KindBool}
+}
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// Bool returns the truth value of a KindBool value.
+func (v Value) Bool() bool { return v.K == KindBool && v.I != 0 }
+
+// AsInt coerces numeric values to int64.
+func (v Value) AsInt() (int64, error) {
+	switch v.K {
+	case KindInt, KindBool:
+		return v.I, nil
+	case KindFloat:
+		return int64(v.F), nil
+	case KindString:
+		n, err := strconv.ParseInt(v.S, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("sqltypes: cannot convert %q to INT", v.S)
+		}
+		return n, nil
+	}
+	return 0, fmt.Errorf("sqltypes: cannot convert %s to INT", v.K)
+}
+
+// AsFloat coerces numeric values to float64.
+func (v Value) AsFloat() (float64, error) {
+	switch v.K {
+	case KindInt, KindBool:
+		return float64(v.I), nil
+	case KindFloat:
+		return v.F, nil
+	case KindString:
+		f, err := strconv.ParseFloat(v.S, 64)
+		if err != nil {
+			return 0, fmt.Errorf("sqltypes: cannot convert %q to FLOAT", v.S)
+		}
+		return f, nil
+	}
+	return 0, fmt.Errorf("sqltypes: cannot convert %s to FLOAT", v.K)
+}
+
+// AsString renders the value for string contexts (CONCAT etc.).
+func (v Value) AsString() string {
+	switch v.K {
+	case KindNull:
+		return ""
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	case KindBytes:
+		return string(v.B)
+	case KindBool:
+		if v.I != 0 {
+			return "1"
+		}
+		return "0"
+	}
+	return ""
+}
+
+// String implements fmt.Stringer for diagnostics and result rendering.
+func (v Value) String() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindString:
+		return v.S
+	case KindBytes:
+		return fmt.Sprintf("0x%x", v.B)
+	default:
+		return v.AsString()
+	}
+}
+
+// numericRank orders kinds for cross-kind comparison: NULL < numbers <
+// strings < bytes, matching a pragmatic subset of SQL Server behaviour
+// (booleans compare as their numeric value).
+func numericRank(k Kind) int {
+	switch k {
+	case KindNull:
+		return 0
+	case KindInt, KindFloat, KindBool:
+		return 1
+	case KindString:
+		return 2
+	case KindBytes:
+		return 3
+	}
+	return 4
+}
+
+// Compare orders two values: -1, 0, +1. NULL sorts first (SQL Server ORDER
+// BY default). Int and Float compare numerically with each other.
+func Compare(a, b Value) int {
+	ra, rb := numericRank(a.K), numericRank(b.K)
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	switch ra {
+	case 0:
+		return 0
+	case 1:
+		if a.K == KindFloat || b.K == KindFloat {
+			af, _ := a.AsFloat()
+			bf, _ := b.AsFloat()
+			switch {
+			case af < bf:
+				return -1
+			case af > bf:
+				return 1
+			}
+			return 0
+		}
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		}
+		return 0
+	case 2:
+		switch {
+		case a.S < b.S:
+			return -1
+		case a.S > b.S:
+			return 1
+		}
+		return 0
+	default:
+		return bytes.Compare(a.B, b.B)
+	}
+}
+
+// Equal reports value equality under Compare semantics (NULL equals NULL
+// here; predicate three-valued logic is handled by the expression layer).
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+var hashSeed = maphash.MakeSeed()
+
+// Hash returns a hash consistent with Equal: ints and floats holding the
+// same numeric value hash identically.
+func Hash(v Value) uint64 {
+	var h maphash.Hash
+	h.SetSeed(hashSeed)
+	switch v.K {
+	case KindNull:
+		h.WriteByte(0)
+	case KindInt, KindBool:
+		h.WriteByte(1)
+		writeUint64(&h, uint64(v.I))
+	case KindFloat:
+		h.WriteByte(1)
+		if v.F == math.Trunc(v.F) && v.F >= math.MinInt64 && v.F <= math.MaxInt64 {
+			writeUint64(&h, uint64(int64(v.F)))
+		} else {
+			writeUint64(&h, math.Float64bits(v.F))
+		}
+	case KindString:
+		h.WriteByte(2)
+		h.WriteString(v.S)
+	case KindBytes:
+		h.WriteByte(3)
+		h.Write(v.B)
+	}
+	return h.Sum64()
+}
+
+func writeUint64(h *maphash.Hash, v uint64) {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	h.Write(b[:])
+}
+
+// Row is a tuple of values.
+type Row []Value
+
+// Clone deep-copies a row (the B slices are copied too).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	for i := range out {
+		if out[i].K == KindBytes && out[i].B != nil {
+			out[i].B = append([]byte(nil), out[i].B...)
+		}
+	}
+	return out
+}
+
+// CompareRows orders rows lexicographically.
+func CompareRows(a, b Row) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// HashRow hashes a row consistently with CompareRows equality.
+func HashRow(r Row) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range r {
+		h ^= Hash(v)
+		h *= 1099511628211
+	}
+	return h
+}

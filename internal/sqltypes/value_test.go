@@ -1,0 +1,231 @@
+package sqltypes
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsAndPredicates(t *testing.T) {
+	if !Null.IsNull() {
+		t.Error("Null not null")
+	}
+	if NewInt(5).IsNull() {
+		t.Error("int is null")
+	}
+	if !NewBool(true).Bool() {
+		t.Error("true is false")
+	}
+	if NewBool(false).Bool() {
+		t.Error("false is true")
+	}
+	if NewInt(1).Bool() {
+		t.Error("int Bool() should be false (not a bool kind)")
+	}
+}
+
+func TestAsInt(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want int64
+		ok   bool
+	}{
+		{NewInt(42), 42, true},
+		{NewFloat(3.9), 3, true},
+		{NewBool(true), 1, true},
+		{NewString("17"), 17, true},
+		{NewString("x"), 0, false},
+		{NewBytes([]byte("1")), 0, false},
+		{Null, 0, false},
+	}
+	for _, c := range cases {
+		got, err := c.v.AsInt()
+		if (err == nil) != c.ok {
+			t.Errorf("AsInt(%v) error = %v, ok = %v", c.v, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("AsInt(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestAsFloat(t *testing.T) {
+	if f, err := NewInt(2).AsFloat(); err != nil || f != 2 {
+		t.Errorf("AsFloat(int 2) = %v, %v", f, err)
+	}
+	if f, err := NewString("2.5").AsFloat(); err != nil || f != 2.5 {
+		t.Errorf("AsFloat(\"2.5\") = %v, %v", f, err)
+	}
+	if _, err := Null.AsFloat(); err == nil {
+		t.Error("AsFloat(NULL) succeeded")
+	}
+}
+
+func TestAsStringAndString(t *testing.T) {
+	cases := []struct {
+		v          Value
+		as, String string
+	}{
+		{Null, "", "NULL"},
+		{NewInt(-3), "-3", "-3"},
+		{NewFloat(2.5), "2.5", "2.5"},
+		{NewString("hi"), "hi", "hi"},
+		{NewBytes([]byte{0xab}), "\xab", "0xab"},
+		{NewBool(true), "1", "1"},
+	}
+	for _, c := range cases {
+		if got := c.v.AsString(); got != c.as {
+			t.Errorf("AsString(%#v) = %q, want %q", c.v, got, c.as)
+		}
+		if got := c.v.String(); got != c.String {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.String)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Null, Null, 0},
+		{Null, NewInt(0), -1},
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(2), NewFloat(2.5), -1},
+		{NewFloat(2.5), NewInt(2), 1},
+		{NewFloat(2.0), NewInt(2), 0},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{NewInt(999), NewString("0"), -1}, // numbers sort before strings
+		{NewBytes([]byte{1}), NewBytes([]byte{2}), -1},
+		{NewString("z"), NewBytes([]byte("a")), -1}, // strings before bytes
+		{NewBool(false), NewBool(true), -1},
+		{NewBool(true), NewInt(1), 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := Compare(c.b, c.a); got != -c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d (antisymmetry)", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+func TestHashEqualConsistency(t *testing.T) {
+	pairs := [][2]Value{
+		{NewInt(7), NewInt(7)},
+		{NewInt(7), NewFloat(7)},
+		{NewBool(true), NewInt(1)},
+		{NewString("ab"), NewString("ab")},
+		{NewBytes([]byte("ab")), NewBytes([]byte("ab"))},
+		{Null, Null},
+	}
+	for _, p := range pairs {
+		if !Equal(p[0], p[1]) {
+			t.Errorf("Equal(%v, %v) = false", p[0], p[1])
+			continue
+		}
+		if Hash(p[0]) != Hash(p[1]) {
+			t.Errorf("Hash(%v) != Hash(%v) but Equal", p[0], p[1])
+		}
+	}
+}
+
+func TestHashSpreads(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := int64(0); i < 1000; i++ {
+		seen[Hash(NewInt(i))] = true
+	}
+	if len(seen) < 990 {
+		t.Errorf("only %d distinct hashes over 1000 ints", len(seen))
+	}
+}
+
+func TestCompareQuickProperties(t *testing.T) {
+	// Transitivity-ish sanity: Compare is a total order over random ints
+	// and strings.
+	f := func(a, b int64) bool {
+		c := Compare(NewInt(a), NewInt(b))
+		switch {
+		case a < b:
+			return c == -1
+		case a > b:
+			return c == 1
+		}
+		return c == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		c := Compare(NewString(a), NewString(b))
+		switch {
+		case a < b:
+			return c == -1
+		case a > b:
+			return c == 1
+		}
+		return c == 0
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{NewInt(1), NewBytes([]byte{1, 2})}
+	c := r.Clone()
+	c[0] = NewInt(9)
+	c[1].B[0] = 99
+	if r[0].I != 1 {
+		t.Error("clone aliases scalar")
+	}
+	if r[1].B[0] != 1 {
+		t.Error("clone aliases byte slice")
+	}
+}
+
+func TestCompareRows(t *testing.T) {
+	a := Row{NewInt(1), NewString("b")}
+	b := Row{NewInt(1), NewString("c")}
+	if CompareRows(a, b) != -1 {
+		t.Error("row compare by second column failed")
+	}
+	if CompareRows(a, a) != 0 {
+		t.Error("row self-compare != 0")
+	}
+	if CompareRows(a, Row{NewInt(1)}) != 1 {
+		t.Error("longer row should sort after its prefix")
+	}
+	if CompareRows(Row{NewInt(1)}, a) != -1 {
+		t.Error("prefix row should sort before")
+	}
+}
+
+func TestHashRowConsistency(t *testing.T) {
+	a := Row{NewInt(1), NewString("x")}
+	b := Row{NewFloat(1), NewString("x")}
+	if CompareRows(a, b) != 0 {
+		t.Fatal("rows should compare equal")
+	}
+	if HashRow(a) != HashRow(b) {
+		t.Error("equal rows hash differently")
+	}
+	if HashRow(a) == HashRow(Row{NewInt(2), NewString("x")}) {
+		t.Error("different rows hash identically (likely collision bug)")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindNull: "NULL", KindInt: "INT", KindFloat: "FLOAT",
+		KindString: "STRING", KindBytes: "BYTES", KindBool: "BOOL",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q", k, k.String())
+		}
+	}
+}

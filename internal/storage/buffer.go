@@ -1,0 +1,191 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// frameKey identifies a cached page across files.
+type frameKey struct {
+	file *PagedFile
+	page PageID
+}
+
+// frame is one buffer-pool slot.
+type frame struct {
+	key   frameKey
+	data  [PageSize]byte
+	pins  int
+	dirty bool
+	used  bool // clock reference bit
+}
+
+// BufferPool caches pages with pin/unpin semantics and clock eviction.
+// Dirty pages are never evicted (no-steal); FlushFile persists them at
+// checkpoints. The pool is safe for concurrent use; the paper's parallel
+// query plans scan through it from multiple goroutines ("with a warm
+// buffer pool", Section 5.3.3).
+type BufferPool struct {
+	mu       sync.Mutex
+	capacity int
+	frames   map[frameKey]*frame
+	clock    []*frame
+	hand     int
+
+	// Stats are monotonically increasing counters for diagnostics.
+	Hits, Misses, Evictions int64
+}
+
+// NewBufferPool returns a pool caching up to capacity pages.
+func NewBufferPool(capacity int) *BufferPool {
+	if capacity < 8 {
+		capacity = 8
+	}
+	return &BufferPool{
+		capacity: capacity,
+		frames:   make(map[frameKey]*frame, capacity),
+	}
+}
+
+// Get pins the page and returns its in-memory image. The caller must call
+// Unpin (with dirty=true if it modified the image) when done.
+//
+// The disk read of a miss happens under the pool lock. That serializes
+// fills, which is deliberate: it keeps the "frame visible implies frame
+// filled" invariant without per-frame latches, and the CPU-heavy work
+// (decoding rows) happens after Get returns, outside the lock, so parallel
+// scans still spread across cores.
+func (bp *BufferPool) Get(f *PagedFile, id PageID) (*frame, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	key := frameKey{f, id}
+	if fr, ok := bp.frames[key]; ok {
+		fr.pins++
+		fr.used = true
+		bp.Hits++
+		return fr, nil
+	}
+	bp.Misses++
+	fr, err := bp.allocFrameLocked()
+	if err != nil {
+		return nil, err
+	}
+	if err := f.ReadPage(id, fr.data[:]); err != nil {
+		return nil, err
+	}
+	fr.key = key
+	fr.pins = 1
+	fr.used = true
+	fr.dirty = false
+	bp.frames[key] = fr
+	return fr, nil
+}
+
+// NewPage pins a frame for a freshly allocated page without reading from
+// disk (the page is known to be zero).
+func (bp *BufferPool) NewPage(f *PagedFile, id PageID) (*frame, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	key := frameKey{f, id}
+	if _, ok := bp.frames[key]; ok {
+		return nil, fmt.Errorf("storage: NewPage for already-cached page %d", id)
+	}
+	fr, err := bp.allocFrameLocked()
+	if err != nil {
+		return nil, err
+	}
+	fr.key = key
+	fr.pins = 1
+	fr.used = true
+	fr.dirty = true
+	for i := range fr.data {
+		fr.data[i] = 0
+	}
+	bp.frames[key] = fr
+	return fr, nil
+}
+
+// allocFrameLocked finds a reusable frame, evicting an unpinned clean page
+// via the clock algorithm if the pool is full.
+func (bp *BufferPool) allocFrameLocked() (*frame, error) {
+	if len(bp.clock) < bp.capacity {
+		fr := &frame{}
+		bp.clock = append(bp.clock, fr)
+		return fr, nil
+	}
+	for sweep := 0; sweep < 2*len(bp.clock); sweep++ {
+		fr := bp.clock[bp.hand]
+		bp.hand = (bp.hand + 1) % len(bp.clock)
+		if fr.pins > 0 || fr.dirty {
+			continue
+		}
+		if fr.used {
+			fr.used = false
+			continue
+		}
+		delete(bp.frames, fr.key)
+		bp.Evictions++
+		return fr, nil
+	}
+	return nil, fmt.Errorf("storage: buffer pool exhausted (%d frames, all pinned or dirty); checkpoint required", bp.capacity)
+}
+
+// Unpin releases a pinned frame.
+func (bp *BufferPool) Unpin(fr *frame, dirty bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if fr.pins <= 0 {
+		panic("storage: Unpin of unpinned frame")
+	}
+	fr.pins--
+	if dirty {
+		fr.dirty = true
+	}
+}
+
+// Data exposes the page image of a pinned frame.
+func (fr *frame) Data() []byte { return fr.data[:] }
+
+// FlushFile writes every dirty page of f to disk and clears dirty flags.
+// The file is not fsynced; callers sequence Sync with their WAL protocol.
+func (bp *BufferPool) FlushFile(f *PagedFile) error {
+	bp.mu.Lock()
+	var toFlush []*frame
+	for _, fr := range bp.frames {
+		if fr.key.file == f && fr.dirty {
+			fr.pins++ // hold while writing
+			toFlush = append(toFlush, fr)
+		}
+	}
+	bp.mu.Unlock()
+	for _, fr := range toFlush {
+		err := f.WritePage(fr.key.page, fr.data[:])
+		bp.mu.Lock()
+		fr.pins--
+		if err == nil {
+			fr.dirty = false
+		}
+		bp.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DropFile removes every cached page of f (used when a table is dropped or
+// truncated during rollback). Dirty pages are discarded.
+func (bp *BufferPool) DropFile(f *PagedFile) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for k, fr := range bp.frames {
+		if k.file == f {
+			if fr.pins > 0 {
+				panic("storage: DropFile with pinned pages")
+			}
+			fr.dirty = false
+			fr.key = frameKey{}
+			delete(bp.frames, k)
+		}
+	}
+}

@@ -1,0 +1,536 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/sqltypes"
+)
+
+// Heap page layout. Page 0 is the meta page:
+//
+//	magic   [4]byte "GHP1"
+//	comp    byte
+//	durableRows  uint64    rows persisted at the last checkpoint
+//	durablePages uint64    data pages persisted at the last checkpoint
+//
+// Data pages (ids >= 1):
+//
+//	type   byte  (1 = rowpage, 2 = page-compressed)
+//	comp   byte
+//	rows   uint16
+//	used   uint16  payload length
+//	payload from byte 16
+const (
+	heapMagic      = "GHP1"
+	heapHeaderSize = 16
+	heapCapacity   = PageSize - heapHeaderSize
+
+	pageTypeRows       = 1
+	pageTypeCompressed = 2
+)
+
+// Heap is an append-organized table file — the engine's equivalent of a
+// SQL Server heap. Appends accumulate in an in-memory tail page that is
+// sealed to disk when full; the meta page records the durable row count
+// for the WAL's idempotent-redo protocol.
+type Heap struct {
+	mu    sync.RWMutex
+	file  *PagedFile
+	pool  *BufferPool
+	kinds []sqltypes.Kind
+	comp  Compression
+	codec RowCodec
+
+	rowCount    int64 // total rows including the in-memory tail
+	pageRows    []int // rows per sealed data page (index 0 = page 1)
+	durableRows int64 // as recorded on the meta page
+
+	// In-memory tail.
+	tailRows  []sqltypes.Row // retained for CompressPage mode and truncation
+	tailBytes []byte         // row-format encoding (modes none/row)
+	tailOffs  []int          // start offset of each tail row in tailBytes
+	nextCheck int            // page-compression size re-check threshold
+}
+
+// OpenHeap opens or creates a heap with the given column kinds and
+// compression mode. An existing file is truncated back to its durable
+// state (rows beyond the last checkpoint are discarded; the WAL replays
+// them).
+func OpenHeap(path string, kinds []sqltypes.Kind, comp Compression, pool *BufferPool) (*Heap, error) {
+	return OpenHeapWidths(path, kinds, nil, comp, pool)
+}
+
+// OpenHeapWidths is OpenHeap with explicit fixed integer widths for the
+// uncompressed row format (see RowCodec.Widths).
+func OpenHeapWidths(path string, kinds []sqltypes.Kind, widths []uint8, comp Compression, pool *BufferPool) (*Heap, error) {
+	f, err := OpenPagedFile(path)
+	if err != nil {
+		return nil, err
+	}
+	h := &Heap{
+		file:  f,
+		pool:  pool,
+		kinds: append([]sqltypes.Kind(nil), kinds...),
+		comp:  comp,
+		codec: RowCodec{Kinds: kinds, Mode: rowMode(comp), Widths: widths},
+	}
+	if f.NumPages() == 0 {
+		if _, err := f.Allocate(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := h.writeMeta(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return h, nil
+	}
+	if err := h.loadAndRecover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return h, nil
+}
+
+// rowMode maps the table compression mode to the row codec mode: page
+// compression stores rows in ROW format when a page does not benefit from
+// page-level coding, and the in-memory tail is always raw rows.
+func rowMode(c Compression) Compression {
+	if c == CompressNone {
+		return CompressNone
+	}
+	return CompressRow
+}
+
+func (h *Heap) writeMeta() error {
+	var page [PageSize]byte
+	copy(page[0:4], heapMagic)
+	page[4] = byte(h.comp)
+	binary.LittleEndian.PutUint64(page[8:], uint64(h.durableRows))
+	binary.LittleEndian.PutUint64(page[16:], uint64(len(h.pageRows)))
+	return h.file.WritePage(0, page[:])
+}
+
+func (h *Heap) loadAndRecover() error {
+	var meta [PageSize]byte
+	if err := h.file.ReadPage(0, meta[:]); err != nil {
+		return err
+	}
+	if string(meta[0:4]) != heapMagic {
+		return fmt.Errorf("storage: %s is not a heap file", h.file.Path())
+	}
+	if Compression(meta[4]) != h.comp {
+		return fmt.Errorf("storage: %s compression %s does not match declared %s",
+			h.file.Path(), Compression(meta[4]), h.comp)
+	}
+	durableRows := int64(binary.LittleEndian.Uint64(meta[8:]))
+	durablePages := int64(binary.LittleEndian.Uint64(meta[16:]))
+	if durablePages+1 > h.file.NumPages() {
+		return fmt.Errorf("storage: %s meta claims %d pages, file has %d",
+			h.file.Path(), durablePages, h.file.NumPages()-1)
+	}
+	// Discard anything written after the last completed checkpoint.
+	if err := h.file.Truncate(durablePages + 1); err != nil {
+		return err
+	}
+	var buf [PageSize]byte
+	total := int64(0)
+	h.pageRows = h.pageRows[:0]
+	for p := int64(1); p <= durablePages; p++ {
+		if err := h.file.ReadPage(PageID(p), buf[:]); err != nil {
+			return err
+		}
+		n := int(binary.LittleEndian.Uint16(buf[2:]))
+		h.pageRows = append(h.pageRows, n)
+		total += int64(n)
+	}
+	if total < durableRows {
+		return fmt.Errorf("storage: %s pages hold %d rows, meta claims %d", h.file.Path(), total, durableRows)
+	}
+	// A checkpoint may have persisted a partially-filled tail page; if the
+	// meta row count is smaller, drop the excess rows back into the tail.
+	if total > durableRows {
+		excess := total - durableRows
+		last := int64(len(h.pageRows))
+		if int64(h.pageRows[last-1]) < excess {
+			return fmt.Errorf("storage: %s inconsistent meta: excess %d rows beyond last page", h.file.Path(), excess)
+		}
+		rows, err := h.decodePage(buf[:], nil) // buf still holds the last page
+		if err != nil {
+			return err
+		}
+		keep := rows[:int64(len(rows))-excess]
+		h.pageRows = h.pageRows[:last-1]
+		if err := h.file.Truncate(last); err != nil { // drop the partial page
+			return err
+		}
+		h.rowCount = durableRows - int64(len(keep))
+		for _, r := range keep {
+			if err := h.Append(r); err != nil {
+				return err
+			}
+		}
+	}
+	h.rowCount = durableRows
+	h.durableRows = durableRows
+	return nil
+}
+
+// Kinds returns the column kinds.
+func (h *Heap) Kinds() []sqltypes.Kind { return h.kinds }
+
+// Compression returns the table's compression mode.
+func (h *Heap) Compression() Compression { return h.comp }
+
+// RowCount returns the total number of rows, including the unsealed tail.
+func (h *Heap) RowCount() int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.rowCount
+}
+
+// DurableRows returns the row count persisted by the last checkpoint.
+func (h *Heap) DurableRows() int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.durableRows
+}
+
+// Append adds a row at the end of the heap.
+func (h *Heap) Append(row sqltypes.Row) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.appendLocked(row)
+}
+
+func (h *Heap) appendLocked(row sqltypes.Row) error {
+	start := len(h.tailBytes)
+	enc, err := h.codec.EncodeAppend(h.tailBytes, row)
+	if err != nil {
+		return err
+	}
+	rowLen := len(enc) - start
+	if rowLen > heapCapacity {
+		h.tailBytes = h.tailBytes[:start]
+		return fmt.Errorf("storage: row of %d bytes exceeds page capacity %d", rowLen, heapCapacity)
+	}
+	h.tailBytes = enc
+	h.tailOffs = append(h.tailOffs, start)
+	h.tailRows = append(h.tailRows, row.Clone())
+	h.rowCount++
+
+	if h.comp != CompressPage {
+		if len(h.tailBytes) > heapCapacity {
+			return h.sealAllButLastLocked()
+		}
+		return nil
+	}
+	// Page compression: the ROW-format image may exceed the page as long
+	// as the compressed image still fits. Compressing on every append
+	// would be quadratic, so re-check only when the raw size passes
+	// nextCheck; the threshold advances by the remaining head-room (the
+	// compressed image grows at most as fast as the raw one).
+	if len(h.tailBytes) <= heapCapacity || len(h.tailBytes) < h.nextCheck {
+		return nil
+	}
+	comp, err := CompressPageRows(h.kinds, h.tailRows)
+	if err != nil {
+		return err
+	}
+	if len(comp) >= heapCapacity {
+		return h.sealAllButLastLocked()
+	}
+	h.nextCheck = len(h.tailBytes) + (heapCapacity-len(comp))/2
+	return nil
+}
+
+// sealAllButLastLocked seals the tail minus its newest row (which
+// triggered the overflow), then starts a fresh tail with that row.
+func (h *Heap) sealAllButLastLocked() error {
+	n := len(h.tailRows)
+	last := h.tailRows[n-1]
+	h.tailRows = h.tailRows[:n-1]
+	h.tailBytes = h.tailBytes[:h.tailOffs[n-1]]
+	h.tailOffs = h.tailOffs[:n-1]
+	if err := h.sealTailLocked(); err != nil {
+		return err
+	}
+	h.rowCount-- // appendLocked will count it again
+	return h.appendLocked(last)
+}
+
+// sealTailLocked writes the tail as a new data page. If the page image
+// overflows (possible with page compression between re-checks), rows are
+// popped until it fits and re-appended afterwards.
+func (h *Heap) sealTailLocked() error {
+	if len(h.tailRows) == 0 {
+		return nil
+	}
+	var overflow []sqltypes.Row
+	var page []byte
+	var sealed int
+	for {
+		var err error
+		page, sealed, err = h.buildTailPageLocked()
+		if err == nil {
+			break
+		}
+		if err != errPageOverflow || len(h.tailRows) <= 1 {
+			return err
+		}
+		n := len(h.tailRows)
+		overflow = append(overflow, h.tailRows[n-1])
+		h.tailRows = h.tailRows[:n-1]
+		h.tailBytes = h.tailBytes[:h.tailOffs[n-1]]
+		h.tailOffs = h.tailOffs[:n-1]
+	}
+	id, err := h.file.Allocate()
+	if err != nil {
+		return err
+	}
+	if err := h.file.WritePage(id, page); err != nil {
+		return err
+	}
+	h.pageRows = append(h.pageRows, sealed)
+	h.tailRows = h.tailRows[:0]
+	h.tailBytes = h.tailBytes[:0]
+	h.tailOffs = h.tailOffs[:0]
+	h.nextCheck = 0
+	for i := len(overflow) - 1; i >= 0; i-- { // restore original order
+		h.rowCount--
+		if err := h.appendLocked(overflow[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// errPageOverflow signals that a page image exceeds the page capacity.
+var errPageOverflow = fmt.Errorf("storage: sealed payload exceeds page capacity")
+
+// buildTailPageLocked renders the tail rows as a page image.
+func (h *Heap) buildTailPageLocked() ([]byte, int, error) {
+	payload := h.tailBytes
+	ptype := byte(pageTypeRows)
+	if h.comp == CompressPage {
+		comp, err := CompressPageRows(h.kinds, h.tailRows)
+		if err != nil {
+			return nil, 0, err
+		}
+		// Fall back to ROW format when page coding does not pay off, as
+		// SQL Server does.
+		if len(comp) < len(payload) {
+			payload = comp
+			ptype = pageTypeCompressed
+		}
+	}
+	if len(payload) > heapCapacity {
+		return nil, 0, errPageOverflow
+	}
+	page := make([]byte, PageSize)
+	page[0] = ptype
+	page[1] = byte(h.comp)
+	binary.LittleEndian.PutUint16(page[2:], uint16(len(h.tailRows)))
+	binary.LittleEndian.PutUint16(page[4:], uint16(len(payload)))
+	copy(page[heapHeaderSize:], payload)
+	return page, len(h.tailRows), nil
+}
+
+// decodePage extracts all rows from a data page image.
+func (h *Heap) decodePage(page []byte, dst []sqltypes.Row) ([]sqltypes.Row, error) {
+	n := int(binary.LittleEndian.Uint16(page[2:]))
+	used := int(binary.LittleEndian.Uint16(page[4:]))
+	payload := page[heapHeaderSize : heapHeaderSize+used]
+	switch page[0] {
+	case pageTypeRows:
+		pos := 0
+		for i := 0; i < n; i++ {
+			row, consumed, err := h.codec.Decode(payload[pos:], true)
+			if err != nil {
+				return nil, err
+			}
+			pos += consumed
+			dst = append(dst, row)
+		}
+		return dst, nil
+	case pageTypeCompressed:
+		return DecompressPageRows(h.kinds, payload, dst)
+	}
+	return nil, fmt.Errorf("storage: unknown heap page type %d", page[0])
+}
+
+// SealedPages returns the number of sealed data pages, the unit of
+// parallel scan partitioning.
+func (h *Heap) SealedPages() int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return int64(len(h.pageRows))
+}
+
+// ScanPages invokes fn for every row of sealed data pages in [lo, hi)
+// (0-based sealed-page indexes). fn must not retain the row.
+func (h *Heap) ScanPages(lo, hi int64, fn func(sqltypes.Row) error) error {
+	for p := lo; p < hi; p++ {
+		fr, err := h.pool.Get(h.file, PageID(p+1))
+		if err != nil {
+			return err
+		}
+		rows, err := h.decodePage(fr.Data(), nil)
+		h.pool.Unpin(fr, false)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if err := fn(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ScanTail invokes fn for the unsealed tail rows.
+func (h *Heap) ScanTail(fn func(sqltypes.Row) error) error {
+	h.mu.RLock()
+	rows := h.tailRows
+	h.mu.RUnlock()
+	for _, r := range rows {
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scan invokes fn for every row in insertion order.
+func (h *Heap) Scan(fn func(sqltypes.Row) error) error {
+	if err := h.ScanPages(0, h.SealedPages(), fn); err != nil {
+		return err
+	}
+	return h.ScanTail(fn)
+}
+
+// Checkpoint persists all rows (sealing the tail as a partial page), syncs
+// the file, and records the durable row count on the meta page. After a
+// successful checkpoint the WAL up to this point may be truncated.
+func (h *Heap) Checkpoint() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// Seal the partial tail as a final (possibly under-filled) page;
+	// subsequent appends start a fresh page. Checkpoints are rare enough
+	// that the fragmentation is negligible. Sealing can leave re-appended
+	// overflow rows in the tail, hence the loop.
+	for len(h.tailRows) > 0 {
+		if err := h.sealTailLocked(); err != nil {
+			return err
+		}
+	}
+	if err := h.file.Sync(); err != nil {
+		return err
+	}
+	h.durableRows = h.rowCount
+	if err := h.writeMeta(); err != nil {
+		return err
+	}
+	return h.file.Sync()
+}
+
+// Truncate discards rows from the end until n remain — the rollback path
+// for aborted transactions. It only supports truncating back to a point at
+// or after the last checkpoint (the WAL cannot need to undo further).
+func (h *Heap) Truncate(n int64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if n < 0 || n > h.rowCount {
+		return fmt.Errorf("storage: truncate to %d of %d rows", n, h.rowCount)
+	}
+	if n < h.durableRows {
+		return fmt.Errorf("storage: cannot truncate to %d, below durable row count %d", n, h.durableRows)
+	}
+	for h.rowCount > n {
+		drop := h.rowCount - n
+		if int64(len(h.tailRows)) >= drop {
+			h.tailRows = h.tailRows[:int64(len(h.tailRows))-drop]
+			h.tailOffs = h.tailOffs[:len(h.tailRows)]
+			if len(h.tailOffs) > 0 {
+				h.tailBytes = h.tailBytes[:h.tailOffs[len(h.tailOffs)-1]+rowEncLen(h.codec, h.tailRows[len(h.tailRows)-1])]
+			} else {
+				h.tailBytes = h.tailBytes[:0]
+			}
+			h.rowCount = n
+			break
+		}
+		// Tail is not enough: pull the last sealed page back into memory.
+		h.rowCount -= int64(len(h.tailRows))
+		h.tailRows = h.tailRows[:0]
+		h.tailBytes = h.tailBytes[:0]
+		h.tailOffs = h.tailOffs[:0]
+		h.nextCheck = 0
+		last := int64(len(h.pageRows))
+		if last == 0 {
+			return fmt.Errorf("storage: truncate bookkeeping underflow")
+		}
+		fr, err := h.pool.Get(h.file, PageID(last))
+		if err != nil {
+			return err
+		}
+		rows, err := h.decodePage(fr.Data(), nil)
+		h.pool.Unpin(fr, false)
+		if err != nil {
+			return err
+		}
+		h.pageRows = h.pageRows[:last-1]
+		h.rowCount -= int64(len(rows))
+		h.pool.DropFile(h.file) // stale cache below the truncation point
+		if err := h.file.Truncate(last); err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if err := h.appendLocked(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// rowEncLen returns the encoded length of row under codec.
+func rowEncLen(c RowCodec, row sqltypes.Row) int {
+	enc, err := c.EncodeAppend(nil, row)
+	if err != nil {
+		return 0
+	}
+	return len(enc)
+}
+
+// SizeBytes returns the allocated on-disk size, including the meta page.
+func (h *Heap) SizeBytes() int64 { return h.file.SizeBytes() }
+
+// UsedBytes returns the payload bytes across sealed pages plus the tail.
+func (h *Heap) UsedBytes() (int64, error) {
+	h.mu.RLock()
+	sealed := int64(len(h.pageRows))
+	tail := int64(len(h.tailBytes))
+	h.mu.RUnlock()
+	total := tail
+	var buf [PageSize]byte
+	for p := int64(1); p <= sealed; p++ {
+		if err := h.file.ReadPage(PageID(p), buf[:]); err != nil {
+			return 0, err
+		}
+		total += int64(binary.LittleEndian.Uint16(buf[4:]))
+	}
+	return total, nil
+}
+
+// Close flushes nothing (checkpoint first for durability) and releases the
+// file handle.
+func (h *Heap) Close() error {
+	h.pool.DropFile(h.file)
+	return h.file.Close()
+}
+
+// File exposes the underlying paged file for size accounting.
+func (h *Heap) File() *PagedFile { return h.file }

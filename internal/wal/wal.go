@@ -1,0 +1,250 @@
+// Package wal implements the write-ahead log. Recovery follows the
+// force-at-checkpoint protocol of package storage: data files only change
+// at checkpoints, each table records its durable row count, and redo
+// replays logged inserts whose row index is at or beyond that watermark —
+// making replay idempotent without page LSNs.
+//
+// Records are length-prefixed and CRC-protected; a torn tail (crash during
+// append) is detected and discarded.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// RecordType enumerates log record kinds.
+type RecordType uint8
+
+// Log record kinds.
+const (
+	// RecInsert logs one row appended to a table (heap or clustered).
+	RecInsert RecordType = iota + 1
+	// RecCommit marks a transaction committed; its effects must be redone.
+	RecCommit
+	// RecAbort marks a transaction rolled back; its effects are skipped.
+	RecAbort
+	// RecBlobCreate logs creation of a FileStream blob (data is the GUID).
+	RecBlobCreate
+	// RecBlobDelete logs deletion of a FileStream blob.
+	RecBlobDelete
+	// RecDDL logs a catalog change (data is the serialized statement).
+	RecDDL
+)
+
+// Record is one log entry.
+type Record struct {
+	Type     RecordType
+	Txn      uint64
+	Table    uint32 // table id for RecInsert
+	RowIndex int64  // position of the inserted row within its table
+	Data     []byte // row image, blob GUID, or DDL payload
+}
+
+// WAL is an append-only log file. Appends are buffered; Flush makes them
+// durable. Safe for concurrent use.
+type WAL struct {
+	mu     sync.Mutex
+	f      *os.File
+	buf    []byte
+	size   int64
+	path   string
+	synced bool
+}
+
+const walHeaderLen = 8 // u32 length + u32 crc
+
+// Open opens (creating if needed) the log at path. Existing content is
+// preserved for Replay.
+func Open(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &WAL{f: f, size: st.Size(), path: path, synced: true}, nil
+}
+
+// Append buffers one record. Call Flush to make it durable (the engine
+// flushes on commit).
+func (w *WAL) Append(rec Record) error {
+	payload := encodeRecord(rec)
+	var hdr [walHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf = append(w.buf, hdr[:]...)
+	w.buf = append(w.buf, payload...)
+	w.synced = false
+	return nil
+}
+
+// Flush writes buffered records and fsyncs the log — the durability point
+// of a commit.
+func (w *WAL) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flushLocked()
+}
+
+func (w *WAL) flushLocked() error {
+	if len(w.buf) > 0 {
+		n, err := w.f.WriteAt(w.buf, w.size)
+		if err != nil {
+			return fmt.Errorf("wal: write %s: %w", w.path, err)
+		}
+		w.size += int64(n)
+		w.buf = w.buf[:0]
+	}
+	if w.synced {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.synced = true
+	return nil
+}
+
+// Size returns the durable log size in bytes (excluding buffered records).
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// PendingBytes returns the buffered, not-yet-flushed byte count.
+func (w *WAL) PendingBytes() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.buf)
+}
+
+// Truncate discards the entire log; called after a successful checkpoint
+// has made all logged effects durable in the data files.
+func (w *WAL) Truncate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf = w.buf[:0]
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	w.size = 0
+	return w.f.Sync()
+}
+
+// Close flushes and closes the log.
+func (w *WAL) Close() error {
+	if err := w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Replay streams every intact record from the start of the log. A torn or
+// corrupt record ends replay silently (it is the crash frontier); the
+// caller should Truncate after re-checkpointing.
+func (w *WAL) Replay(fn func(Record) error) error {
+	w.mu.Lock()
+	if err := w.flushLocked(); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	size := w.size
+	w.mu.Unlock()
+
+	var off int64
+	var hdr [walHeaderLen]byte
+	for off+walHeaderLen <= size {
+		if _, err := w.f.ReadAt(hdr[:], off); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		n := int64(binary.LittleEndian.Uint32(hdr[0:]))
+		crc := binary.LittleEndian.Uint32(hdr[4:])
+		if off+walHeaderLen+n > size {
+			return nil // torn tail
+		}
+		payload := make([]byte, n)
+		if _, err := w.f.ReadAt(payload, off+walHeaderLen); err != nil {
+			return err
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return nil // corrupt tail
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return nil // undecodable tail counts as torn
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+		off += walHeaderLen + n
+	}
+	return nil
+}
+
+func encodeRecord(rec Record) []byte {
+	out := make([]byte, 0, 16+len(rec.Data))
+	out = append(out, byte(rec.Type))
+	out = binary.AppendUvarint(out, rec.Txn)
+	out = binary.AppendUvarint(out, uint64(rec.Table))
+	out = binary.AppendUvarint(out, uint64(rec.RowIndex))
+	out = binary.AppendUvarint(out, uint64(len(rec.Data)))
+	return append(out, rec.Data...)
+}
+
+func decodeRecord(b []byte) (Record, error) {
+	var rec Record
+	if len(b) < 1 {
+		return rec, fmt.Errorf("wal: empty record")
+	}
+	rec.Type = RecordType(b[0])
+	b = b[1:]
+	u := func() (uint64, error) {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			return 0, fmt.Errorf("wal: truncated record field")
+		}
+		b = b[n:]
+		return v, nil
+	}
+	txn, err := u()
+	if err != nil {
+		return rec, err
+	}
+	table, err := u()
+	if err != nil {
+		return rec, err
+	}
+	rowIdx, err := u()
+	if err != nil {
+		return rec, err
+	}
+	dataLen, err := u()
+	if err != nil {
+		return rec, err
+	}
+	if uint64(len(b)) != dataLen {
+		return rec, fmt.Errorf("wal: record data length mismatch")
+	}
+	rec.Txn = txn
+	rec.Table = uint32(table)
+	rec.RowIndex = int64(rowIdx)
+	if dataLen > 0 {
+		rec.Data = append([]byte(nil), b...)
+	}
+	return rec, nil
+}

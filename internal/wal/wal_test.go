@@ -1,0 +1,207 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func openTestWAL(t *testing.T) (*WAL, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.wal")
+	w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, path
+}
+
+func sampleRecords() []Record {
+	return []Record{
+		{Type: RecInsert, Txn: 1, Table: 3, RowIndex: 0, Data: []byte("row0")},
+		{Type: RecInsert, Txn: 1, Table: 3, RowIndex: 1, Data: []byte("row1-longer-payload")},
+		{Type: RecBlobCreate, Txn: 1, Data: []byte("guid-1234")},
+		{Type: RecCommit, Txn: 1},
+		{Type: RecInsert, Txn: 2, Table: 5, RowIndex: 0, Data: nil},
+		{Type: RecAbort, Txn: 2},
+	}
+}
+
+func TestAppendFlushReplay(t *testing.T) {
+	w, _ := openTestWAL(t)
+	defer w.Close()
+	recs := sampleRecords()
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	if err := w.Replay(func(r Record) error { got = append(got, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Errorf("replay = %+v, want %+v", got, recs)
+	}
+}
+
+func TestReplayAcrossReopen(t *testing.T) {
+	w, path := openTestWAL(t)
+	recs := sampleRecords()
+	for _, r := range recs {
+		w.Append(r)
+	}
+	if err := w.Close(); err != nil { // Close flushes
+		t.Fatal(err)
+	}
+	w2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	var got []Record
+	if err := w2.Replay(func(r Record) error { got = append(got, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Errorf("replay after reopen mismatched")
+	}
+}
+
+func TestReplayStopsAtTornTail(t *testing.T) {
+	w, path := openTestWAL(t)
+	recs := sampleRecords()
+	for _, r := range recs {
+		w.Append(r)
+	}
+	w.Close()
+
+	// Corrupt the file by cutting bytes off the end - a torn final write.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, 3, 7} {
+		tornPath := filepath.Join(t.TempDir(), "torn.wal")
+		if err := os.WriteFile(tornPath, data[:len(data)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w2, err := Open(tornPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Record
+		if err := w2.Replay(func(r Record) error { got = append(got, r); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(recs)-1 {
+			t.Errorf("cut %d: replayed %d records, want %d (torn last)", cut, len(got), len(recs)-1)
+		}
+		w2.Close()
+	}
+}
+
+func TestReplayStopsAtCorruptCRC(t *testing.T) {
+	w, path := openTestWAL(t)
+	recs := sampleRecords()
+	for _, r := range recs {
+		w.Append(r)
+	}
+	w.Close()
+	data, _ := os.ReadFile(path)
+	// Flip one byte in the last record's payload.
+	data[len(data)-2] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+	w2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	n := 0
+	w2.Replay(func(Record) error { n++; return nil })
+	if n != len(recs)-1 {
+		t.Errorf("replayed %d records with corrupt last, want %d", n, len(recs)-1)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	w, _ := openTestWAL(t)
+	defer w.Close()
+	for _, r := range sampleRecords() {
+		w.Append(r)
+	}
+	w.Flush()
+	if w.Size() == 0 {
+		t.Fatal("size 0 after flush")
+	}
+	if err := w.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 0 {
+		t.Errorf("size %d after truncate", w.Size())
+	}
+	n := 0
+	w.Replay(func(Record) error { n++; return nil })
+	if n != 0 {
+		t.Errorf("%d records after truncate", n)
+	}
+	// The log is still usable.
+	w.Append(Record{Type: RecCommit, Txn: 9})
+	w.Flush()
+	n = 0
+	w.Replay(func(Record) error { n++; return nil })
+	if n != 1 {
+		t.Errorf("%d records after truncate+append", n)
+	}
+}
+
+func TestPendingBytesAndImplicitReplayFlush(t *testing.T) {
+	w, _ := openTestWAL(t)
+	defer w.Close()
+	w.Append(Record{Type: RecCommit, Txn: 1})
+	if w.PendingBytes() == 0 {
+		t.Error("no pending bytes after Append")
+	}
+	// Replay flushes pending records first so it sees everything.
+	n := 0
+	w.Replay(func(Record) error { n++; return nil })
+	if n != 1 {
+		t.Errorf("replay saw %d records", n)
+	}
+	if w.PendingBytes() != 0 {
+		t.Error("pending bytes after replay-flush")
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	w, _ := openTestWAL(t)
+	defer w.Close()
+	n := 0
+	if err := w.Replay(func(Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("%d records in empty log", n)
+	}
+}
+
+func TestRecordEncodeDecodeRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Type: RecInsert, Txn: 0, Table: 0, RowIndex: 0},
+		{Type: RecInsert, Txn: 1<<60 + 3, Table: 1 << 30, RowIndex: 1 << 50, Data: []byte{0, 1, 2}},
+		{Type: RecDDL, Data: []byte("CREATE TABLE t (a INT)")},
+	}
+	for _, r := range recs {
+		dec, err := decodeRecord(encodeRecord(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(dec, r) {
+			t.Errorf("round trip %+v != %+v", dec, r)
+		}
+	}
+}
