@@ -111,6 +111,8 @@ func main() {
 			res.CompiledElapsed.Seconds())
 		fmt.Printf("parallel SQL (paper: 44 s)               : %8.2fs  -> speedup %.1fx over interpreted\n",
 			res.SQLElapsed.Seconds(), res.Speedup)
+		fmt.Printf("buffer pool during SQL run: %.1f%% hit rate (%d hits, %d misses)\n",
+			100*res.SQLPoolStats.HitRate(), res.SQLPoolStats.Hits, res.SQLPoolStats.Misses)
 		fmt.Printf("unique tags found by all three: %d\n\n", res.UniqueTags)
 		fmt.Println("[F7] script CPU profile (one core, read-then-process):")
 		fmt.Print(bench.RenderCPUTrace(res.ScriptCPU, 60))
@@ -127,8 +129,10 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("alignments joined with reads (warm pool): %d in %.3fs = %.2fM alignments/s (paper: ~1.6M/s)\n\n",
+		fmt.Printf("alignments joined with reads (warm pool): %d in %.3fs = %.2fM alignments/s (paper: ~1.6M/s)\n",
 			res.Alignments, res.MergeJoinElapsed.Seconds(), res.MergeJoinRate/1e6)
+		fmt.Printf("buffer pool during join: %.1f%% hit rate (%d hits, %d misses)\n\n",
+			100*res.MergeJoinPoolStats.HitRate(), res.MergeJoinPoolStats.Hits, res.MergeJoinPoolStats.Misses)
 		fmt.Println("[F10] merge join plan:")
 		fmt.Println(res.MergeJoinPlan)
 		fmt.Printf("consensus, pivot plan (Query 3 as written): %.3fs\n", res.PivotElapsed.Seconds())

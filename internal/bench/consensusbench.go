@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sqltypes"
+	"repro/internal/storage"
 	"repro/internal/udf"
 )
 
@@ -19,10 +20,13 @@ type ConsensusResult struct {
 	MergeJoinElapsed time.Duration
 	MergeJoinRate    float64 // alignments per second
 	MergeJoinPlan    string
-	PivotElapsed     time.Duration
-	SlidingElapsed   time.Duration
-	SlidingPlan      string
-	ConsensusMatch   bool
+	// MergeJoinPoolStats is the buffer-pool activity of the measured
+	// (warm) join run.
+	MergeJoinPoolStats storage.PoolStats
+	PivotElapsed       time.Duration
+	SlidingElapsed     time.Duration
+	SlidingPlan        string
+	ConsensusMatch     bool
 }
 
 // ConsensusExperiment loads a re-sequencing dataset into clustered tables
@@ -92,9 +96,11 @@ func ConsensusExperiment(ds *ResequencingDataset, workDir string, dop int) (*Con
 	if _, err := db.Exec(joinSQL); err != nil { // warm the pool
 		return nil, err
 	}
+	poolBefore := db.PoolStats()
 	start := time.Now()
 	jr, err := db.Exec(joinSQL)
 	res.MergeJoinElapsed = time.Since(start)
+	res.MergeJoinPoolStats = db.PoolStats().Sub(poolBefore)
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/script"
 	"repro/internal/sqltypes"
+	"repro/internal/storage"
 )
 
 // Query1Result captures the Section 5.3.2 comparison: the sequential
@@ -27,7 +28,10 @@ type Query1Result struct {
 	SQLElapsed      time.Duration
 	SQLCPU          []CPUSample
 	SQLPlan         string
-	UniqueTags      int64
+	// SQLPoolStats is the buffer-pool activity during the measured SQL
+	// run; a warm run should be near 100% hits.
+	SQLPoolStats storage.PoolStats
+	UniqueTags   int64
 	// Speedup is interpreted-script time over SQL time (the paper's
 	// 10min vs 44s ≈ 13.6x).
 	Speedup float64
@@ -119,9 +123,11 @@ func Query1Experiment(ds *DGEDataset, workDir string, dop int) (*Query1Result, e
 	}
 
 	sampler = StartCPUSampler(50 * time.Millisecond)
+	poolBefore := db.PoolStats()
 	start := time.Now()
 	qres, err := db.Exec(Query1SQL)
 	res.SQLElapsed = time.Since(start)
+	res.SQLPoolStats = db.PoolStats().Sub(poolBefore)
 	res.SQLCPU = sampler.Stop()
 	if err != nil {
 		return nil, err

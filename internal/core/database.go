@@ -30,8 +30,16 @@ import (
 type Options struct {
 	// BufferPoolPages caps the page cache (default 32768 pages = 256 MB).
 	BufferPoolPages int
+	// BufferPoolShards sets the pool's lock-shard count (rounded to a
+	// power of two; default 0 auto-sizes from GOMAXPROCS). More shards
+	// reduce latch contention for parallel scans.
+	BufferPoolShards int
 	// DOP is the degree of parallelism for queries (default NumCPU).
 	DOP int
+	// ParallelThreshold is the minimum estimated row count before the
+	// planner considers a parallel scan (default: the planner's, a few
+	// pages of rows).
+	ParallelThreshold int64
 }
 
 // Database is an open engine instance rooted at a directory.
@@ -49,10 +57,11 @@ type Database struct {
 	aggs    map[string]exec.AggFactory
 	tvfs    map[string]plan.TVF
 
-	txn     *Txn // open explicit transaction, nil otherwise
-	txnSeq  uint64
-	dop     int
-	planner *plan.Planner
+	txn       *Txn // open explicit transaction, nil otherwise
+	txnSeq    uint64
+	dop       int
+	threshold int64 // planner ParallelThreshold override, 0 = default
+	planner   *plan.Planner
 }
 
 // tableData is the open storage behind one catalog table.
@@ -90,18 +99,19 @@ func Open(dir string, opts Options) (*Database, error) {
 		return nil, err
 	}
 	db := &Database{
-		dir:     dir,
-		cat:     cat,
-		pool:    storage.NewBufferPool(opts.BufferPoolPages),
-		wal:     w,
-		blobs:   blobs,
-		tables:  map[uint32]*tableData{},
-		scalars: expr.NewRegistry(),
-		aggs:    map[string]exec.AggFactory{},
-		tvfs:    map[string]plan.TVF{},
-		dop:     opts.DOP,
+		dir:       dir,
+		cat:       cat,
+		pool:      storage.NewBufferPoolSharded(opts.BufferPoolPages, opts.BufferPoolShards),
+		wal:       w,
+		blobs:     blobs,
+		tables:    map[uint32]*tableData{},
+		scalars:   expr.NewRegistry(),
+		aggs:      map[string]exec.AggFactory{},
+		tvfs:      map[string]plan.TVF{},
+		dop:       opts.DOP,
+		threshold: opts.ParallelThreshold,
 	}
-	db.planner = plan.NewPlanner(db, db.dop)
+	db.planner = db.newPlanner(db.dop)
 	db.registerEngineFunctions()
 	for _, name := range cat.List() {
 		if err := db.openTableStorage(cat.Get(name)); err != nil {
@@ -128,6 +138,20 @@ func (db *Database) Catalog() *catalog.Catalog { return db.cat }
 // DOP returns the configured degree of parallelism.
 func (db *Database) DOP() int { return db.dop }
 
+// PoolStats snapshots the buffer pool counters; safe to call during
+// concurrent queries (the counters are atomics). The benchmarks report
+// per-query hit rates from deltas of this.
+func (db *Database) PoolStats() storage.PoolStats { return db.pool.Stats() }
+
+// newPlanner builds a planner honoring the database's threshold override.
+func (db *Database) newPlanner(dop int) *plan.Planner {
+	pl := plan.NewPlanner(db, dop)
+	if db.threshold > 0 {
+		pl.ParallelThreshold = db.threshold
+	}
+	return pl
+}
+
 // SetDOP overrides the degree of parallelism (used by the scaling
 // experiments).
 func (db *Database) SetDOP(dop int) {
@@ -137,7 +161,7 @@ func (db *Database) SetDOP(dop int) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.dop = dop
-	db.planner = plan.NewPlanner(db, dop)
+	db.planner = db.newPlanner(dop)
 }
 
 func (db *Database) tablePath(t *catalog.Table) string {

@@ -32,7 +32,12 @@ type gatherMsg struct {
 	err error
 }
 
-const gatherBuffer = 256
+// gatherBuffer is the per-channel row buffer between producers and the
+// consumer. With the sharded buffer pool, scan workers no longer
+// serialize on a pool lock and produce in bursts (a decoded page at a
+// time), so the exchange needs enough slack to absorb a full page of
+// rows per child without stalling the pipeline.
+const gatherBuffer = 1024
 
 // Open starts one producer goroutine per child.
 func (g *Gather) Open(ctx *Context) error {

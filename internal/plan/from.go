@@ -80,11 +80,7 @@ func (pl *Planner) planNamedTable(t *sqlparse.NamedTable, conjuncts []sqlparse.E
 		}
 	}
 
-	parallel := pl.DOP > 1 && pl.Provider.RowCountEstimate(tab) >= pl.ParallelThreshold
-	partsN := 1
-	if parallel {
-		partsN = pl.DOP
-	}
+	partsN := pl.partitionCount(pl.Provider.RowCountEstimate(tab))
 	parts := func() ([]exec.Operator, error) {
 		ops, err := pl.Provider.ScanPartitions(tab, partsN)
 		if err != nil {
@@ -410,13 +406,11 @@ func (pl *Planner) tryMergeJoin(j *sqlparse.JoinRef, left, right *relation,
 		}
 	}
 
-	parallel := pl.DOP > 1 &&
-		(pl.Provider.RowCountEstimate(ltab) >= pl.ParallelThreshold ||
-			pl.Provider.RowCountEstimate(rtab) >= pl.ParallelThreshold)
-	partsN := 1
-	if parallel {
-		partsN = pl.DOP
+	est := pl.Provider.RowCountEstimate(ltab)
+	if r := pl.Provider.RowCountEstimate(rtab); r > est {
+		est = r
 	}
+	partsN := pl.partitionCount(est)
 
 	combined := append(append([]ColMeta{}, left.cols...), right.cols...)
 	buildParts := func() ([]exec.Operator, error) {

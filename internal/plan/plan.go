@@ -100,11 +100,36 @@ type Planner struct {
 }
 
 // NewPlanner returns a planner with the given provider and DOP.
+//
+// The default ParallelThreshold is low: with the sharded buffer pool,
+// parallel workers no longer serialize on a pool mutex, so the
+// break-even table size for a parallel scan is a few pages of rows, not
+// tens of thousands.
 func NewPlanner(p Provider, dop int) *Planner {
 	if dop < 1 {
 		dop = 1
 	}
-	return &Planner{Provider: p, DOP: dop, ParallelThreshold: 10_000}
+	return &Planner{Provider: p, DOP: dop, ParallelThreshold: 2_048}
+}
+
+// partitionCount decides the degree of parallelism for a scan over an
+// estimated est rows: serial below the threshold, then one partition per
+// ParallelThreshold rows up to DOP, so small-but-parallel tables do not
+// pay exchange overhead for idle workers.
+func (pl *Planner) partitionCount(est int64) int {
+	if pl.DOP <= 1 || est < pl.ParallelThreshold {
+		return 1
+	}
+	n := int64(pl.DOP)
+	if pl.ParallelThreshold > 0 {
+		if maxUseful := est / pl.ParallelThreshold; maxUseful < n {
+			n = maxUseful
+		}
+	}
+	if n < 2 {
+		n = 2
+	}
+	return int(n)
 }
 
 func buildChild(n *Node) (exec.Operator, error) {

@@ -2,7 +2,10 @@ package storage
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // frameKey identifies a cached page across files.
@@ -18,6 +21,26 @@ type frame struct {
 	pins  int
 	dirty bool
 	used  bool // clock reference bit
+
+	// loading is non-nil while a cache miss is filling data from disk.
+	// Concurrent getters of the same page pin the frame, drop the shard
+	// lock, and wait for the channel to close; loadErr (written before the
+	// close, so the close publishes it) reports how the fill ended.
+	loading chan struct{}
+	loadErr error
+}
+
+// poolShard is one lock domain of the buffer pool: its own frame map,
+// clock list and hand. budget is how many frames the shard may own;
+// eviction pressure moves budget between shards (see stealBudget), with
+// the invariant len(clock) <= budget per shard and sum(budget) == pool
+// capacity, so the pool never materializes more than capacity frames.
+type poolShard struct {
+	mu     sync.Mutex
+	frames map[frameKey]*frame
+	clock  []*frame
+	hand   int
+	budget int
 }
 
 // BufferPool caches pages with pin/unpin semantics and clock eviction.
@@ -25,97 +48,241 @@ type frame struct {
 // checkpoints. The pool is safe for concurrent use; the paper's parallel
 // query plans scan through it from multiple goroutines ("with a warm
 // buffer pool", Section 5.3.3).
+//
+// The pool is sharded: pages hash (by file and page id) onto
+// power-of-two many shards, each with its own mutex, so parallel scans
+// touching different pages never contend on a single lock. Cache-miss
+// disk reads happen outside the shard lock behind a per-frame fill
+// latch: readers of the same in-flight page wait on the latch, readers
+// of other pages in the same shard proceed.
 type BufferPool struct {
-	mu       sync.Mutex
+	shards   []poolShard
+	mask     uint64
 	capacity int
-	frames   map[frameKey]*frame
-	clock    []*frame
-	hand     int
 
-	// Stats are monotonically increasing counters for diagnostics.
+	hits, misses, evictions atomic.Int64
+}
+
+// PoolStats is a point-in-time snapshot of the pool's counters.
+type PoolStats struct {
 	Hits, Misses, Evictions int64
 }
 
-// NewBufferPool returns a pool caching up to capacity pages.
+// HitRate returns hits / (hits + misses), or 0 with no traffic.
+func (s PoolStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Sub returns the counter deltas since an earlier snapshot.
+func (s PoolStats) Sub(earlier PoolStats) PoolStats {
+	return PoolStats{
+		Hits:      s.Hits - earlier.Hits,
+		Misses:    s.Misses - earlier.Misses,
+		Evictions: s.Evictions - earlier.Evictions,
+	}
+}
+
+// NewBufferPool returns a pool caching up to capacity pages, with a
+// shard count sized to the machine.
 func NewBufferPool(capacity int) *BufferPool {
+	return NewBufferPoolSharded(capacity, 0)
+}
+
+// NewBufferPoolSharded returns a pool caching up to capacity pages
+// split across the given number of shards (rounded up to a power of
+// two). shards <= 0 selects a default based on GOMAXPROCS, capped so
+// each shard still has a useful number of frames.
+func NewBufferPoolSharded(capacity, shards int) *BufferPool {
 	if capacity < 8 {
 		capacity = 8
 	}
-	return &BufferPool{
-		capacity: capacity,
-		frames:   make(map[frameKey]*frame, capacity),
+	if shards <= 0 {
+		// Oversubscribe shards vs cores so random page hashes rarely
+		// collide on a lock even when every core runs a scan worker.
+		shards = 4 * runtime.GOMAXPROCS(0)
+		if shards < 8 {
+			shards = 8
+		}
 	}
+	n := 1
+	for n < shards && n < 64 {
+		n <<= 1
+	}
+	// Keep at least 4 frames of budget per shard on average.
+	for n > 1 && capacity/n < 4 {
+		n >>= 1
+	}
+	bp := &BufferPool{
+		shards:   make([]poolShard, n),
+		mask:     uint64(n - 1),
+		capacity: capacity,
+	}
+	base, extra := capacity/n, capacity%n
+	for i := range bp.shards {
+		sh := &bp.shards[i]
+		sh.frames = make(map[frameKey]*frame, base+1)
+		sh.budget = base
+		if i < extra {
+			sh.budget++
+		}
+	}
+	return bp
+}
+
+// Capacity returns the maximum number of cached pages.
+func (bp *BufferPool) Capacity() int { return bp.capacity }
+
+// ShardCount returns the number of lock domains.
+func (bp *BufferPool) ShardCount() int { return len(bp.shards) }
+
+// Stats returns a consistent snapshot of the pool counters. Safe to
+// call concurrently with scans (counters are atomics).
+func (bp *BufferPool) Stats() PoolStats {
+	return PoolStats{
+		Hits:      bp.hits.Load(),
+		Misses:    bp.misses.Load(),
+		Evictions: bp.evictions.Load(),
+	}
+}
+
+// shard maps a page to its lock domain via a splitmix-style mix of the
+// file id and page number.
+func (bp *BufferPool) shard(key frameKey) *poolShard {
+	h := key.file.id*0x9E3779B97F4A7C15 + uint64(key.page)
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return &bp.shards[h&bp.mask]
 }
 
 // Get pins the page and returns its in-memory image. The caller must call
 // Unpin (with dirty=true if it modified the image) when done.
 //
-// The disk read of a miss happens under the pool lock. That serializes
-// fills, which is deliberate: it keeps the "frame visible implies frame
-// filled" invariant without per-frame latches, and the CPU-heavy work
-// (decoding rows) happens after Get returns, outside the lock, so parallel
-// scans still spread across cores.
+// A miss reads from disk outside the shard lock: the frame is published
+// in the map with a fill latch first, so concurrent getters of the same
+// page block on the latch (not on the shard), and getters of other
+// pages proceed through the shard concurrently.
 func (bp *BufferPool) Get(f *PagedFile, id PageID) (*frame, error) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
 	key := frameKey{f, id}
-	if fr, ok := bp.frames[key]; ok {
-		fr.pins++
+	sh := bp.shard(key)
+	sh.mu.Lock()
+	for {
+		if fr, ok := sh.frames[key]; ok {
+			fr.pins++
+			fr.used = true
+			latch := fr.loading
+			sh.mu.Unlock()
+			if latch == nil {
+				bp.hits.Add(1)
+				return fr, nil
+			}
+			// Waiting on another getter's fill pays the I/O latency, so
+			// it counts as a miss, keeping the reported hit rate honest
+			// about how many accesses were served from memory.
+			bp.misses.Add(1)
+			<-latch
+			// The pin taken above keeps the frame from being recycled, so
+			// loadErr still belongs to the fill we waited for.
+			if err := fr.loadErr; err != nil {
+				sh.mu.Lock()
+				fr.pins--
+				sh.mu.Unlock()
+				return nil, err
+			}
+			return fr, nil
+		}
+		fr := sh.allocLocked(bp)
+		if fr == nil {
+			sh.mu.Unlock()
+			if err := bp.stealBudget(sh); err != nil {
+				return nil, err
+			}
+			sh.mu.Lock()
+			continue // re-check: the page may have been cached meanwhile
+		}
+		bp.misses.Add(1)
+		fr.key = key
+		fr.pins = 1
 		fr.used = true
-		bp.Hits++
+		fr.dirty = false
+		latch := make(chan struct{})
+		fr.loading = latch
+		fr.loadErr = nil
+		sh.frames[key] = fr
+		sh.mu.Unlock()
+
+		err := f.ReadPage(id, fr.data[:]) // the actual I/O, outside the lock
+		sh.mu.Lock()
+		fr.loading = nil
+		fr.loadErr = err
+		if err != nil {
+			fr.pins--
+			delete(sh.frames, key)
+			fr.key = frameKey{}
+		}
+		sh.mu.Unlock()
+		close(latch)
+		if err != nil {
+			return nil, err
+		}
 		return fr, nil
 	}
-	bp.Misses++
-	fr, err := bp.allocFrameLocked()
-	if err != nil {
-		return nil, err
-	}
-	if err := f.ReadPage(id, fr.data[:]); err != nil {
-		return nil, err
-	}
-	fr.key = key
-	fr.pins = 1
-	fr.used = true
-	fr.dirty = false
-	bp.frames[key] = fr
-	return fr, nil
 }
 
 // NewPage pins a frame for a freshly allocated page without reading from
 // disk (the page is known to be zero).
 func (bp *BufferPool) NewPage(f *PagedFile, id PageID) (*frame, error) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
 	key := frameKey{f, id}
-	if _, ok := bp.frames[key]; ok {
-		return nil, fmt.Errorf("storage: NewPage for already-cached page %d", id)
-	}
-	fr, err := bp.allocFrameLocked()
-	if err != nil {
-		return nil, err
-	}
-	fr.key = key
-	fr.pins = 1
-	fr.used = true
-	fr.dirty = true
-	for i := range fr.data {
-		fr.data[i] = 0
-	}
-	bp.frames[key] = fr
-	return fr, nil
-}
-
-// allocFrameLocked finds a reusable frame, evicting an unpinned clean page
-// via the clock algorithm if the pool is full.
-func (bp *BufferPool) allocFrameLocked() (*frame, error) {
-	if len(bp.clock) < bp.capacity {
-		fr := &frame{}
-		bp.clock = append(bp.clock, fr)
+	sh := bp.shard(key)
+	sh.mu.Lock()
+	for {
+		if _, ok := sh.frames[key]; ok {
+			sh.mu.Unlock()
+			return nil, fmt.Errorf("storage: NewPage for already-cached page %d", id)
+		}
+		fr := sh.allocLocked(bp)
+		if fr == nil {
+			sh.mu.Unlock()
+			if err := bp.stealBudget(sh); err != nil {
+				return nil, err
+			}
+			sh.mu.Lock()
+			continue
+		}
+		fr.key = key
+		fr.pins = 1
+		fr.used = true
+		fr.dirty = true
+		clear(fr.data[:])
+		sh.frames[key] = fr
+		sh.mu.Unlock()
 		return fr, nil
 	}
-	for sweep := 0; sweep < 2*len(bp.clock); sweep++ {
-		fr := bp.clock[bp.hand]
-		bp.hand = (bp.hand + 1) % len(bp.clock)
+}
+
+// allocLocked finds a reusable frame in the shard: a fresh frame while
+// the shard is under budget, else an unpinned clean page evicted via the
+// clock algorithm. Returns nil when every frame is pinned or dirty.
+// Called with sh.mu held.
+func (sh *poolShard) allocLocked(bp *BufferPool) *frame {
+	if len(sh.clock) < sh.budget {
+		fr := &frame{}
+		sh.clock = append(sh.clock, fr)
+		return fr
+	}
+	return sh.evictLocked(bp)
+}
+
+// evictLocked runs the clock sweep, returning an evicted frame (still
+// tracked in the shard's clock) or nil.
+func (sh *poolShard) evictLocked(bp *BufferPool) *frame {
+	for sweep := 0; sweep < 2*len(sh.clock); sweep++ {
+		fr := sh.clock[sh.hand]
+		sh.hand = (sh.hand + 1) % len(sh.clock)
 		if fr.pins > 0 || fr.dirty {
 			continue
 		}
@@ -123,17 +290,74 @@ func (bp *BufferPool) allocFrameLocked() (*frame, error) {
 			fr.used = false
 			continue
 		}
-		delete(bp.frames, fr.key)
-		bp.Evictions++
-		return fr, nil
+		if fr.key != (frameKey{}) {
+			delete(sh.frames, fr.key)
+			fr.key = frameKey{}
+			bp.evictions.Add(1)
+		}
+		return fr
 	}
-	return nil, fmt.Errorf("storage: buffer pool exhausted (%d frames, all pinned or dirty); checkpoint required", bp.capacity)
+	return nil
+}
+
+// stealBudget rebalances one unit of frame budget from a sibling shard
+// into home after home's local allocation failed. A sibling with spare
+// budget just cedes the unit; otherwise a sibling frame is evicted and
+// physically moved. Only one shard lock is held at a time (no ordering,
+// no deadlock). Errors when every frame in the pool is pinned or dirty.
+func (bp *BufferPool) stealBudget(home *poolShard) error {
+	for i := range bp.shards {
+		sib := &bp.shards[i]
+		if sib == home {
+			continue
+		}
+		sib.mu.Lock()
+		if len(sib.clock) < sib.budget {
+			sib.budget--
+			sib.mu.Unlock()
+			home.mu.Lock()
+			home.budget++
+			home.mu.Unlock()
+			return nil
+		}
+		if fr := sib.evictLocked(bp); fr != nil {
+			sib.removeFromClockLocked(fr)
+			sib.budget--
+			sib.mu.Unlock()
+			home.mu.Lock()
+			home.budget++
+			home.clock = append(home.clock, fr)
+			home.mu.Unlock()
+			return nil
+		}
+		sib.mu.Unlock()
+	}
+	return fmt.Errorf("storage: buffer pool exhausted (%d frames, all pinned or dirty); checkpoint required", bp.capacity)
+}
+
+// removeFromClockLocked unlinks fr from the shard's clock list.
+func (sh *poolShard) removeFromClockLocked(fr *frame) {
+	for i, c := range sh.clock {
+		if c == fr {
+			last := len(sh.clock) - 1
+			sh.clock[i] = sh.clock[last]
+			sh.clock[last] = nil
+			sh.clock = sh.clock[:last]
+			if sh.hand >= len(sh.clock) {
+				sh.hand = 0
+			}
+			return
+		}
+	}
 }
 
 // Unpin releases a pinned frame.
 func (bp *BufferPool) Unpin(fr *frame, dirty bool) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
+	// fr.key cannot change while the caller holds a pin, so reading it
+	// before taking the shard lock is safe.
+	sh := bp.shard(fr.key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if fr.pins <= 0 {
 		panic("storage: Unpin of unpinned frame")
 	}
@@ -146,46 +370,65 @@ func (bp *BufferPool) Unpin(fr *frame, dirty bool) {
 // Data exposes the page image of a pinned frame.
 func (fr *frame) Data() []byte { return fr.data[:] }
 
-// FlushFile writes every dirty page of f to disk and clears dirty flags.
-// The file is not fsynced; callers sequence Sync with their WAL protocol.
+// FlushFile writes every dirty page of f to disk, in ascending PageID
+// order for sequential I/O, and clears dirty flags. The file is not
+// fsynced; callers sequence Sync with their WAL protocol. Concurrent
+// Get/Unpin on other pages proceed; callers must not mutate pinned
+// pages of f during the flush (checkpoints run with the engine's
+// writer lock held).
 func (bp *BufferPool) FlushFile(f *PagedFile) error {
-	bp.mu.Lock()
 	var toFlush []*frame
-	for _, fr := range bp.frames {
-		if fr.key.file == f && fr.dirty {
-			fr.pins++ // hold while writing
-			toFlush = append(toFlush, fr)
+	for i := range bp.shards {
+		sh := &bp.shards[i]
+		sh.mu.Lock()
+		for _, fr := range sh.frames {
+			if fr.key.file == f && fr.dirty {
+				fr.pins++ // hold while writing
+				toFlush = append(toFlush, fr)
+			}
 		}
+		sh.mu.Unlock()
 	}
-	bp.mu.Unlock()
+	sort.Slice(toFlush, func(i, j int) bool {
+		return toFlush[i].key.page < toFlush[j].key.page
+	})
+	var firstErr error
 	for _, fr := range toFlush {
-		err := f.WritePage(fr.key.page, fr.data[:])
-		bp.mu.Lock()
+		var err error
+		if firstErr == nil {
+			err = f.WritePage(fr.key.page, fr.data[:])
+		}
+		sh := bp.shard(fr.key)
+		sh.mu.Lock()
 		fr.pins--
-		if err == nil {
+		if err == nil && firstErr == nil {
 			fr.dirty = false
 		}
-		bp.mu.Unlock()
-		if err != nil {
-			return err
+		sh.mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return nil
+	return firstErr
 }
 
 // DropFile removes every cached page of f (used when a table is dropped or
 // truncated during rollback). Dirty pages are discarded.
 func (bp *BufferPool) DropFile(f *PagedFile) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	for k, fr := range bp.frames {
-		if k.file == f {
-			if fr.pins > 0 {
-				panic("storage: DropFile with pinned pages")
+	for i := range bp.shards {
+		sh := &bp.shards[i]
+		sh.mu.Lock()
+		for k, fr := range sh.frames {
+			if k.file == f {
+				if fr.pins > 0 {
+					sh.mu.Unlock()
+					panic("storage: DropFile with pinned pages")
+				}
+				fr.dirty = false
+				fr.key = frameKey{}
+				delete(sh.frames, k)
 			}
-			fr.dirty = false
-			fr.key = frameKey{}
-			delete(bp.frames, k)
 		}
+		sh.mu.Unlock()
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the fixed page size, matching SQL Server's 8 KB pages.
@@ -29,7 +30,11 @@ type PagedFile struct {
 	f     *os.File
 	pages int64
 	path  string
+	id    uint64 // process-unique, used to hash pages onto pool shards
 }
+
+// pagedFileSeq hands out process-unique PagedFile ids.
+var pagedFileSeq atomic.Uint64
 
 // OpenPagedFile opens (creating if necessary) a paged file. The file size
 // must be a multiple of PageSize.
@@ -47,7 +52,7 @@ func OpenPagedFile(path string) (*PagedFile, error) {
 		f.Close()
 		return nil, fmt.Errorf("storage: %s size %d not a multiple of page size", path, st.Size())
 	}
-	return &PagedFile{f: f, pages: st.Size() / PageSize, path: path}, nil
+	return &PagedFile{f: f, pages: st.Size() / PageSize, path: path, id: pagedFileSeq.Add(1)}, nil
 }
 
 // NumPages returns the current number of allocated pages.

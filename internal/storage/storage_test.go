@@ -100,14 +100,14 @@ func TestBufferPoolPinEvict(t *testing.T) {
 		}
 		bp.Unpin(fr, false)
 	}
-	if bp.Evictions == 0 {
+	if bp.Stats().Evictions == 0 {
 		t.Error("no evictions with 20 pages in 8 frames")
 	}
 	// Re-read page 19 - should hit.
-	h := bp.Hits
+	h := bp.Stats().Hits
 	fr, _ := bp.Get(f, 19)
 	bp.Unpin(fr, false)
-	if bp.Hits != h+1 {
+	if bp.Stats().Hits != h+1 {
 		t.Error("expected a buffer hit on recently used page")
 	}
 }
