@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -22,11 +23,12 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment: all, table1, table2, wrap, query1, consensus, plans, ablations")
+	run := flag.String("run", "all", "experiment: all, table1, table2, wrap, query1, consensus, plans, ablations, join")
 	dgeReads := flag.Int("dge-reads", 400_000, "DGE lane size (level-1 reads)")
 	reseqReads := flag.Int("reseq-reads", 150_000, "re-sequencing lane size")
 	seed := flag.Int64("seed", 42, "generator seed")
 	work := flag.String("work", "", "work directory (default: temp, removed on exit)")
+	joinOut := flag.String("join-out", "BENCH_join.json", "output path for the join benchmark JSON")
 	flag.Parse()
 
 	workDir := *work
@@ -179,6 +181,32 @@ func main() {
 			fmt.Printf("  DOP %d: %8.3fs (%.2fx)\n", k, times[k].Seconds(), float64(base)/float64(times[k]))
 		}
 		fmt.Println()
+	}
+	if want("join") {
+		fmt.Println("---- partitioned hash join: DOP scaling, in-memory vs forced spill ----")
+		cfg := bench.DefaultJoinBenchConfig()
+		res, err := bench.JoinExperiment(filepath.Join(workDir, "join"), cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("build %d rows ⋈ probe %d rows over %d keys (GOMAXPROCS %d)\n",
+			res.BuildRows, res.ProbeRows, res.KeySpace, res.GOMAXPROCS)
+		render := func(label string, runs []bench.JoinBenchRun) {
+			fmt.Printf("%s:\n", label)
+			base := runs[0].ElapsedMS
+			for _, r := range runs {
+				fmt.Printf("  DOP %d: %9.1f ms (%.2fx)  rows=%d spilled_parts=%d recursions=%d\n",
+					r.DOP, r.ElapsedMS, base/r.ElapsedMS, r.Rows, r.SpilledPartitions, r.SpillRecursions)
+			}
+		}
+		render("warm in-memory", res.InMemory)
+		render(fmt.Sprintf("forced spill (budget %s)", bench.FormatBytes(res.SpillBudget)), res.Spill)
+		if err := res.WriteJSON(*joinOut); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n\n", *joinOut)
+		fmt.Println("partitioned join plan:")
+		fmt.Println(res.Plan)
 	}
 	fmt.Println(strings.Repeat("=", 60))
 	fmt.Println("done")

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sqltypes"
+)
+
+// JoinBenchConfig sizes the partitioned-join experiment.
+type JoinBenchConfig struct {
+	BuildRows int   // rows in the smaller (build) table
+	ProbeRows int   // rows in the larger (probe) table
+	KeySpace  int   // distinct join keys (duplicates join fan-out)
+	DOPs      []int // degrees of parallelism to measure
+	// SpillBudget is the forced-spill join memory budget in bytes; it
+	// should be far below the build side's in-memory footprint.
+	SpillBudget int64
+}
+
+// DefaultJoinBenchConfig mirrors the reads ⋈ alignments shape at a scale
+// that completes in seconds.
+func DefaultJoinBenchConfig() JoinBenchConfig {
+	return JoinBenchConfig{
+		BuildRows:   60_000,
+		ProbeRows:   120_000,
+		KeySpace:    20_000,
+		DOPs:        []int{1, 2, 4, 8},
+		SpillBudget: 512 << 10,
+	}
+}
+
+// JoinBenchRun is one timed configuration.
+type JoinBenchRun struct {
+	DOP               int     `json:"dop"`
+	ElapsedMS         float64 `json:"elapsed_ms"`
+	Rows              int64   `json:"rows"`
+	SpilledPartitions int64   `json:"spilled_partitions"`
+	SpilledBuildRows  int64   `json:"spilled_build_rows"`
+	SpilledProbeRows  int64   `json:"spilled_probe_rows"`
+	SpillRecursions   int64   `json:"spill_recursions"`
+	PoolHitRate       float64 `json:"pool_hit_rate"`
+}
+
+// JoinBenchResult is the full experiment: the same SQL join measured warm
+// at each DOP, in memory and with a budget that forces partition spill.
+type JoinBenchResult struct {
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	BuildRows   int            `json:"build_rows"`
+	ProbeRows   int            `json:"probe_rows"`
+	KeySpace    int            `json:"key_space"`
+	SpillBudget int64          `json:"spill_budget_bytes"`
+	Plan        string         `json:"plan"`
+	InMemory    []JoinBenchRun `json:"in_memory"`
+	Spill       []JoinBenchRun `json:"forced_spill"`
+}
+
+const joinBenchSQL = `SELECT r_payload, a_payload FROM aligns JOIN reads ON aligns.k = reads.k`
+
+// loadJoinBenchTables creates and fills the two heap tables.
+func loadJoinBenchTables(db *core.Database, cfg JoinBenchConfig) error {
+	if _, err := db.Exec(`CREATE TABLE aligns (k BIGINT, a_payload VARCHAR(40))`); err != nil {
+		return err
+	}
+	if _, err := db.Exec(`CREATE TABLE reads (k BIGINT, r_payload VARCHAR(40))`); err != nil {
+		return err
+	}
+	mk := func(n int, side string, stride int) []sqltypes.Row {
+		rows := make([]sqltypes.Row, n)
+		for i := 0; i < n; i++ {
+			rows[i] = sqltypes.Row{
+				// Deterministic key mix without a shared RNG.
+				sqltypes.NewInt(int64((i * stride) % cfg.KeySpace)),
+				sqltypes.NewString(fmt.Sprintf("%s-%08d", side, i)),
+			}
+		}
+		return rows
+	}
+	if err := db.InsertRows("aligns", mk(cfg.BuildRows, "a", 7)); err != nil {
+		return err
+	}
+	if err := db.InsertRows("reads", mk(cfg.ProbeRows, "r", 13)); err != nil {
+		return err
+	}
+	_, err := db.Exec("CHECKPOINT")
+	return err
+}
+
+// runJoinBench measures the join at each DOP against one database,
+// discarding a warm-up run per DOP so timings reflect a warm buffer pool.
+func runJoinBench(db *core.Database, dops []int) ([]JoinBenchRun, error) {
+	var out []JoinBenchRun
+	for _, dop := range dops {
+		db.SetDOP(dop)
+		if _, err := db.Query(joinBenchSQL); err != nil { // warm-up
+			return nil, err
+		}
+		joinBefore := db.JoinStats()
+		poolBefore := db.PoolStats()
+		start := time.Now()
+		res, err := db.Query(joinBenchSQL)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		jd := db.JoinStats().Sub(joinBefore)
+		pd := db.PoolStats().Sub(poolBefore)
+		out = append(out, JoinBenchRun{
+			DOP:               dop,
+			ElapsedMS:         float64(elapsed.Microseconds()) / 1e3,
+			Rows:              int64(len(res.Rows)),
+			SpilledPartitions: jd.SpilledPartitions,
+			SpilledBuildRows:  jd.SpilledBuildRows,
+			SpilledProbeRows:  jd.SpilledProbeRows,
+			SpillRecursions:   jd.SpillRecursions,
+			PoolHitRate:       pd.HitRate(),
+		})
+	}
+	return out, nil
+}
+
+// JoinExperiment measures the parallel partitioned hash join through the
+// full SQL stack: warm in-memory runs at each DOP, then the same join
+// with a memory budget far below the build side so every run spills and
+// recurses. The spilled runs must produce the same row count.
+func JoinExperiment(workDir string, cfg JoinBenchConfig) (*JoinBenchResult, error) {
+	res := &JoinBenchResult{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		BuildRows:   cfg.BuildRows,
+		ProbeRows:   cfg.ProbeRows,
+		KeySpace:    cfg.KeySpace,
+		SpillBudget: cfg.SpillBudget,
+	}
+	open := func(name string, budget int64) (*core.Database, error) {
+		db, err := core.Open(filepath.Join(workDir, name), core.Options{
+			DOP:               maxDOP(cfg.DOPs),
+			ParallelThreshold: 2_048,
+			JoinMemoryBudget:  budget,
+			JoinPartitions:    32,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return db, loadJoinBenchTables(db, cfg)
+	}
+
+	memDB, err := open("join_mem", -1) // unlimited
+	if err != nil {
+		return nil, err
+	}
+	defer memDB.Close()
+	if expl, err := memDB.Query("EXPLAIN " + joinBenchSQL); err == nil {
+		res.Plan = expl.Plan
+	}
+	if res.InMemory, err = runJoinBench(memDB, cfg.DOPs); err != nil {
+		return nil, err
+	}
+
+	spillDB, err := open("join_spill", cfg.SpillBudget)
+	if err != nil {
+		return nil, err
+	}
+	defer spillDB.Close()
+	if res.Spill, err = runJoinBench(spillDB, cfg.DOPs); err != nil {
+		return nil, err
+	}
+	for i := range res.Spill {
+		if res.Spill[i].SpilledPartitions == 0 {
+			return nil, fmt.Errorf("bench: forced-spill run at DOP %d did not spill", res.Spill[i].DOP)
+		}
+		if res.Spill[i].Rows != res.InMemory[0].Rows {
+			return nil, fmt.Errorf("bench: spilled join returned %d rows, in-memory %d",
+				res.Spill[i].Rows, res.InMemory[0].Rows)
+		}
+	}
+	return res, nil
+}
+
+// WriteJSON writes the result as indented JSON.
+func (r *JoinBenchResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func maxDOP(dops []int) int {
+	m := 1
+	for _, d := range dops {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,40 @@
+package bench
+
+import "testing"
+
+// TestJoinExperimentSmoke runs the join harness at a reduced scale: every
+// DOP must return the same row count and the forced-spill runs must spill.
+func TestJoinExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("join experiment in short mode")
+	}
+	cfg := JoinBenchConfig{
+		BuildRows:   6_000,
+		ProbeRows:   12_000,
+		KeySpace:    2_000,
+		DOPs:        []int{1, 2},
+		SpillBudget: 64 << 10,
+	}
+	res, err := JoinExperiment(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.InMemory) != 2 || len(res.Spill) != 2 {
+		t.Fatalf("runs missing: %+v", res)
+	}
+	for _, r := range append(res.InMemory, res.Spill...) {
+		if r.Rows != res.InMemory[0].Rows {
+			t.Errorf("DOP %d returned %d rows, want %d", r.DOP, r.Rows, res.InMemory[0].Rows)
+		}
+	}
+	for _, r := range res.InMemory {
+		if r.SpilledPartitions != 0 {
+			t.Errorf("in-memory run at DOP %d spilled %d partitions", r.DOP, r.SpilledPartitions)
+		}
+	}
+	for _, r := range res.Spill {
+		if r.SpilledPartitions == 0 {
+			t.Errorf("forced-spill run at DOP %d did not spill", r.DOP)
+		}
+	}
+}

@@ -40,6 +40,17 @@ type Options struct {
 	// planner considers a parallel scan (default: the planner's, a few
 	// pages of rows).
 	ParallelThreshold int64
+	// JoinMemoryBudget caps the bytes of build-side rows a hash join may
+	// hold in memory before it spills whole partitions to temp files in
+	// <dir>/tmp (default 64 MB; negative disables spilling so joins of
+	// any size stay in memory). A join whose build side exceeds the
+	// budget still returns exactly the in-memory result — it pages
+	// through disk instead of growing the heap.
+	JoinMemoryBudget int64
+	// JoinPartitions is the hash fan-out of partitioned parallel joins
+	// (default 32). More partitions lower the per-partition memory need
+	// and sharpen spill granularity at the cost of smaller hash tables.
+	JoinPartitions int
 }
 
 // Database is an open engine instance rooted at a directory.
@@ -57,11 +68,15 @@ type Database struct {
 	aggs    map[string]exec.AggFactory
 	tvfs    map[string]plan.TVF
 
-	txn       *Txn // open explicit transaction, nil otherwise
-	txnSeq    uint64
-	dop       int
-	threshold int64 // planner ParallelThreshold override, 0 = default
-	planner   *plan.Planner
+	txn        *Txn // open explicit transaction, nil otherwise
+	txnSeq     uint64
+	dop        int
+	threshold  int64 // planner ParallelThreshold override, 0 = default
+	joinBudget int64 // join memory budget (0 = unlimited)
+	joinParts  int   // join hash fan-out
+	planner    *plan.Planner
+	spill      *storage.SpillManager
+	joinStats  exec.JoinStats
 }
 
 // tableData is the open storage behind one catalog table.
@@ -83,6 +98,14 @@ func Open(dir string, opts Options) (*Database, error) {
 	if opts.DOP <= 0 {
 		opts.DOP = runtime.NumCPU()
 	}
+	if opts.JoinMemoryBudget == 0 {
+		opts.JoinMemoryBudget = plan.DefaultJoinMemoryBudget
+	} else if opts.JoinMemoryBudget < 0 {
+		opts.JoinMemoryBudget = 0 // unlimited
+	}
+	if opts.JoinPartitions <= 0 {
+		opts.JoinPartitions = plan.DefaultJoinPartitions
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -99,18 +122,21 @@ func Open(dir string, opts Options) (*Database, error) {
 		return nil, err
 	}
 	db := &Database{
-		dir:       dir,
-		cat:       cat,
-		pool:      storage.NewBufferPoolSharded(opts.BufferPoolPages, opts.BufferPoolShards),
-		wal:       w,
-		blobs:     blobs,
-		tables:    map[uint32]*tableData{},
-		scalars:   expr.NewRegistry(),
-		aggs:      map[string]exec.AggFactory{},
-		tvfs:      map[string]plan.TVF{},
-		dop:       opts.DOP,
-		threshold: opts.ParallelThreshold,
+		dir:        dir,
+		cat:        cat,
+		pool:       storage.NewBufferPoolSharded(opts.BufferPoolPages, opts.BufferPoolShards),
+		wal:        w,
+		blobs:      blobs,
+		tables:     map[uint32]*tableData{},
+		scalars:    expr.NewRegistry(),
+		aggs:       map[string]exec.AggFactory{},
+		tvfs:       map[string]plan.TVF{},
+		dop:        opts.DOP,
+		threshold:  opts.ParallelThreshold,
+		joinBudget: opts.JoinMemoryBudget,
+		joinParts:  opts.JoinPartitions,
 	}
+	db.spill = storage.NewSpillManager(filepath.Join(dir, "tmp"), db.pool)
 	db.planner = db.newPlanner(db.dop)
 	db.registerEngineFunctions()
 	for _, name := range cat.List() {
@@ -143,14 +169,22 @@ func (db *Database) DOP() int { return db.dop }
 // per-query hit rates from deltas of this.
 func (db *Database) PoolStats() storage.PoolStats { return db.pool.Stats() }
 
-// newPlanner builds a planner honoring the database's threshold override.
+// newPlanner builds a planner honoring the database's threshold and join
+// overrides.
 func (db *Database) newPlanner(dop int) *plan.Planner {
 	pl := plan.NewPlanner(db, dop)
 	if db.threshold > 0 {
 		pl.ParallelThreshold = db.threshold
 	}
+	pl.JoinMemoryBudget = db.joinBudget
+	pl.JoinPartitions = db.joinParts
 	return pl
 }
+
+// JoinStats snapshots the partitioned-join counters (spilled partitions,
+// spilled rows, recursions); safe to call during concurrent queries. The
+// benchmarks report per-query spill activity from deltas of this.
+func (db *Database) JoinStats() exec.JoinStatsSnapshot { return db.joinStats.Snapshot() }
 
 // SetDOP overrides the degree of parallelism (used by the scaling
 // experiments).

@@ -9,6 +9,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/plan"
 	"repro/internal/sqltypes"
+	"repro/internal/storage"
 )
 
 // The Database implements plan.Provider: catalog lookups, function
@@ -57,6 +58,26 @@ func (db *Database) RowCountEstimate(t *catalog.Table) int64 {
 	}
 	return td.rowCount()
 }
+
+// spillStore adapts the storage spill manager to the operator-layer
+// contract (exec names the interfaces, storage owns the file lifecycle).
+type spillStore struct{ m *storage.SpillManager }
+
+type spillFile struct{ *storage.SpillFile }
+
+func (s spillStore) Create() (exec.SpillFile, error) {
+	f, err := s.m.Create()
+	if err != nil {
+		return nil, err
+	}
+	return spillFile{f}, nil
+}
+
+func (f spillFile) Iter() (exec.RowIterator, error) { return f.NewIterator(), nil }
+
+// SpillStore exposes temp spill files (under <dir>/tmp, read through the
+// shared buffer pool) to the planner's partitioned joins.
+func (db *Database) SpillStore() exec.SpillStore { return spillStore{db.spill} }
 
 // convertIterator unpacks SEQUENCE columns when the table uses the UDT.
 type convertIterator struct {

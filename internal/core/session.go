@@ -85,6 +85,12 @@ func (db *Database) Query(sql string) (*Result, error) {
 	return db.Exec(sql)
 }
 
+// execContext builds the per-query execution context: the configured DOP
+// plus the engine-wide join counters.
+func (db *Database) execContext() *exec.Context {
+	return &exec.Context{DOP: db.dop, Stats: &db.joinStats}
+}
+
 // runSelectLocked plans and executes a SELECT (callers hold db.mu in some
 // mode).
 func (db *Database) runSelectLocked(sel *sqlparse.Select) (*Result, error) {
@@ -96,7 +102,7 @@ func (db *Database) runSelectLocked(sel *sqlparse.Select) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := exec.Run(&exec.Context{DOP: db.dop}, op)
+	rows, err := exec.Run(db.execContext(), op)
 	if err != nil {
 		return nil, err
 	}
@@ -209,7 +215,7 @@ func (db *Database) runInsertLocked(ins *sqlparse.Insert) (*Result, error) {
 			break
 		}
 		execErr = func() error {
-			if err := op.Open(&exec.Context{DOP: db.dop}); err != nil {
+			if err := op.Open(db.execContext()); err != nil {
 				return err
 			}
 			defer op.Close()
@@ -437,7 +443,7 @@ func (db *Database) ScanTableNoLock(table string, fn func(sqltypes.Row) error) e
 		return err
 	}
 	op := ops[0]
-	if err := op.Open(&exec.Context{DOP: 1}); err != nil {
+	if err := op.Open(&exec.Context{DOP: 1, Stats: &db.joinStats}); err != nil {
 		return err
 	}
 	defer op.Close()

@@ -14,60 +14,64 @@ type HashJoin struct {
 	Left      Operator
 	Right     Operator
 
-	table   map[string][]sqltypes.Row
-	pending []sqltypes.Row
-	current sqltypes.Row
-	out     sqltypes.Row
+	table    map[string][]sqltypes.Row
+	pending  []sqltypes.Row
+	current  sqltypes.Row
+	out      sqltypes.Row
+	leftOpen bool
 }
 
-// Open builds the hash table from the right child.
+// Open builds the hash table from the right child, then opens the probe
+// child. The build child is closed exactly once on every path (including
+// build errors and a failed probe open), so Open never leaks a child.
 func (j *HashJoin) Open(ctx *Context) error {
 	if err := j.Right.Open(ctx); err != nil {
 		return err
 	}
+	if err := j.buildTable(); err != nil {
+		j.Right.Close()
+		return err
+	}
+	if err := j.Right.Close(); err != nil {
+		return err
+	}
+	j.leftOpen = true
+	if err := j.Left.Open(ctx); err != nil {
+		j.leftOpen = false
+		j.table = nil
+		return err
+	}
+	return nil
+}
+
+func (j *HashJoin) buildTable() error {
 	j.table = make(map[string][]sqltypes.Row)
 	keyVals := make(sqltypes.Row, len(j.RightKeys))
 	var keyBuf []byte
 	for {
 		row, ok, err := j.Right.Next()
 		if err != nil {
-			j.Right.Close()
 			return err
 		}
 		if !ok {
-			break
+			return nil
 		}
-		skip := false
-		for i, e := range j.RightKeys {
-			v, err := e.Eval(row)
-			if err != nil {
-				j.Right.Close()
-				return err
-			}
-			if v.IsNull() {
-				skip = true // NULL keys never join
-				break
-			}
-			keyVals[i] = v
-		}
-		if skip {
-			continue
-		}
-		keyBuf, err = appendGroupKey(keyBuf[:0], keyVals)
+		var null bool
+		keyBuf, null, err = appendJoinKey(keyBuf, j.RightKeys, keyVals, row)
 		if err != nil {
-			j.Right.Close()
 			return err
+		}
+		if null {
+			continue // NULL keys never join
 		}
 		j.table[string(keyBuf)] = append(j.table[string(keyBuf)], row.Clone())
 	}
-	if err := j.Right.Close(); err != nil {
-		return err
-	}
-	return j.Left.Open(ctx)
 }
 
 // Next probes the table with the next left rows.
 func (j *HashJoin) Next() (sqltypes.Row, bool, error) {
+	keyVals := make(sqltypes.Row, len(j.LeftKeys))
+	var keyBuf []byte
 	for {
 		if len(j.pending) > 0 {
 			right := j.pending[0]
@@ -78,27 +82,15 @@ func (j *HashJoin) Next() (sqltypes.Row, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		keyVals := make(sqltypes.Row, len(j.LeftKeys))
-		skip := false
-		for i, e := range j.LeftKeys {
-			v, err := e.Eval(row)
-			if err != nil {
-				return nil, false, err
-			}
-			if v.IsNull() {
-				skip = true
-				break
-			}
-			keyVals[i] = v
-		}
-		if skip {
-			continue
-		}
-		key, err := appendGroupKey(nil, keyVals)
+		var null bool
+		keyBuf, null, err = appendJoinKey(keyBuf, j.LeftKeys, keyVals, row)
 		if err != nil {
 			return nil, false, err
 		}
-		matches := j.table[string(key)]
+		if null {
+			continue
+		}
+		matches := j.table[string(keyBuf)]
 		if len(matches) == 0 {
 			continue
 		}
@@ -117,10 +109,15 @@ func (j *HashJoin) combine(left, right sqltypes.Row) sqltypes.Row {
 	return j.out
 }
 
-// Close releases both children and the table.
+// Close releases the probe child and the table (the build child was
+// already closed at the end of Open).
 func (j *HashJoin) Close() error {
 	j.table = nil
 	j.pending = nil
+	if !j.leftOpen {
+		return nil
+	}
+	j.leftOpen = false
 	return j.Left.Close()
 }
 
@@ -148,7 +145,8 @@ type MergeJoin struct {
 	opened   bool
 }
 
-// Open opens both children and primes the streams.
+// Open opens both children and primes the streams. If priming fails the
+// children are closed before returning, so a failed Open never leaks.
 func (m *MergeJoin) Open(ctx *Context) error {
 	if err := m.Left.Open(ctx); err != nil {
 		return err
@@ -160,11 +158,15 @@ func (m *MergeJoin) Open(ctx *Context) error {
 	m.opened = true
 	m.group = nil
 	m.groupPos = 0
-	var err error
-	if err = m.advanceLeft(); err != nil {
+	err := m.advanceLeft()
+	if err == nil {
+		err = m.advanceRight()
+	}
+	if err != nil {
+		m.Close()
 		return err
 	}
-	return m.advanceRight()
+	return nil
 }
 
 func (m *MergeJoin) advanceLeft() error {
@@ -285,11 +287,12 @@ func (m *MergeJoin) combine(left, right sqltypes.Row) sqltypes.Row {
 	return m.out
 }
 
-// Close closes both children.
+// Close closes both children (idempotent: a second Close is a no-op).
 func (m *MergeJoin) Close() error {
 	if !m.opened {
 		return nil
 	}
+	m.opened = false
 	err := m.Left.Close()
 	if cerr := m.Right.Close(); err == nil {
 		err = cerr

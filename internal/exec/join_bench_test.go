@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/sqltypes"
+)
+
+// benchJoinRows builds a deterministic input: n rows with keys drawn from
+// keySpace and a short payload, mimicking the reads ⋈ alignments shape.
+func benchJoinRows(n, keySpace int, seed int64, side string) []sqltypes.Row {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]sqltypes.Row, n)
+	for i := range rows {
+		rows[i] = sqltypes.Row{
+			i64(int64(rng.Intn(keySpace))),
+			str(fmt.Sprintf("%s-%08d", side, i)),
+		}
+	}
+	return rows
+}
+
+// BenchmarkPartitionedJoin measures the partitioned hash join at DOP
+// 1/2/4/8 over warm in-memory inputs, plus a forced-spill configuration
+// (budget far below the build side) at DOP 4. The bench harness
+// (cmd/experiments -run join) runs the same shape through SQL and writes
+// BENCH_join.json.
+func BenchmarkPartitionedJoin(b *testing.B) {
+	const (
+		buildN   = 40_000
+		probeN   = 80_000
+		keySpace = 10_000
+	)
+	build := benchJoinRows(buildN, keySpace, 1, "b")
+	probe := benchJoinRows(probeN, keySpace, 2, "p")
+
+	run := func(b *testing.B, dop int, budget int64) {
+		spill := newTestSpillStore(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j := &PartitionedHashJoin{
+				LeftKeys: []expr.Expr{col(0)}, RightKeys: []expr.Expr{col(0)},
+				LeftParts:    splitRows(probe, dop),
+				RightParts:   splitRows(build, dop),
+				Partitions:   32,
+				MemoryBudget: budget,
+				Spill:        spill,
+			}
+			stats := &JoinStats{}
+			rows, err := Run(&Context{DOP: dop, Stats: stats}, j)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rows) == 0 {
+				b.Fatal("empty join result")
+			}
+			if budget > 0 && stats.SpilledPartitions.Load() == 0 {
+				b.Fatal("spill benchmark did not spill")
+			}
+		}
+	}
+	for _, dop := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("inmem/dop%d", dop), func(b *testing.B) { run(b, dop, 0) })
+	}
+	b.Run("spill/dop4", func(b *testing.B) { run(b, 4, 256<<10) })
+}

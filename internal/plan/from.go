@@ -80,7 +80,8 @@ func (pl *Planner) planNamedTable(t *sqlparse.NamedTable, conjuncts []sqlparse.E
 		}
 	}
 
-	partsN := pl.partitionCount(pl.Provider.RowCountEstimate(tab))
+	est := pl.Provider.RowCountEstimate(tab)
+	partsN := pl.partitionCount(est)
 	parts := func() ([]exec.Operator, error) {
 		ops, err := pl.Provider.ScanPartitions(tab, partsN)
 		if err != nil {
@@ -132,7 +133,7 @@ func (pl *Planner) planNamedTable(t *sqlparse.NamedTable, conjuncts []sqlparse.E
 	} else {
 		node = scanLeaf
 	}
-	rel := &relation{node: node, cols: cols, ordered: ordered}
+	rel := &relation{node: node, cols: cols, ordered: ordered, est: est}
 	if partsN > 1 {
 		rel.parts = parts
 		rel.partsN = partsN
@@ -308,6 +309,13 @@ func (pl *Planner) planJoin(j *sqlparse.JoinRef, conjuncts []sqlparse.Expr) (*re
 		rel = &mj.relation
 		// tryMergeJoin consumed the pushable conjuncts itself.
 		remaining = mj.leftoverConjuncts
+	} else if left.est >= pl.ParallelThreshold || right.est >= pl.ParallelThreshold {
+		// Either input is past the parallel threshold: Grace-style
+		// partitioned hash join, building on the smaller estimated side,
+		// spilling partitions past the join memory budget. Chosen even at
+		// DOP 1 — the spill path is what keeps large joins out-of-core
+		// rather than OOM.
+		rel = pl.partitionedJoinRelation(left, right, leftKeys, rightKeys, combined)
 	} else {
 		leftNode, rightNode := left.node, right.node
 		node := &Node{
@@ -330,7 +338,7 @@ func (pl *Planner) planJoin(j *sqlparse.JoinRef, conjuncts []sqlparse.Expr) (*re
 				}, nil
 			},
 		}
-		rel = &relation{node: node, cols: combined}
+		rel = &relation{node: node, cols: combined, est: joinEstimate(left.est, right.est)}
 	}
 	rel.cols = combined
 
@@ -343,6 +351,96 @@ func (pl *Planner) planJoin(j *sqlparse.JoinRef, conjuncts []sqlparse.Expr) (*re
 		rel = filterRelation(rel, pred)
 	}
 	return rel, remaining, nil
+}
+
+// joinEstimate is the (crude) output cardinality guess for an equi-join:
+// the larger input, which is exact for key/foreign-key joins and keeps
+// nested joins choosing sensible build sides.
+func joinEstimate(l, r int64) int64 {
+	if l > r {
+		return l
+	}
+	return r
+}
+
+// partitionedJoinRelation plans the Grace-style parallel partitioned hash
+// join: both sides hash-partition, DOP workers own disjoint partitions,
+// and partitions whose build side exceeds the planner's JoinMemoryBudget
+// spill to the engine's spill store and are re-joined per partition.
+func (pl *Planner) partitionedJoinRelation(left, right *relation,
+	leftKeys, rightKeys []expr.Expr, combined []ColMeta) *relation {
+
+	// Build on the smaller estimated input; ties (and two unknowns) keep
+	// the right side, matching the serial hash join's convention.
+	buildLeft := left.est < right.est
+	buildSide := "right"
+	if buildLeft {
+		buildSide = "left"
+	}
+	partitions := pl.JoinPartitions
+	if partitions <= 0 {
+		partitions = DefaultJoinPartitions
+	}
+	leftNode, rightNode := left.node, right.node
+	build := func() (exec.Operator, error) {
+		j := &exec.PartitionedHashJoin{
+			LeftKeys:     leftKeys,
+			RightKeys:    rightKeys,
+			BuildLeft:    buildLeft,
+			Partitions:   partitions,
+			MemoryBudget: pl.JoinMemoryBudget,
+			Spill:        pl.Provider.SpillStore(),
+		}
+		if left.parts != nil && left.partsN > 1 {
+			ops, err := left.parts()
+			if err != nil {
+				return nil, err
+			}
+			j.LeftParts = ops
+		} else {
+			op, err := buildChild(leftNode)
+			if err != nil {
+				return nil, err
+			}
+			j.Left = op
+		}
+		if right.parts != nil && right.partsN > 1 {
+			ops, err := right.parts()
+			if err != nil {
+				return nil, err
+			}
+			j.RightParts = ops
+		} else {
+			op, err := buildChild(rightNode)
+			if err != nil {
+				return nil, err
+			}
+			j.Right = op
+		}
+		return j, nil
+	}
+	inner := &Node{
+		Op: "Hash Match (Partitioned Inner Join)",
+		Detail: fmt.Sprintf("HASH:[%s]=[%s] BUILD:%s PARTITIONS:%d",
+			describeExprs(leftKeys), describeExprs(rightKeys), buildSide, partitions),
+		Children: []*Node{leftNode, rightNode},
+		Cols:     combined,
+	}
+	node := inner
+	if pl.DOP > 1 {
+		node = &Node{
+			Op:       "Parallelism (Gather Streams)",
+			Detail:   fmt.Sprintf("DOP %d", pl.DOP),
+			Children: []*Node{inner},
+			Cols:     combined,
+			Build:    build,
+		}
+	} else {
+		// Serial DOP still uses the partitioned operator: partitioning is
+		// what lets an over-budget build side spill instead of OOM.
+		inner.Build = build
+	}
+	return &relation{node: node, cols: combined, est: joinEstimate(left.est, right.est)}
 }
 
 func identExprs(ids []*sqlparse.Ident) []sqlparse.Expr {
@@ -498,6 +596,7 @@ func (pl *Planner) tryMergeJoin(j *sqlparse.JoinRef, left, right *relation,
 			cols: combined,
 			// Output is ordered by the join key.
 			ordered: []ColMeta{{Qual: lqual, Name: leftKeyIdents[0].Name}},
+			est:     est,
 		},
 		leftoverConjuncts: leftovers,
 	}

@@ -48,6 +48,10 @@ type Provider interface {
 	KeyRanges(t *catalog.Table, parts int) ([][2]*sqltypes.Value, error)
 	// RowCountEstimate guides parallelism decisions.
 	RowCountEstimate(t *catalog.Table) int64
+	// SpillStore creates temp files for joins that exceed the join memory
+	// budget; may return nil when the engine cannot spill (joins then fail
+	// rather than exceed the budget).
+	SpillStore() exec.SpillStore
 }
 
 // ColMeta describes one output column of a plan node.
@@ -97,7 +101,21 @@ type Planner struct {
 	// ParallelThreshold is the minimum estimated row count before the
 	// planner considers a parallel plan.
 	ParallelThreshold int64
+	// JoinMemoryBudget caps the bytes of build-side rows a hash join may
+	// hold in memory before partitions spill to disk (0 = unlimited).
+	JoinMemoryBudget int64
+	// JoinPartitions is the hash fan-out of partitioned joins.
+	JoinPartitions int
 }
+
+// Default join knobs: a 64 MB build budget keeps even DOP-wide joins
+// inside a fraction of the default buffer pool, and the operator's
+// default fan-out (32 partitions) keeps every spilled partition
+// re-joinable in one recursion at that budget.
+const (
+	DefaultJoinMemoryBudget = 64 << 20
+	DefaultJoinPartitions   = exec.DefaultJoinPartitions
+)
 
 // NewPlanner returns a planner with the given provider and DOP.
 //
@@ -109,7 +127,13 @@ func NewPlanner(p Provider, dop int) *Planner {
 	if dop < 1 {
 		dop = 1
 	}
-	return &Planner{Provider: p, DOP: dop, ParallelThreshold: 2_048}
+	return &Planner{
+		Provider:          p,
+		DOP:               dop,
+		ParallelThreshold: 2_048,
+		JoinMemoryBudget:  DefaultJoinMemoryBudget,
+		JoinPartitions:    DefaultJoinPartitions,
+	}
 }
 
 // partitionCount decides the degree of parallelism for a scan over an

@@ -2,7 +2,10 @@ package plan
 
 import (
 	"fmt"
+	"reflect"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/catalog"
@@ -32,6 +35,10 @@ func newFakeProvider() *fakeProvider {
 		ID: 1, Name: "t",
 		Columns: []catalog.Column{{Name: "a", Type: intT}, {Name: "s", Type: strT}},
 	}
+	p.tables["u"] = &catalog.Table{
+		ID: 4, Name: "u",
+		Columns: []catalog.Column{{Name: "b", Type: intT}, {Name: "v", Type: strT}},
+	}
 	p.tables["left"] = &catalog.Table{
 		ID: 2, Name: "left_t",
 		Columns:    []catalog.Column{{Name: "id", Type: intT}, {Name: "lv", Type: strT}},
@@ -46,6 +53,11 @@ func newFakeProvider() *fakeProvider {
 		p.rows["t"] = append(p.rows["t"], sqltypes.Row{
 			sqltypes.NewInt(int64(i)), sqltypes.NewString(fmt.Sprintf("s%d", i%3)),
 		})
+		if i < 4 {
+			p.rows["u"] = append(p.rows["u"], sqltypes.Row{
+				sqltypes.NewInt(int64(i)), sqltypes.NewString(fmt.Sprintf("U%d", i)),
+			})
+		}
 		p.rows["left_t"] = append(p.rows["left_t"], sqltypes.Row{
 			sqltypes.NewInt(int64(i)), sqltypes.NewString(fmt.Sprintf("L%d", i)),
 		})
@@ -107,6 +119,33 @@ func (p *fakeProvider) KeyRanges(t *catalog.Table, parts int) ([][2]*sqltypes.Va
 func (p *fakeProvider) RowCountEstimate(t *catalog.Table) int64 {
 	return int64(len(p.rows[strings.ToLower(t.Name)]))
 }
+
+// memSpillStore is an in-memory exec.SpillStore for planner tests.
+type memSpillStore struct{}
+
+type memSpillFile struct {
+	mu   sync.Mutex
+	rows []sqltypes.Row
+	size int64
+}
+
+func (memSpillStore) Create() (exec.SpillFile, error) { return &memSpillFile{}, nil }
+
+func (f *memSpillFile) Append(r sqltypes.Row) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rows = append(f.rows, r.Clone())
+	f.size += int64(len(r)) * 16
+	return nil
+}
+func (f *memSpillFile) Rows() int64  { f.mu.Lock(); defer f.mu.Unlock(); return int64(len(f.rows)) }
+func (f *memSpillFile) Bytes() int64 { f.mu.Lock(); defer f.mu.Unlock(); return f.size }
+func (f *memSpillFile) Iter() (exec.RowIterator, error) {
+	return &exec.SliceIterator{Rows: f.rows}, nil
+}
+func (f *memSpillFile) Release() error { return nil }
+
+func (p *fakeProvider) SpillStore() exec.SpillStore { return memSpillStore{} }
 
 func planQuery(t *testing.T, pl *Planner, sql string) *Node {
 	t.Helper()
@@ -296,5 +335,51 @@ func TestExplainTreeShape(t *testing.T) {
 		if !strings.Contains(l, "|--") {
 			t.Errorf("line missing branch marker: %q", l)
 		}
+	}
+}
+
+// TestPlanPartitionedJoin verifies the planner emits the parallel
+// partitioned hash join once either input passes the parallel threshold,
+// picks the smaller estimated side as the build side, and that the plan
+// executes to the same rows as the serial hash join.
+func TestPlanPartitionedJoin(t *testing.T) {
+	serial := NewPlanner(newFakeProvider(), 1)
+	want := runPlan(t, planQuery(t, serial, "SELECT b, s FROM u JOIN t ON u.b = t.a"))
+
+	par := NewPlanner(newFakeProvider(), 4)
+	par.ParallelThreshold = 4 // t has 10 rows, u has 4
+	node := planQuery(t, par, "SELECT b, s FROM u JOIN t ON u.b = t.a")
+	text := node.Explain()
+	if !strings.Contains(text, "Hash Match (Partitioned Inner Join)") {
+		t.Fatalf("expected partitioned join plan:\n%s", text)
+	}
+	// u (4 rows) is smaller than t (10): it becomes the build side.
+	if !strings.Contains(text, "BUILD:left") {
+		t.Errorf("expected BUILD:left in plan:\n%s", text)
+	}
+	if !strings.Contains(text, "Parallelism (Gather Streams)") {
+		t.Errorf("expected gather exchange in plan:\n%s", text)
+	}
+	got := runPlan(t, node)
+	canon := func(rows []sqltypes.Row) []string {
+		out := make([]string, len(rows))
+		for i, r := range rows {
+			out[i] = fmt.Sprint(r)
+		}
+		sort.Strings(out)
+		return out
+	}
+	if gs, ws := canon(got), canon(want); !reflect.DeepEqual(gs, ws) {
+		t.Errorf("partitioned join rows %v, serial %v", gs, ws)
+	}
+}
+
+// TestPlanPartitionedJoinBelowThreshold keeps small joins on the serial
+// hash join (no exchange overhead for a few pages of rows).
+func TestPlanPartitionedJoinBelowThreshold(t *testing.T) {
+	pl := NewPlanner(newFakeProvider(), 4) // default threshold 2048 >> 10 rows
+	node := planQuery(t, pl, "SELECT b, s FROM u JOIN t ON u.b = t.a")
+	if text := node.Explain(); !strings.Contains(text, "Hash Match (Inner Join)") {
+		t.Errorf("expected serial hash join below threshold:\n%s", text)
 	}
 }

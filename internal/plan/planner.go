@@ -23,6 +23,9 @@ type relation struct {
 	partsN int
 	// ordered is the prefix column ordering of the output, if any.
 	ordered []ColMeta
+	// est is the estimated output cardinality (0 = unknown); join planning
+	// uses it to pick the build side and decide on a parallel join.
+	est int64
 }
 
 // PlanSelect plans a SELECT into a physical plan tree.
@@ -421,7 +424,7 @@ func orderedCovers(rel *relation, groupBy []sqlparse.Expr) bool {
 
 func filterRelation(rel *relation, pred expr.Expr) *relation {
 	node := newFilterNode(pred, rel.node)
-	out := &relation{node: node, cols: rel.cols, ordered: rel.ordered}
+	out := &relation{node: node, cols: rel.cols, ordered: rel.ordered, est: rel.est}
 	if rel.parts != nil {
 		inner := rel.parts
 		out.partsN = rel.partsN

@@ -301,11 +301,57 @@ func (sh *poolShard) evictLocked(bp *BufferPool) *frame {
 }
 
 // stealBudget rebalances one unit of frame budget from a sibling shard
-// into home after home's local allocation failed. A sibling with spare
-// budget just cedes the unit; otherwise a sibling frame is evicted and
-// physically moved. Only one shard lock is held at a time (no ordering,
-// no deadlock). Errors when every frame in the pool is pinned or dirty.
+// into home after home's local allocation failed. Victim selection is
+// pressure-aware: the sibling with the most spare (unmaterialized) budget
+// cedes a unit first; otherwise the sibling with the most unpinned clean
+// frames — the one losing the least cache utility — is evicted from and a
+// frame physically moves. A first-fit sweep remains as the fallback
+// because the scored pick is made from racy snapshots. Only one shard
+// lock is held at a time (no ordering, no deadlock). Errors when every
+// frame in the pool is pinned or dirty.
 func (bp *BufferPool) stealBudget(home *poolShard) error {
+	// Pass 1: the shard with the most spare budget cedes a unit without
+	// losing any cached page.
+	if sib := bp.maxScoreShard(home, func(sh *poolShard) int {
+		return sh.budget - len(sh.clock)
+	}); sib != nil {
+		sib.mu.Lock()
+		if len(sib.clock) < sib.budget { // re-validate under the lock
+			sib.budget--
+			sib.mu.Unlock()
+			home.mu.Lock()
+			home.budget++
+			home.mu.Unlock()
+			return nil
+		}
+		sib.mu.Unlock()
+	}
+	// Pass 2: evict from the shard under the least eviction pressure (most
+	// unpinned clean frames).
+	if sib := bp.maxScoreShard(home, func(sh *poolShard) int {
+		free := 0
+		for _, fr := range sh.clock {
+			if fr.pins == 0 && !fr.dirty {
+				free++
+			}
+		}
+		return free
+	}); sib != nil {
+		sib.mu.Lock()
+		if fr := sib.evictLocked(bp); fr != nil {
+			sib.removeFromClockLocked(fr)
+			sib.budget--
+			sib.mu.Unlock()
+			home.mu.Lock()
+			home.budget++
+			home.clock = append(home.clock, fr)
+			home.mu.Unlock()
+			return nil
+		}
+		sib.mu.Unlock()
+	}
+	// Fallback: the snapshots raced with concurrent pins; take whatever
+	// any shard can give, first fit.
 	for i := range bp.shards {
 		sib := &bp.shards[i]
 		if sib == home {
@@ -333,6 +379,27 @@ func (bp *BufferPool) stealBudget(home *poolShard) error {
 		sib.mu.Unlock()
 	}
 	return fmt.Errorf("storage: buffer pool exhausted (%d frames, all pinned or dirty); checkpoint required", bp.capacity)
+}
+
+// maxScoreShard returns the shard (other than home) with the highest
+// positive score, or nil. Scores are computed one shard lock at a time,
+// so they are snapshots; callers re-validate under the winner's lock.
+func (bp *BufferPool) maxScoreShard(home *poolShard, score func(*poolShard) int) *poolShard {
+	var best *poolShard
+	bestScore := 0
+	for i := range bp.shards {
+		sib := &bp.shards[i]
+		if sib == home {
+			continue
+		}
+		sib.mu.Lock()
+		s := score(sib)
+		sib.mu.Unlock()
+		if s > bestScore {
+			bestScore, best = s, sib
+		}
+	}
+	return best
 }
 
 // removeFromClockLocked unlinks fr from the shard's clock list.

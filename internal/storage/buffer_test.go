@@ -408,3 +408,98 @@ func BenchmarkPoolShardedScan(b *testing.B) {
 		}
 	}
 }
+
+// TestStealBudgetPressureAware verifies victim selection: when home's
+// frames are exhausted, budget is stolen from the shard with the most
+// unpinned clean frames, not first-fit by shard index.
+func TestStealBudgetPressureAware(t *testing.T) {
+	f := stampedFile(t, t.TempDir(), "t.dat", 64)
+	defer f.Close()
+	bp := NewBufferPoolSharded(16, 4)
+	if bp.ShardCount() != 4 {
+		t.Skipf("shard count %d, want 4", bp.ShardCount())
+	}
+	// Classify pages by shard.
+	pagesByShard := make([][]PageID, 4)
+	for p := int64(0); p < 64; p++ {
+		key := frameKey{f, PageID(p)}
+		for i := range bp.shards {
+			if bp.shard(key) == &bp.shards[i] {
+				pagesByShard[i] = append(pagesByShard[i], PageID(p))
+				break
+			}
+		}
+	}
+	for i, ps := range pagesByShard {
+		if len(ps) < 5 {
+			t.Skipf("shard %d drew only %d of 64 pages", i, len(ps))
+		}
+	}
+	home := &bp.shards[0]
+	// Materialize every shard's full budget. Shards 1 and 2 keep all their
+	// frames pinned; shard 3's frames are unpinned (the pressure-aware
+	// victim); home's are pinned so its own allocation fails.
+	var pinned []*frame
+	for i := 0; i < 4; i++ {
+		sh := &bp.shards[i]
+		sh.mu.Lock()
+		budget := sh.budget
+		sh.mu.Unlock()
+		for k := 0; k < budget; k++ {
+			fr, err := bp.Get(f, pagesByShard[i][k])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 3 {
+				bp.Unpin(fr, false)
+			} else {
+				pinned = append(pinned, fr)
+			}
+		}
+	}
+	shard3Before := func() int {
+		bp.shards[3].mu.Lock()
+		defer bp.shards[3].mu.Unlock()
+		return bp.shards[3].budget
+	}()
+	// A new page on home must steal — and should take from shard 3.
+	extra := pagesByShard[0][len(pagesByShard[0])-1]
+	var fr *frame
+	var err error
+	for _, p := range pagesByShard[0] {
+		already := false
+		home.mu.Lock()
+		_, already = home.frames[frameKey{f, p}]
+		home.mu.Unlock()
+		if !already {
+			extra = p
+			break
+		}
+	}
+	fr, err = bp.Get(f, extra)
+	if err != nil {
+		t.Fatalf("pressure steal failed: %v", err)
+	}
+	bp.Unpin(fr, false)
+	shard3After := func() int {
+		bp.shards[3].mu.Lock()
+		defer bp.shards[3].mu.Unlock()
+		return bp.shards[3].budget
+	}()
+	if shard3After != shard3Before-1 {
+		t.Errorf("budget was not stolen from the unpinned shard 3: before %d after %d", shard3Before, shard3After)
+	}
+	for i := 1; i <= 2; i++ {
+		bp.shards[i].mu.Lock()
+		got := bp.shards[i].budget
+		materialized := len(bp.shards[i].clock)
+		bp.shards[i].mu.Unlock()
+		if got < materialized {
+			t.Errorf("pinned shard %d lost budget below its frames: budget %d frames %d", i, got, materialized)
+		}
+	}
+	for _, p := range pinned {
+		bp.Unpin(p, false)
+	}
+	checkPoolInvariants(t, bp)
+}

@@ -15,6 +15,8 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // RecordType enumerates log record kinds.
@@ -47,13 +49,30 @@ type Record struct {
 
 // WAL is an append-only log file. Appends are buffered; Flush makes them
 // durable. Safe for concurrent use.
+//
+// Flush is a group commit: concurrent callers elect a leader that writes
+// and fsyncs the whole buffer — covering every record appended before the
+// grab — while followers wait for a completed sync to cover their own
+// records. N concurrently committing transactions therefore pay ~1 fsync
+// instead of N.
 type WAL struct {
-	mu     sync.Mutex
-	f      *os.File
-	buf    []byte
-	size   int64
-	path   string
-	synced bool
+	mu   sync.Mutex
+	cond *sync.Cond
+	f    *os.File
+	buf  []byte
+	size int64
+	path string
+
+	appendSeq uint64 // records appended so far
+	syncedSeq uint64 // appendSeq covered by the last completed fsync
+	flushing  bool   // a leader is writing/syncing outside the lock
+	ioErr     error  // sticky: a failed write/sync poisons the log
+
+	syncs atomic.Int64 // completed fsyncs (observability + tests)
+	// groupWait optionally stretches the leader's gathering window so
+	// followers can pile onto one sync; used by tests (production leaders
+	// gather naturally while the previous sync is in flight).
+	groupWait time.Duration
 }
 
 const walHeaderLen = 8 // u32 length + u32 crc
@@ -70,7 +89,9 @@ func Open(path string) (*WAL, error) {
 		f.Close()
 		return nil, err
 	}
-	return &WAL{f: f, size: st.Size(), path: path, synced: true}, nil
+	w := &WAL{f: f, size: st.Size(), path: path}
+	w.cond = sync.NewCond(&w.mu)
+	return w, nil
 }
 
 // Append buffers one record. Call Flush to make it durable (the engine
@@ -82,37 +103,90 @@ func (w *WAL) Append(rec Record) error {
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.ioErr != nil {
+		return w.ioErr
+	}
 	w.buf = append(w.buf, hdr[:]...)
 	w.buf = append(w.buf, payload...)
-	w.synced = false
+	w.appendSeq++
 	return nil
 }
 
-// Flush writes buffered records and fsyncs the log — the durability point
-// of a commit.
+// Flush makes every record appended before the call durable — the
+// durability point of a commit. Concurrent flushes batch into one fsync.
 func (w *WAL) Flush() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.flushLocked()
+	return w.flushToLocked(w.appendSeq)
 }
 
-func (w *WAL) flushLocked() error {
-	if len(w.buf) > 0 {
-		n, err := w.f.WriteAt(w.buf, w.size)
-		if err != nil {
-			return fmt.Errorf("wal: write %s: %w", w.path, err)
+// flushToLocked returns once records up to target are durable, electing
+// this caller as the write/sync leader when no sync is in flight. Called
+// with w.mu held; the lock is dropped during I/O.
+func (w *WAL) flushToLocked(target uint64) error {
+	for {
+		if w.ioErr != nil {
+			return w.ioErr
 		}
-		w.size += int64(n)
-		w.buf = w.buf[:0]
+		if w.syncedSeq >= target {
+			return nil
+		}
+		if w.flushing {
+			// A leader is syncing; it may already cover target. Re-check
+			// when it finishes.
+			w.cond.Wait()
+			continue
+		}
+		w.flushing = true
+		if w.groupWait > 0 {
+			// Test hook: hold the gathering window open so concurrent
+			// committers join this sync.
+			w.mu.Unlock()
+			time.Sleep(w.groupWait)
+			w.mu.Lock()
+		}
+		batch := w.buf
+		w.buf = nil
+		covered := w.appendSeq
+		off := w.size
+		w.mu.Unlock()
+
+		var err error
+		if len(batch) > 0 {
+			if _, err = w.f.WriteAt(batch, off); err != nil {
+				err = fmt.Errorf("wal: write %s: %w", w.path, err)
+			}
+		}
+		if err == nil {
+			if err = w.f.Sync(); err != nil {
+				err = fmt.Errorf("wal: sync %s: %w", w.path, err)
+			} else {
+				w.syncs.Add(1)
+			}
+		}
+
+		w.mu.Lock()
+		w.flushing = false
+		if err != nil {
+			w.ioErr = err
+		} else {
+			w.size = off + int64(len(batch))
+			w.syncedSeq = covered
+		}
+		w.cond.Broadcast()
 	}
-	if w.synced {
-		return nil
+}
+
+// Syncs returns the number of completed fsyncs — with group commit this
+// grows slower than the number of committed transactions.
+func (w *WAL) Syncs() int64 { return w.syncs.Load() }
+
+// awaitIdleLocked waits until no leader is writing outside the lock, so
+// the caller may safely mutate the file. Called with w.mu held.
+func (w *WAL) awaitIdleLocked() {
+	for w.flushing {
+		w.cond.Wait()
 	}
-	if err := w.f.Sync(); err != nil {
-		return err
-	}
-	w.synced = true
-	return nil
 }
 
 // Size returns the durable log size in bytes (excluding buffered records).
@@ -134,21 +208,26 @@ func (w *WAL) PendingBytes() int {
 func (w *WAL) Truncate() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.awaitIdleLocked() // no leader may be writing while we shrink the file
 	w.buf = w.buf[:0]
 	if err := w.f.Truncate(0); err != nil {
 		return err
 	}
 	w.size = 0
+	w.syncedSeq = w.appendSeq // nothing left to make durable
 	return w.f.Sync()
 }
 
 // Close flushes and closes the log.
 func (w *WAL) Close() error {
-	if err := w.Flush(); err != nil {
-		w.f.Close()
-		return err
+	err := w.Flush()
+	w.mu.Lock()
+	w.awaitIdleLocked() // other committers may still have a leader in flight
+	w.mu.Unlock()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
 	}
-	return w.f.Close()
+	return err
 }
 
 // Replay streams every intact record from the start of the log. A torn or
@@ -156,7 +235,7 @@ func (w *WAL) Close() error {
 // caller should Truncate after re-checkpointing.
 func (w *WAL) Replay(fn func(Record) error) error {
 	w.mu.Lock()
-	if err := w.flushLocked(); err != nil {
+	if err := w.flushToLocked(w.appendSeq); err != nil {
 		w.mu.Unlock()
 		return err
 	}
