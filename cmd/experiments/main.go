@@ -23,12 +23,14 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment: all, table1, table2, wrap, query1, consensus, plans, ablations, join")
+	run := flag.String("run", "all", "experiment: all, table1, table2, wrap, query1, consensus, plans, ablations, join, sortagg")
 	dgeReads := flag.Int("dge-reads", 400_000, "DGE lane size (level-1 reads)")
 	reseqReads := flag.Int("reseq-reads", 150_000, "re-sequencing lane size")
 	seed := flag.Int64("seed", 42, "generator seed")
 	work := flag.String("work", "", "work directory (default: temp, removed on exit)")
 	joinOut := flag.String("join-out", "BENCH_join.json", "output path for the join benchmark JSON")
+	sortaggOut := flag.String("sortagg-out", "BENCH_sortagg.json", "output path for the sort/aggregate benchmark JSON")
+	sortaggRows := flag.Int("sortagg-rows", 0, "sort/aggregate benchmark table size (0 = default)")
 	flag.Parse()
 
 	workDir := *work
@@ -207,6 +209,42 @@ func main() {
 		fmt.Printf("wrote %s\n\n", *joinOut)
 		fmt.Println("partitioned join plan:")
 		fmt.Println(res.Plan)
+	}
+	if want("sortagg") {
+		fmt.Println("---- external sort & spillable aggregate: DOP scaling, in-memory vs forced spill ----")
+		cfg := bench.DefaultSortAggBenchConfig()
+		if *sortaggRows > 0 {
+			cfg.Rows = *sortaggRows
+			cfg.KeySpace = *sortaggRows / 4
+			cfg.Groups = *sortaggRows / 6
+		}
+		res, err := bench.SortAggExperiment(filepath.Join(workDir, "sortagg"), cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%d rows, %d sort keys, %d groups (GOMAXPROCS %d)\n",
+			res.Rows, res.KeySpace, res.Groups, res.GOMAXPROCS)
+		render := func(label string, runs []bench.SortAggRun) {
+			fmt.Printf("%s:\n", label)
+			base := runs[0].ElapsedMS
+			for _, r := range runs {
+				fmt.Printf("  DOP %d: %9.1f ms (%.2fx)  rows=%d sort_runs=%d sort_spilled=%s agg_parts=%d agg_rows=%d\n",
+					r.DOP, r.ElapsedMS, base/r.ElapsedMS, r.Rows, r.SortRuns,
+					bench.FormatBytes(r.SortSpilledBytes), r.AggSpilledPartitions, r.AggSpilledRows)
+			}
+		}
+		render("ORDER BY, warm in-memory", res.SortInMemory)
+		render(fmt.Sprintf("ORDER BY, forced spill (budget %s)", bench.FormatBytes(res.SortSpillBudget)), res.SortSpill)
+		render("GROUP BY, warm in-memory", res.AggInMemory)
+		render(fmt.Sprintf("GROUP BY, forced spill (budget %s)", bench.FormatBytes(res.AggSpillBudget)), res.AggSpill)
+		if err := res.WriteJSON(*sortaggOut); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n\n", *sortaggOut)
+		fmt.Println("parallel sort plan:")
+		fmt.Println(res.SortPlan)
+		fmt.Println("partial/final aggregate plan:")
+		fmt.Println(res.AggPlan)
 	}
 	fmt.Println(strings.Repeat("=", 60))
 	fmt.Println("done")

@@ -100,16 +100,15 @@ func runJoinBench(db *core.Database, dops []int) ([]JoinBenchRun, error) {
 		if _, err := db.Query(joinBenchSQL); err != nil { // warm-up
 			return nil, err
 		}
-		joinBefore := db.JoinStats()
-		poolBefore := db.PoolStats()
+		before := db.ExecStats()
 		start := time.Now()
 		res, err := db.Query(joinBenchSQL)
 		if err != nil {
 			return nil, err
 		}
 		elapsed := time.Since(start)
-		jd := db.JoinStats().Sub(joinBefore)
-		pd := db.PoolStats().Sub(poolBefore)
+		delta := db.ExecStats().Sub(before)
+		jd, pd := delta.Join, delta.Pool
 		out = append(out, JoinBenchRun{
 			DOP:               dop,
 			ElapsedMS:         float64(elapsed.Microseconds()) / 1e3,

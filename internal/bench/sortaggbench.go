@@ -1,0 +1,259 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sqltypes"
+)
+
+// SortAggBenchConfig sizes the external sort / spillable aggregate
+// experiment.
+type SortAggBenchConfig struct {
+	Rows     int   // table size
+	KeySpace int   // distinct ORDER BY keys (duplicates exercise stability)
+	Groups   int   // distinct GROUP BY keys
+	DOPs     []int // degrees of parallelism to measure
+	// SortSpillBudget / AggSpillBudget are the forced-spill budgets in
+	// bytes; far below the in-memory footprint of the table.
+	SortSpillBudget int64
+	AggSpillBudget  int64
+}
+
+// DefaultSortAggBenchConfig mirrors the paper's ranking (Query 1 ORDER
+// BY) and rollup (GROUP BY) shapes at a scale that completes in seconds.
+func DefaultSortAggBenchConfig() SortAggBenchConfig {
+	return SortAggBenchConfig{
+		Rows:            400_000,
+		KeySpace:        100_000,
+		Groups:          60_000,
+		DOPs:            []int{1, 2, 4, 8},
+		SortSpillBudget: 1 << 20,
+		AggSpillBudget:  512 << 10,
+	}
+}
+
+// SortAggRun is one timed configuration.
+type SortAggRun struct {
+	DOP                  int     `json:"dop"`
+	ElapsedMS            float64 `json:"elapsed_ms"`
+	Rows                 int64   `json:"rows"`
+	SortRuns             int64   `json:"sort_runs"`
+	SortSpilledRows      int64   `json:"sort_spilled_rows"`
+	SortSpilledBytes     int64   `json:"sort_spilled_bytes"`
+	AggSpilledPartitions int64   `json:"agg_spilled_partitions"`
+	AggSpilledRows       int64   `json:"agg_spilled_rows"`
+	AggSpillRecursions   int64   `json:"agg_spill_recursions"`
+	PoolHitRate          float64 `json:"pool_hit_rate"`
+}
+
+// SortAggBenchResult is the full experiment: ORDER BY and GROUP BY over
+// the same table, measured warm at each DOP, in memory and with budgets
+// that force run/partition spilling. Spilled runs must reproduce the
+// in-memory results bit-for-bit (the sort comparison is order-sensitive,
+// so it also proves stability of equal keys across spilled runs).
+type SortAggBenchResult struct {
+	GOMAXPROCS      int          `json:"gomaxprocs"`
+	Rows            int          `json:"rows"`
+	KeySpace        int          `json:"key_space"`
+	Groups          int          `json:"groups"`
+	SortSpillBudget int64        `json:"sort_spill_budget_bytes"`
+	AggSpillBudget  int64        `json:"agg_spill_budget_bytes"`
+	SortPlan        string       `json:"sort_plan"`
+	AggPlan         string       `json:"agg_plan"`
+	SortInMemory    []SortAggRun `json:"sort_in_memory"`
+	SortSpill       []SortAggRun `json:"sort_forced_spill"`
+	AggInMemory     []SortAggRun `json:"agg_in_memory"`
+	AggSpill        []SortAggRun `json:"agg_forced_spill"`
+}
+
+const (
+	sortBenchSQL = `SELECT k, seq FROM events ORDER BY k`
+	aggBenchSQL  = `SELECT grp, COUNT(*), SUM(seq), MIN(payload) FROM events GROUP BY grp`
+	// sortAggTimedRuns per configuration; the minimum is reported, which
+	// filters scheduler noise on small shared machines.
+	sortAggTimedRuns = 5
+)
+
+// loadSortAggTable creates and fills the events heap table.
+func loadSortAggTable(db *core.Database, cfg SortAggBenchConfig) error {
+	if _, err := db.Exec(`CREATE TABLE events (k BIGINT, grp BIGINT, seq BIGINT, payload VARCHAR(24))`); err != nil {
+		return err
+	}
+	const batch = 20_000
+	rows := make([]sqltypes.Row, 0, batch)
+	for i := 0; i < cfg.Rows; i++ {
+		rows = append(rows, sqltypes.Row{
+			// Deterministic key mix without a shared RNG.
+			sqltypes.NewInt(int64((i * 13) % cfg.KeySpace)),
+			sqltypes.NewInt(int64((i * 7) % cfg.Groups)),
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewString(fmt.Sprintf("ev-%010d", i)),
+		})
+		if len(rows) == batch {
+			if err := db.InsertRows("events", rows); err != nil {
+				return err
+			}
+			rows = rows[:0]
+		}
+	}
+	if len(rows) > 0 {
+		if err := db.InsertRows("events", rows); err != nil {
+			return err
+		}
+	}
+	_, err := db.Exec("CHECKPOINT")
+	return err
+}
+
+// resultChecksum hashes the result sequence; ordered=true keeps row
+// order significant (sorts), false canonicalizes it (aggregates).
+func resultChecksum(res *core.Result, orderedRows bool) uint64 {
+	lines := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		lines[i] = fmt.Sprint(r)
+	}
+	if !orderedRows {
+		sort.Strings(lines)
+	}
+	h := fnv.New64a()
+	for _, l := range lines {
+		h.Write([]byte(l))
+		h.Write([]byte{'\n'})
+	}
+	return h.Sum64()
+}
+
+// runSortAggBench measures one SQL statement at each DOP against one
+// database, discarding a warm-up run per DOP, and checks every run's
+// checksum against want (0 = derive from the first run).
+func runSortAggBench(db *core.Database, sql string, dops []int, orderedRows bool, want uint64) ([]SortAggRun, uint64, error) {
+	var out []SortAggRun
+	for _, dop := range dops {
+		db.SetDOP(dop)
+		if _, err := db.Query(sql); err != nil { // warm-up
+			return nil, 0, err
+		}
+		var res *core.Result
+		var elapsed time.Duration
+		var d core.ExecStatsSnapshot
+		for i := 0; i < sortAggTimedRuns; i++ {
+			before := db.ExecStats()
+			start := time.Now()
+			r, err := db.Query(sql)
+			if err != nil {
+				return nil, 0, err
+			}
+			e := time.Since(start)
+			if res == nil || e < elapsed {
+				res, elapsed = r, e
+				d = db.ExecStats().Sub(before)
+			}
+			sum := resultChecksum(r, orderedRows)
+			if want == 0 {
+				want = sum
+			} else if sum != want {
+				return nil, 0, fmt.Errorf("bench: DOP %d result checksum %x, want %x (%q)", dop, sum, want, sql)
+			}
+		}
+		out = append(out, SortAggRun{
+			DOP:                  dop,
+			ElapsedMS:            float64(elapsed.Microseconds()) / 1e3,
+			Rows:                 int64(len(res.Rows)),
+			SortRuns:             d.Sort.Runs,
+			SortSpilledRows:      d.Sort.SpilledRows,
+			SortSpilledBytes:     d.Sort.SpilledBytes,
+			AggSpilledPartitions: d.Agg.SpilledPartitions,
+			AggSpilledRows:       d.Agg.SpilledRows,
+			AggSpillRecursions:   d.Agg.SpillRecursions,
+			PoolHitRate:          d.Pool.HitRate(),
+		})
+	}
+	return out, want, nil
+}
+
+// SortAggExperiment measures the external sort and the spillable
+// aggregate through the full SQL stack: warm in-memory runs at each DOP,
+// then the same statements with budgets far below the table so every run
+// spills. All runs must produce checksum-identical results — the ordered
+// sort checksum doubles as the equal-key stability check.
+func SortAggExperiment(workDir string, cfg SortAggBenchConfig) (*SortAggBenchResult, error) {
+	res := &SortAggBenchResult{
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Rows:            cfg.Rows,
+		KeySpace:        cfg.KeySpace,
+		Groups:          cfg.Groups,
+		SortSpillBudget: cfg.SortSpillBudget,
+		AggSpillBudget:  cfg.AggSpillBudget,
+	}
+	open := func(name string, sortBudget, aggBudget int64) (*core.Database, error) {
+		db, err := core.Open(filepath.Join(workDir, name), core.Options{
+			DOP:               maxDOP(cfg.DOPs),
+			ParallelThreshold: 2_048,
+			SortMemoryBudget:  sortBudget,
+			AggMemoryBudget:   aggBudget,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return db, loadSortAggTable(db, cfg)
+	}
+
+	memDB, err := open("sortagg_mem", -1, -1) // unlimited
+	if err != nil {
+		return nil, err
+	}
+	defer memDB.Close()
+	if expl, err := memDB.Query("EXPLAIN " + sortBenchSQL); err == nil {
+		res.SortPlan = expl.Plan
+	}
+	if expl, err := memDB.Query("EXPLAIN " + aggBenchSQL); err == nil {
+		res.AggPlan = expl.Plan
+	}
+	var sortSum, aggSum uint64
+	if res.SortInMemory, sortSum, err = runSortAggBench(memDB, sortBenchSQL, cfg.DOPs, true, 0); err != nil {
+		return nil, err
+	}
+	if res.AggInMemory, aggSum, err = runSortAggBench(memDB, aggBenchSQL, cfg.DOPs, false, 0); err != nil {
+		return nil, err
+	}
+
+	spillDB, err := open("sortagg_spill", cfg.SortSpillBudget, cfg.AggSpillBudget)
+	if err != nil {
+		return nil, err
+	}
+	defer spillDB.Close()
+	if res.SortSpill, _, err = runSortAggBench(spillDB, sortBenchSQL, cfg.DOPs, true, sortSum); err != nil {
+		return nil, err
+	}
+	if res.AggSpill, _, err = runSortAggBench(spillDB, aggBenchSQL, cfg.DOPs, false, aggSum); err != nil {
+		return nil, err
+	}
+	for _, r := range res.SortSpill {
+		if r.SortRuns == 0 {
+			return nil, fmt.Errorf("bench: forced-spill sort at DOP %d spilled no runs", r.DOP)
+		}
+	}
+	for _, r := range res.AggSpill {
+		if r.AggSpilledPartitions == 0 {
+			return nil, fmt.Errorf("bench: forced-spill aggregate at DOP %d spilled no partitions", r.DOP)
+		}
+	}
+	return res, nil
+}
+
+// WriteJSON writes the result as indented JSON.
+func (r *SortAggBenchResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

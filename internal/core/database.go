@@ -51,6 +51,18 @@ type Options struct {
 	// (default 32). More partitions lower the per-partition memory need
 	// and sharpen spill granularity at the cost of smaller hash tables.
 	JoinPartitions int
+	// SortMemoryBudget caps the bytes a sort (ORDER BY, ROW_NUMBER) may
+	// buffer before spilling stably-sorted runs to temp files in
+	// <dir>/tmp and k-way merging them on output (default 64 MB;
+	// negative disables spilling so sorts of any size stay in memory).
+	// Parallel sorts divide the budget across their partition sorts.
+	SortMemoryBudget int64
+	// AggMemoryBudget caps the bytes of resident group state a hash
+	// aggregate (GROUP BY) may hold before freezing hash partitions and
+	// spilling their overflow rows to temp files, re-aggregating per
+	// partition on output (default 64 MB; negative disables spilling).
+	// Parallel plans divide it across their partial aggregates.
+	AggMemoryBudget int64
 }
 
 // Database is an open engine instance rooted at a directory.
@@ -74,9 +86,11 @@ type Database struct {
 	threshold  int64 // planner ParallelThreshold override, 0 = default
 	joinBudget int64 // join memory budget (0 = unlimited)
 	joinParts  int   // join hash fan-out
+	sortBudget int64 // sort memory budget (0 = unlimited)
+	aggBudget  int64 // aggregate memory budget (0 = unlimited)
 	planner    *plan.Planner
 	spill      *storage.SpillManager
-	joinStats  exec.JoinStats
+	execStats  exec.ExecStats
 }
 
 // tableData is the open storage behind one catalog table.
@@ -105,6 +119,16 @@ func Open(dir string, opts Options) (*Database, error) {
 	}
 	if opts.JoinPartitions <= 0 {
 		opts.JoinPartitions = plan.DefaultJoinPartitions
+	}
+	if opts.SortMemoryBudget == 0 {
+		opts.SortMemoryBudget = plan.DefaultSortMemoryBudget
+	} else if opts.SortMemoryBudget < 0 {
+		opts.SortMemoryBudget = 0 // unlimited
+	}
+	if opts.AggMemoryBudget == 0 {
+		opts.AggMemoryBudget = plan.DefaultAggMemoryBudget
+	} else if opts.AggMemoryBudget < 0 {
+		opts.AggMemoryBudget = 0 // unlimited
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -135,6 +159,8 @@ func Open(dir string, opts Options) (*Database, error) {
 		threshold:  opts.ParallelThreshold,
 		joinBudget: opts.JoinMemoryBudget,
 		joinParts:  opts.JoinPartitions,
+		sortBudget: opts.SortMemoryBudget,
+		aggBudget:  opts.AggMemoryBudget,
 	}
 	db.spill = storage.NewSpillManager(filepath.Join(dir, "tmp"), db.pool)
 	db.planner = db.newPlanner(db.dop)
@@ -178,13 +204,39 @@ func (db *Database) newPlanner(dop int) *plan.Planner {
 	}
 	pl.JoinMemoryBudget = db.joinBudget
 	pl.JoinPartitions = db.joinParts
+	pl.SortMemoryBudget = db.sortBudget
+	pl.AggMemoryBudget = db.aggBudget
 	return pl
 }
 
-// JoinStats snapshots the partitioned-join counters (spilled partitions,
-// spilled rows, recursions); safe to call during concurrent queries. The
-// benchmarks report per-query spill activity from deltas of this.
-func (db *Database) JoinStats() exec.JoinStatsSnapshot { return db.joinStats.Snapshot() }
+// ExecStatsSnapshot is the engine's unified monitoring block: buffer
+// pool counters plus every operator family's spill activity (join
+// partitions, sort runs, aggregate partitions), captured at one instant.
+type ExecStatsSnapshot struct {
+	Pool storage.PoolStats
+	Join exec.JoinStatsSnapshot
+	Sort exec.SortStatsSnapshot
+	Agg  exec.AggStatsSnapshot
+}
+
+// Sub returns the counter deltas since an earlier snapshot.
+func (s ExecStatsSnapshot) Sub(earlier ExecStatsSnapshot) ExecStatsSnapshot {
+	return ExecStatsSnapshot{
+		Pool: s.Pool.Sub(earlier.Pool),
+		Join: s.Join.Sub(earlier.Join),
+		Sort: s.Sort.Sub(earlier.Sort),
+		Agg:  s.Agg.Sub(earlier.Agg),
+	}
+}
+
+// ExecStats snapshots all operator counters and the buffer pool; safe to
+// call during concurrent queries (every counter is an atomic). Benches
+// and tests observe join, sort and aggregate spill behavior through this
+// single surface.
+func (db *Database) ExecStats() ExecStatsSnapshot {
+	op := db.execStats.Snapshot()
+	return ExecStatsSnapshot{Pool: db.pool.Stats(), Join: op.Join, Sort: op.Sort, Agg: op.Agg}
+}
 
 // SetDOP overrides the degree of parallelism (used by the scaling
 // experiments).

@@ -50,7 +50,7 @@ func canonResult(res *Result) []string {
 // TestJoinSpillsAndMatchesInMemory is the end-to-end acceptance check: the
 // same SQL join run with an ample budget and with a budget far smaller
 // than the build side must return identical rows, with spill counters
-// reported via Database.JoinStats, and the temp spill files cleaned up.
+// reported via Database.ExecStats, and the temp spill files cleaned up.
 func TestJoinSpillsAndMatchesInMemory(t *testing.T) {
 	const sql = `SELECT payload, tag FROM reads JOIN aligns ON reads.k = aligns.k WHERE aligns.k < 40`
 	run := func(budget int64) ([]string, *Database) {
@@ -75,12 +75,12 @@ func TestJoinSpillsAndMatchesInMemory(t *testing.T) {
 	}
 
 	inMem, memDB := run(-1) // negative = unlimited
-	if s := memDB.JoinStats(); s.SpilledPartitions != 0 {
+	if s := memDB.ExecStats().Join; s.SpilledPartitions != 0 {
 		t.Fatalf("unlimited budget spilled: %+v", s)
 	}
 
 	spilled, spillDB := run(4 << 10) // 4 KB budget << the ~28 KB build side
-	s := spillDB.JoinStats()
+	s := spillDB.ExecStats().Join
 	if s.SpilledPartitions == 0 || s.SpilledBuildRows == 0 || s.SpilledProbeRows == 0 {
 		t.Fatalf("expected spill activity with 4 KB budget, got %+v", s)
 	}
@@ -111,9 +111,9 @@ func TestJoinStatsAccumulate(t *testing.T) {
 	}
 	t.Cleanup(func() { db.Close() })
 	loadJoinTables(t, db, 1500, 1200, 100)
-	before := db.JoinStats()
+	before := db.ExecStats()
 	mustExec(t, db, `SELECT payload FROM reads JOIN aligns ON reads.k = aligns.k WHERE aligns.k = 1`)
-	delta := db.JoinStats().Sub(before)
+	delta := db.ExecStats().Sub(before).Join
 	if delta.BuildRows == 0 || delta.ProbeRows == 0 {
 		t.Fatalf("join counters did not advance: %+v", delta)
 	}

@@ -86,9 +86,9 @@ func (db *Database) Query(sql string) (*Result, error) {
 }
 
 // execContext builds the per-query execution context: the configured DOP
-// plus the engine-wide join counters.
+// plus the engine-wide operator counters.
 func (db *Database) execContext() *exec.Context {
-	return &exec.Context{DOP: db.dop, Stats: &db.joinStats}
+	return &exec.Context{DOP: db.dop, Stats: &db.execStats}
 }
 
 // runSelectLocked plans and executes a SELECT (callers hold db.mu in some
@@ -443,7 +443,7 @@ func (db *Database) ScanTableNoLock(table string, fn func(sqltypes.Row) error) e
 		return err
 	}
 	op := ops[0]
-	if err := op.Open(&exec.Context{DOP: 1, Stats: &db.joinStats}); err != nil {
+	if err := op.Open(&exec.Context{DOP: 1, Stats: &db.execStats}); err != nil {
 		return err
 	}
 	defer op.Close()

@@ -3,7 +3,6 @@ package exec
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"repro/internal/expr"
 	"repro/internal/sqltypes"
@@ -403,91 +402,3 @@ func (s *StreamAggregate) Next() (sqltypes.Row, bool, error) {
 
 // Close closes the child.
 func (s *StreamAggregate) Close() error { return s.Child.Close() }
-
-// ParallelHashAggregate runs one partition child per worker, each building
-// a partial aggregate table, then merges the partials — the plan shape of
-// the paper's Figure 9 (parallel scan → partial hash aggregate →
-// repartition/gather → final aggregate). Aggregate states merge with
-// AggState.Merge, so user-defined aggregates parallelize exactly like
-// COUNT and SUM.
-type ParallelHashAggregate struct {
-	GroupBy    []expr.Expr
-	Aggs       []AggSpec
-	Partitions []Operator
-
-	groups map[string]*aggGroup
-	order  []string
-	pos    int
-	out    sqltypes.Row
-}
-
-// Open runs all partitions to completion and merges their tables.
-func (p *ParallelHashAggregate) Open(ctx *Context) error {
-	type partResult struct {
-		groups map[string]*aggGroup
-		order  []string
-		err    error
-	}
-	results := make([]partResult, len(p.Partitions))
-	var wg sync.WaitGroup
-	for i, part := range p.Partitions {
-		wg.Add(1)
-		go func(i int, child Operator) {
-			defer wg.Done()
-			res := &results[i]
-			res.groups = make(map[string]*aggGroup)
-			if err := child.Open(ctx); err != nil {
-				res.err = err
-				return
-			}
-			defer child.Close()
-			res.err = accumulate(child, p.GroupBy, p.Aggs, res.groups, &res.order)
-		}(i, part)
-	}
-	wg.Wait()
-	p.groups = make(map[string]*aggGroup)
-	p.order = p.order[:0]
-	p.pos = 0
-	for i := range results {
-		if results[i].err != nil {
-			return results[i].err
-		}
-		for _, key := range results[i].order {
-			g := results[i].groups[key]
-			tgt, ok := p.groups[key]
-			if !ok {
-				p.groups[key] = g
-				p.order = append(p.order, key)
-				continue
-			}
-			for j := range tgt.states {
-				if err := tgt.states[j].Merge(g.states[j]); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	if len(p.GroupBy) == 0 && len(p.groups) == 0 {
-		p.groups[""] = &aggGroup{states: newStates(p.Aggs)}
-		p.order = append(p.order, "")
-	}
-	p.out = make(sqltypes.Row, len(p.GroupBy)+len(p.Aggs))
-	return nil
-}
-
-// Next emits one merged group.
-func (p *ParallelHashAggregate) Next() (sqltypes.Row, bool, error) {
-	if p.pos >= len(p.order) {
-		return nil, false, nil
-	}
-	g := p.groups[p.order[p.pos]]
-	p.pos++
-	return renderGroup(p.out, g)
-}
-
-// Close releases state.
-func (p *ParallelHashAggregate) Close() error {
-	p.groups = nil
-	p.order = nil
-	return nil
-}

@@ -18,9 +18,9 @@ import (
 type Context struct {
 	// DOP is the degree of parallelism granted to parallel operators.
 	DOP int
-	// Stats, when non-nil, accumulates partitioned-join counters (spilled
-	// partitions, spilled rows) for the engine's monitoring surface.
-	Stats *JoinStats
+	// Stats, when non-nil, accumulates operator counters (join, sort and
+	// aggregate spill activity) for the engine's monitoring surface.
+	Stats *ExecStats
 }
 
 // Operator is a Volcano iterator: Open, a stream of Next calls, Close.

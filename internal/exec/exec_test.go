@@ -187,7 +187,10 @@ func TestStreamAggregateEmitsEagerly(t *testing.T) {
 	}
 }
 
-func TestParallelHashAggregateMatchesSerial(t *testing.T) {
+// TestParallelAggregateMatchesSerial: the two-phase SpillableAggregate
+// (one partial per worker, AggState.Merge final pass) must equal the
+// serial hash aggregate.
+func TestParallelAggregateMatchesSerial(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	var all []sqltypes.Row
 	var parts [2][]sqltypes.Row
@@ -204,10 +207,10 @@ func TestParallelHashAggregateMatchesSerial(t *testing.T) {
 		}
 	}
 	serial := run(t, &HashAggregate{GroupBy: []expr.Expr{col(0)}, Aggs: mk(), Child: NewValues(all)})
-	parallel := run(t, &ParallelHashAggregate{
-		GroupBy:    []expr.Expr{col(0)},
-		Aggs:       mk(),
-		Partitions: []Operator{NewValues(parts[0]), NewValues(parts[1])},
+	parallel := run(t, &SpillableAggregate{
+		GroupBy: []expr.Expr{col(0)},
+		Aggs:    mk(),
+		Parts:   []Operator{NewValues(parts[0]), NewValues(parts[1])},
 	})
 	key := func(rows []sqltypes.Row) {
 		sort.Slice(rows, func(i, j int) bool { return rows[i][0].S < rows[j][0].S })

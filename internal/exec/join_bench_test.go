@@ -49,7 +49,7 @@ func BenchmarkPartitionedJoin(b *testing.B) {
 				MemoryBudget: budget,
 				Spill:        spill,
 			}
-			stats := &JoinStats{}
+			stats := &ExecStats{}
 			rows, err := Run(&Context{DOP: dop, Stats: stats}, j)
 			if err != nil {
 				b.Fatal(err)
@@ -57,7 +57,7 @@ func BenchmarkPartitionedJoin(b *testing.B) {
 			if len(rows) == 0 {
 				b.Fatal("empty join result")
 			}
-			if budget > 0 && stats.SpilledPartitions.Load() == 0 {
+			if budget > 0 && stats.Join.SpilledPartitions.Load() == 0 {
 				b.Fatal("spill benchmark did not spill")
 			}
 		}

@@ -72,9 +72,6 @@ func (s JoinStatsSnapshot) Sub(earlier JoinStatsSnapshot) JoinStatsSnapshot {
 	}
 }
 
-// discardJoinStats absorbs counters when the context carries none.
-var discardJoinStats JoinStats
-
 // DefaultJoinPartitions is the fan-out when the caller does not set one
 // (the planner's default aliases this, so plans and operators agree).
 const DefaultJoinPartitions = 32
@@ -207,10 +204,7 @@ func rowMemBytes(row sqltypes.Row) int64 {
 // parallel probe.
 func (j *PartitionedHashJoin) Open(ctx *Context) error {
 	j.ctx = ctx
-	j.stats = ctx.Stats
-	if j.stats == nil {
-		j.stats = &discardJoinStats
-	}
+	j.stats = &statsFrom(ctx).Join
 	p := j.Partitions
 	if p < 1 {
 		p = DefaultJoinPartitions

@@ -29,6 +29,25 @@ func (s storageSpillStore) Create() (SpillFile, error) {
 
 func (f storageSpillFile) Iter() (RowIterator, error) { return f.NewIterator(), nil }
 
+// CreateRun, SealRun and IterRun mirror core's production adapter so the
+// exec tests exercise the sequential run path and multi-run files.
+func (s storageSpillStore) CreateRun() (SpillFile, error) {
+	f, err := s.m.CreateRun()
+	if err != nil {
+		return nil, err
+	}
+	return storageSpillFile{f}, nil
+}
+
+func (f storageSpillFile) SealRun() (RunSpan, error) {
+	start, end, rows, bytes, err := f.SpillFile.SealRun()
+	return RunSpan{Start: start, End: end, Rows: rows, Bytes: bytes}, err
+}
+
+func (f storageSpillFile) IterRun(span RunSpan) (RowIterator, error) {
+	return f.NewRunIterator(span.Start, span.End, span.Rows), nil
+}
+
 func newTestSpillStore(t testing.TB) SpillStore {
 	t.Helper()
 	return storageSpillStore{storage.NewSpillManager(t.TempDir(), storage.NewBufferPool(64))}
@@ -142,7 +161,7 @@ func TestPartitionedJoinEquivalence(t *testing.T) {
 		for _, cfg := range configs {
 			for _, buildLeft := range []bool{false, true} {
 				name := fmt.Sprintf("trial%d/%s/buildLeft=%v", trial, cfg.name, buildLeft)
-				stats := &JoinStats{}
+				stats := &ExecStats{}
 				j := &PartitionedHashJoin{
 					LeftKeys: lk, RightKeys: rk,
 					BuildLeft:    buildLeft,
@@ -165,7 +184,7 @@ func TestPartitionedJoinEquivalence(t *testing.T) {
 				if !reflect.DeepEqual(got, want) {
 					t.Fatalf("%s: %d rows, reference %d rows", name, len(got), len(want))
 				}
-				if cfg.budget > 0 && cfg.budget < 1024 && stats.SpilledPartitions.Load() == 0 && len(left) > 0 {
+				if cfg.budget > 0 && cfg.budget < 1024 && stats.Join.SpilledPartitions.Load() == 0 && len(left) > 0 {
 					t.Errorf("%s: tiny budget but nothing spilled", name)
 				}
 			}
@@ -185,7 +204,7 @@ func TestPartitionedJoinSpillMatchesInMemory(t *testing.T) {
 	for i := 0; i < 3000; i++ {
 		right = append(right, sqltypes.Row{i64(int64(rng.Intn(500))), str(fmt.Sprintf("payload-right-%d", i))})
 	}
-	runJoin := func(budget int64, stats *JoinStats) []string {
+	runJoin := func(budget int64, stats *ExecStats) []string {
 		j := &PartitionedHashJoin{
 			LeftKeys: []expr.Expr{col(0)}, RightKeys: []expr.Expr{col(0)},
 			LeftParts: splitRows(left, 4), RightParts: splitRows(right, 4),
@@ -197,14 +216,14 @@ func TestPartitionedJoinSpillMatchesInMemory(t *testing.T) {
 		}
 		return canonRows(rows)
 	}
-	inMem := runJoin(0, &JoinStats{})
-	spillStats := &JoinStats{}
+	inMem := runJoin(0, &ExecStats{})
+	spillStats := &ExecStats{}
 	spilled := runJoin(16<<10, spillStats) // ~16 KB budget << build side
-	if spillStats.SpilledPartitions.Load() == 0 {
+	if spillStats.Join.SpilledPartitions.Load() == 0 {
 		t.Fatal("expected spilled partitions with a 16 KB budget")
 	}
-	if spillStats.SpilledBuildRows.Load() == 0 || spillStats.SpilledProbeRows.Load() == 0 {
-		t.Fatalf("expected spilled rows on both sides, got %+v", spillStats.Snapshot())
+	if spillStats.Join.SpilledBuildRows.Load() == 0 || spillStats.Join.SpilledProbeRows.Load() == 0 {
+		t.Fatalf("expected spilled rows on both sides, got %+v", spillStats.Join.Snapshot())
 	}
 	if !reflect.DeepEqual(inMem, spilled) {
 		t.Fatalf("spilled join differs from in-memory: %d vs %d rows", len(spilled), len(inMem))

@@ -13,175 +13,277 @@ type SortKey struct {
 	Desc bool
 }
 
-// Sort materializes its input and emits it ordered by the keys.
+// compareKeyRows orders two precomputed key rows under the sort terms:
+// negative when a sorts before b.
+func compareKeyRows(a, b sqltypes.Row, by []SortKey) int {
+	for i := range by {
+		c := sqltypes.Compare(a[i], b[i])
+		if c == 0 {
+			continue
+		}
+		if by[i].Desc {
+			return -c
+		}
+		return c
+	}
+	return 0
+}
+
+// rowSorter stably sorts rows and their precomputed keys in place — no
+// permutation scratch slices, so repeated sorts (TopN's lazy trim, run
+// spilling) allocate nothing per call. Holders embed one and reuse it.
+type rowSorter struct {
+	rows, keys []sqltypes.Row
+	by         []SortKey
+}
+
+func (s *rowSorter) Len() int { return len(s.rows) }
+func (s *rowSorter) Swap(i, j int) {
+	s.rows[i], s.rows[j] = s.rows[j], s.rows[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+func (s *rowSorter) Less(i, j int) bool {
+	return compareKeyRows(s.keys[i], s.keys[j], s.by) < 0
+}
+
+// sortStable sorts rows (stably) by their keys, permuting both in place.
+func (s *rowSorter) sortStable(rows, keys []sqltypes.Row, by []SortKey) {
+	s.rows, s.keys, s.by = rows, keys, by
+	sort.Stable(s)
+	s.rows, s.keys = nil, nil // don't pin the slices between sorts
+}
+
+// sortRows sorts rows (stably) by their precomputed keys, keeping the
+// keys aligned so callers can keep using them.
+func sortRows(rows, keys []sqltypes.Row, by []SortKey) {
+	var s rowSorter
+	s.sortStable(rows, keys, by)
+}
+
+// Sort emits its input ordered by the keys. It is an external merge
+// sort: rows buffer up to MemoryBudget, overflowing spans spill as
+// stably-sorted runs through Spill, and Next() streams either the
+// in-memory buffer or a loser-tree merge of the runs. Equal keys stay in
+// input order even when runs spill (merge ties break by run index).
 type Sort struct {
 	Keys  []SortKey
 	Child Operator
+	// MemoryBudget caps the bytes of buffered rows (0 = unlimited);
+	// exceeding it spills sorted runs through Spill.
+	MemoryBudget int64
+	// Spill creates temp run files. Required only when MemoryBudget can
+	// be exceeded.
+	Spill SpillStore
 
-	rows []sqltypes.Row
-	pos  int
+	sorter *extSorter
+	it     RowIterator
 }
 
-// Open drains and sorts the child.
+// Open drains and sorts the child, spilling runs past the budget.
 func (s *Sort) Open(ctx *Context) error {
 	if err := s.Child.Open(ctx); err != nil {
 		return err
 	}
 	defer s.Child.Close()
-	s.rows = s.rows[:0]
-	s.pos = 0
-	rows, keys, err := drainWithKeys(s.Child, s.Keys)
-	if err != nil {
+	// Callers (exec.Run, MergeSorted) do not Close an operator whose Open
+	// failed, so error paths must release any spilled runs here.
+	es := newExtSorter(s.Keys, s.MemoryBudget, s.Spill, &statsFrom(ctx).Sort)
+	s.sorter = es
+	fail := func(err error) error {
+		es.Release()
+		s.sorter = nil
 		return err
 	}
-	sortRows(rows, keys, s.Keys)
-	s.rows = rows
-	return nil
-}
-
-// drainWithKeys materializes rows and their evaluated sort keys.
-func drainWithKeys(child Operator, sortKeys []SortKey) ([]sqltypes.Row, []sqltypes.Row, error) {
-	var rows []sqltypes.Row
-	var keys []sqltypes.Row
 	for {
-		row, ok, err := child.Next()
+		row, ok, err := s.Child.Next()
 		if err != nil {
-			return nil, nil, err
+			return fail(err)
 		}
 		if !ok {
-			return rows, keys, nil
+			break
 		}
-		clone := row.Clone()
-		key := make(sqltypes.Row, len(sortKeys))
-		for i, k := range sortKeys {
-			v, err := k.Expr.Eval(clone)
-			if err != nil {
-				return nil, nil, err
-			}
-			key[i] = v
+		if err := es.Add(row); err != nil {
+			return fail(err)
 		}
-		rows = append(rows, clone)
-		keys = append(keys, key)
 	}
-}
-
-// sortRows sorts rows (stably) by their precomputed keys, permuting the
-// keys alongside so callers can keep using them (TopN's trim does).
-func sortRows(rows, keys []sqltypes.Row, sortKeys []SortKey) {
-	idx := make([]int, len(rows))
-	for i := range idx {
-		idx[i] = i
+	it, err := es.Finish()
+	if err != nil {
+		return fail(err)
 	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		ka, kb := keys[idx[a]], keys[idx[b]]
-		for i := range sortKeys {
-			c := sqltypes.Compare(ka[i], kb[i])
-			if c == 0 {
-				continue
-			}
-			if sortKeys[i].Desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
-	})
-	permutedRows := make([]sqltypes.Row, len(rows))
-	permutedKeys := make([]sqltypes.Row, len(keys))
-	for i, j := range idx {
-		permutedRows[i] = rows[j]
-		permutedKeys[i] = keys[j]
-	}
-	copy(rows, permutedRows)
-	copy(keys, permutedKeys)
+	s.it = it
+	return nil
 }
 
 // Next emits the next sorted row.
 func (s *Sort) Next() (sqltypes.Row, bool, error) {
-	if s.pos >= len(s.rows) {
+	if s.it == nil {
 		return nil, false, nil
 	}
-	r := s.rows[s.pos]
-	s.pos++
-	return r, true, nil
+	return s.it.Next()
 }
 
-// Close releases the buffered rows.
+// NextKeyed implements keyedSource: both sorted-stream shapes (in-memory
+// buffer and loser-tree merge) carry the precomputed sort keys, so a
+// merge exchange above per-partition sorts reuses them for free.
+func (s *Sort) NextKeyed() (sqltypes.Row, sqltypes.Row, bool, error) {
+	if s.it == nil {
+		return nil, nil, false, nil
+	}
+	return s.it.(keyedSource).NextKeyed()
+}
+
+// sortedBuffers hands the fully in-memory sorted result (rows plus
+// keys) to a merge exchange, which then merges arrays in tight loops
+// instead of streaming row-at-a-time. Returns ok=false when runs
+// spilled (the result must stream through the loser tree) or the sort
+// is not open.
+func (s *Sort) sortedBuffers() (rows, keys []sqltypes.Row, ok bool) {
+	it, isMem := s.it.(*keyedSliceIterator)
+	if !isMem || it.pos != 0 {
+		return nil, nil, false
+	}
+	return it.rows, it.keys, true
+}
+
+// Close releases the buffered rows and any spilled runs.
 func (s *Sort) Close() error {
-	s.rows = nil
+	if s.sorter != nil {
+		s.sorter.Release()
+		s.sorter = nil
+	}
+	s.it = nil
 	return nil
 }
 
-// RowNumber implements ROW_NUMBER() OVER (ORDER BY ...): it sorts its
+// RowNumber implements ROW_NUMBER() OVER (ORDER BY ...): it orders its
 // input by the window ordering and appends the 1-based row number as an
 // extra trailing column (projections then place it wherever the SELECT
-// list wants it). This is the paper's Query 1 ranking construct.
+// list wants it). This is the paper's Query 1 ranking construct. The
+// sort is external (same budget/spill machinery as Sort); when the
+// planner already ordered the input (per-partition sorts under a
+// MergeSorted exchange) InputSorted skips the sort and the operator
+// streams, numbering rows as they arrive.
 type RowNumber struct {
-	OrderBy []SortKey
-	Child   Operator
+	OrderBy      []SortKey
+	Child        Operator
+	MemoryBudget int64
+	Spill        SpillStore
+	InputSorted  bool
 
-	rows []sqltypes.Row
-	pos  int
-	out  sqltypes.Row
+	sorter    *extSorter
+	it        RowIterator
+	childOpen bool
+	n         int64
+	out       sqltypes.Row
 }
 
-// Open materializes and sorts.
+// Open materializes and sorts (or, for pre-sorted input, just opens).
 func (r *RowNumber) Open(ctx *Context) error {
+	r.n = 0
 	if err := r.Child.Open(ctx); err != nil {
 		return err
 	}
+	if r.InputSorted {
+		r.childOpen = true
+		return nil
+	}
 	defer r.Child.Close()
-	r.pos = 0
-	rows, keys, err := drainWithKeys(r.Child, r.OrderBy)
-	if err != nil {
+	// As in Sort.Open: a failed Open never gets a Close, so release any
+	// spilled runs on the way out.
+	es := newExtSorter(r.OrderBy, r.MemoryBudget, r.Spill, &statsFrom(ctx).Sort)
+	r.sorter = es
+	fail := func(err error) error {
+		es.Release()
+		r.sorter = nil
 		return err
 	}
-	sortRows(rows, keys, r.OrderBy)
-	r.rows = rows
+	for {
+		row, ok, err := r.Child.Next()
+		if err != nil {
+			return fail(err)
+		}
+		if !ok {
+			break
+		}
+		if err := es.Add(row); err != nil {
+			return fail(err)
+		}
+	}
+	it, err := es.Finish()
+	if err != nil {
+		return fail(err)
+	}
+	r.it = it
 	return nil
 }
 
 // Next emits the next row with its number appended.
 func (r *RowNumber) Next() (sqltypes.Row, bool, error) {
-	if r.pos >= len(r.rows) {
-		return nil, false, nil
+	var row sqltypes.Row
+	var ok bool
+	var err error
+	if r.InputSorted {
+		row, ok, err = r.Child.Next()
+	} else {
+		if r.it == nil {
+			return nil, false, nil
+		}
+		row, ok, err = r.it.Next()
 	}
-	row := r.rows[r.pos]
-	r.pos++
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	r.n++
 	if cap(r.out) < len(row)+1 {
 		r.out = make(sqltypes.Row, len(row)+1)
 	}
 	r.out = r.out[:len(row)+1]
 	copy(r.out, row)
-	r.out[len(row)] = sqltypes.NewInt(int64(r.pos))
+	r.out[len(row)] = sqltypes.NewInt(r.n)
 	return r.out, true, nil
 }
 
-// Close releases buffered rows.
+// Close releases buffered rows, runs, and the streaming child.
 func (r *RowNumber) Close() error {
-	r.rows = nil
-	return nil
+	if r.sorter != nil {
+		r.sorter.Release()
+		r.sorter = nil
+	}
+	r.it = nil
+	var err error
+	if r.childOpen {
+		r.childOpen = false
+		err = r.Child.Close()
+	}
+	return err
 }
 
 // TopN keeps only the first N rows under the sort order; a fused
-// Sort+Limit that avoids materializing more than N rows.
+// Sort+Limit that avoids materializing more than 2N rows.
 type TopN struct {
 	N     int64
 	Keys  []SortKey
 	Child Operator
 
-	rows []sqltypes.Row
-	keys []sqltypes.Row
-	pos  int
+	rows   []sqltypes.Row
+	keys   []sqltypes.Row
+	pos    int
+	sorter rowSorter
 }
 
-// Open drains the child keeping the N smallest rows.
+// Open drains the child keeping the N smallest rows. TOP 0 short-
+// circuits without opening the child: it can produce no rows, so there
+// is nothing to materialize (and a Sort or Gather child would otherwise
+// do its full work during Open).
 func (t *TopN) Open(ctx *Context) error {
+	t.rows, t.keys, t.pos = nil, nil, 0
+	if t.N <= 0 {
+		return nil
+	}
 	if err := t.Child.Open(ctx); err != nil {
 		return err
 	}
 	defer t.Child.Close()
-	t.rows, t.keys, t.pos = nil, nil, 0
 	for {
 		row, ok, err := t.Child.Next()
 		if err != nil {
@@ -202,7 +304,7 @@ func (t *TopN) Open(ctx *Context) error {
 		t.rows = append(t.rows, clone)
 		t.keys = append(t.keys, key)
 		// Lazy trim: allow 2N buffered, then cut back to N.
-		if int64(len(t.rows)) >= 2*t.N && t.N > 0 {
+		if int64(len(t.rows)) >= 2*t.N {
 			t.trim()
 		}
 	}
@@ -211,7 +313,7 @@ func (t *TopN) Open(ctx *Context) error {
 }
 
 func (t *TopN) trim() {
-	sortRows(t.rows, t.keys, t.Keys)
+	t.sorter.sortStable(t.rows, t.keys, t.Keys)
 	if int64(len(t.rows)) > t.N {
 		t.rows = t.rows[:t.N]
 		t.keys = t.keys[:t.N]

@@ -1,0 +1,128 @@
+package exec
+
+import "sync/atomic"
+
+// ExecStats is the engine-wide operator counter block: one instance lives
+// in core.Database and every query's Context points at it, so joins,
+// sorts and aggregates report spill behavior through a single surface
+// (Database.ExecStats()) instead of one accessor per operator family.
+// All fields are atomics: parallel workers update them concurrently and
+// monitoring can snapshot mid-query.
+type ExecStats struct {
+	Join JoinStats
+	Sort SortStats
+	Agg  AggStats
+}
+
+// discardExecStats absorbs counters when the context carries none.
+var discardExecStats ExecStats
+
+// statsFrom returns the context's counter block, or a discard block so
+// operators never nil-check counters on hot paths.
+func statsFrom(ctx *Context) *ExecStats {
+	if ctx != nil && ctx.Stats != nil {
+		return ctx.Stats
+	}
+	return &discardExecStats
+}
+
+// SortStats accumulates external-sort counters across queries.
+type SortStats struct {
+	Sorts        atomic.Int64 // sort/row-number operators that drained input
+	Runs         atomic.Int64 // sorted runs spilled to temp files
+	SpilledRows  atomic.Int64 // rows written to spilled runs
+	SpilledBytes atomic.Int64 // encoded bytes written to spilled runs
+	MergeRows    atomic.Int64 // rows emitted by k-way run merges
+}
+
+// SortStatsSnapshot is a point-in-time copy of SortStats.
+type SortStatsSnapshot struct {
+	Sorts        int64
+	Runs         int64
+	SpilledRows  int64
+	SpilledBytes int64
+	MergeRows    int64
+}
+
+// Snapshot reads the counters; safe to call during queries.
+func (s *SortStats) Snapshot() SortStatsSnapshot {
+	return SortStatsSnapshot{
+		Sorts:        s.Sorts.Load(),
+		Runs:         s.Runs.Load(),
+		SpilledRows:  s.SpilledRows.Load(),
+		SpilledBytes: s.SpilledBytes.Load(),
+		MergeRows:    s.MergeRows.Load(),
+	}
+}
+
+// Sub returns the counter deltas since an earlier snapshot.
+func (s SortStatsSnapshot) Sub(earlier SortStatsSnapshot) SortStatsSnapshot {
+	return SortStatsSnapshot{
+		Sorts:        s.Sorts - earlier.Sorts,
+		Runs:         s.Runs - earlier.Runs,
+		SpilledRows:  s.SpilledRows - earlier.SpilledRows,
+		SpilledBytes: s.SpilledBytes - earlier.SpilledBytes,
+		MergeRows:    s.MergeRows - earlier.MergeRows,
+	}
+}
+
+// AggStats accumulates spillable-aggregate counters across queries.
+type AggStats struct {
+	SpilledPartitions atomic.Int64 // partitions frozen past the memory budget
+	SpilledRows       atomic.Int64 // raw input rows written to partition files
+	SpilledBytes      atomic.Int64 // encoded bytes written to partition files
+	SpillRecursions   atomic.Int64 // spilled partitions re-aggregated from disk
+}
+
+// AggStatsSnapshot is a point-in-time copy of AggStats.
+type AggStatsSnapshot struct {
+	SpilledPartitions int64
+	SpilledRows       int64
+	SpilledBytes      int64
+	SpillRecursions   int64
+}
+
+// Snapshot reads the counters; safe to call during queries.
+func (s *AggStats) Snapshot() AggStatsSnapshot {
+	return AggStatsSnapshot{
+		SpilledPartitions: s.SpilledPartitions.Load(),
+		SpilledRows:       s.SpilledRows.Load(),
+		SpilledBytes:      s.SpilledBytes.Load(),
+		SpillRecursions:   s.SpillRecursions.Load(),
+	}
+}
+
+// Sub returns the counter deltas since an earlier snapshot.
+func (s AggStatsSnapshot) Sub(earlier AggStatsSnapshot) AggStatsSnapshot {
+	return AggStatsSnapshot{
+		SpilledPartitions: s.SpilledPartitions - earlier.SpilledPartitions,
+		SpilledRows:       s.SpilledRows - earlier.SpilledRows,
+		SpilledBytes:      s.SpilledBytes - earlier.SpilledBytes,
+		SpillRecursions:   s.SpillRecursions - earlier.SpillRecursions,
+	}
+}
+
+// ExecStatsSnapshot is a point-in-time copy of all operator counters.
+type ExecStatsSnapshot struct {
+	Join JoinStatsSnapshot
+	Sort SortStatsSnapshot
+	Agg  AggStatsSnapshot
+}
+
+// Snapshot reads every counter; safe to call during queries.
+func (s *ExecStats) Snapshot() ExecStatsSnapshot {
+	return ExecStatsSnapshot{
+		Join: s.Join.Snapshot(),
+		Sort: s.Sort.Snapshot(),
+		Agg:  s.Agg.Snapshot(),
+	}
+}
+
+// Sub returns the counter deltas since an earlier snapshot.
+func (s ExecStatsSnapshot) Sub(earlier ExecStatsSnapshot) ExecStatsSnapshot {
+	return ExecStatsSnapshot{
+		Join: s.Join.Sub(earlier.Join),
+		Sort: s.Sort.Sub(earlier.Sort),
+		Agg:  s.Agg.Sub(earlier.Agg),
+	}
+}

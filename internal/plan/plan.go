@@ -106,6 +106,14 @@ type Planner struct {
 	JoinMemoryBudget int64
 	// JoinPartitions is the hash fan-out of partitioned joins.
 	JoinPartitions int
+	// SortMemoryBudget caps the bytes a sort (ORDER BY, ROW_NUMBER) may
+	// buffer before spilling sorted runs to disk (0 = unlimited). A
+	// parallel sort divides it across its per-partition sorts.
+	SortMemoryBudget int64
+	// AggMemoryBudget caps the bytes of resident group state a hash
+	// aggregate may hold before partitions spill (0 = unlimited), divided
+	// across the partial aggregates of a parallel plan.
+	AggMemoryBudget int64
 }
 
 // Default join knobs: a 64 MB build budget keeps even DOP-wide joins
@@ -115,6 +123,16 @@ type Planner struct {
 const (
 	DefaultJoinMemoryBudget = 64 << 20
 	DefaultJoinPartitions   = exec.DefaultJoinPartitions
+)
+
+// Default sort/aggregate budgets: like the join budget, 64 MB keeps the
+// blocking operators inside a fraction of the default buffer pool while
+// staying far above anything the paper's queries buffer in memory —
+// spilling is the out-of-core escape hatch, not the common path.
+const (
+	DefaultSortMemoryBudget = 64 << 20
+	DefaultAggMemoryBudget  = 64 << 20
+	DefaultAggPartitions    = exec.DefaultAggPartitions
 )
 
 // NewPlanner returns a planner with the given provider and DOP.
@@ -133,6 +151,8 @@ func NewPlanner(p Provider, dop int) *Planner {
 		ParallelThreshold: 2_048,
 		JoinMemoryBudget:  DefaultJoinMemoryBudget,
 		JoinPartitions:    DefaultJoinPartitions,
+		SortMemoryBudget:  DefaultSortMemoryBudget,
+		AggMemoryBudget:   DefaultAggMemoryBudget,
 	}
 }
 

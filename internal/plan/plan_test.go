@@ -252,7 +252,7 @@ func TestPlanParallelMergeJoinRanges(t *testing.T) {
 	text := node.Explain()
 	// The aggregate absorbs the merge-join partitions: each worker runs
 	// its own range's merge join and the partials merge.
-	if !strings.Contains(text, "Merge Join") || !strings.Contains(text, "partial per thread") {
+	if !strings.Contains(text, "Merge Join") || !strings.Contains(text, "Partial Aggregate") {
 		t.Fatalf("expected parallel aggregate over merge-join partitions:\n%s", text)
 	}
 	// Without aggregation the ordered gather shows its partitioning.

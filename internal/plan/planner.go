@@ -131,7 +131,7 @@ func (pl *Planner) PlanSelect(sel *sqlparse.Select) (*Node, error) {
 		if grouped {
 			appendAt = groupedWidth(subst)
 		}
-		rel = windowRelation(rel, keys, grouped)
+		rel = pl.windowRelation(rel, keys, grouped)
 		subst[exprKey(windowCall)] = appendAt
 	}
 
@@ -189,7 +189,7 @@ func (pl *Planner) PlanSelect(sel *sqlparse.Select) (*Node, error) {
 		if sel.Top >= 0 {
 			node = topNNode(sel.Top, sortKeys, node)
 		} else {
-			node = sortNode(sortKeys, node)
+			node = pl.sortNode(sortKeys, rel)
 		}
 	} else if sel.Top >= 0 {
 		child := node
@@ -333,19 +333,27 @@ func (pl *Planner) planAggregate(sel *sqlparse.Select, rel *relation,
 		return &relation{node: node, cols: outCols}, nil
 	}
 
-	// Parallel hash aggregation over a partitionable input.
+	// Partial/final parallel hash aggregation over a partitionable input:
+	// one budgeted partial aggregate per worker below the exchange, a
+	// final AggState.Merge pass above it. Partials that exceed the agg
+	// memory budget freeze partitions and spill raw rows to temp files.
 	if rel.parts != nil && rel.partsN > 1 {
 		parts := rel.parts
 		partsN := rel.partsN
 		scanChildren := rel.node.Children
 		node := &Node{
-			Op:     "Parallelism (Gather Streams)",
-			Detail: fmt.Sprintf("DOP %d", partsN),
+			Op:     "Hash Match (Final Aggregate, merge partials)",
+			Detail: fmt.Sprintf("GROUP BY:[%s] AGG:[%s]", groupDesc, aggDesc),
 			Children: []*Node{{
-				Op:       "Hash Match (Aggregate, partial per thread + merge)",
-				Detail:   fmt.Sprintf("GROUP BY:[%s] AGG:[%s]", groupDesc, aggDesc),
-				Children: scanChildren,
-				Cols:     outCols,
+				Op:     "Parallelism (Gather Streams)",
+				Detail: fmt.Sprintf("DOP %d", partsN),
+				Children: []*Node{{
+					Op:       "Hash Match (Partial Aggregate, spillable)",
+					Detail:   fmt.Sprintf("GROUP BY:[%s] BUDGET:%d", groupDesc, pl.AggMemoryBudget),
+					Children: scanChildren,
+					Cols:     outCols,
+				}},
+				Cols: outCols,
 			}},
 			Cols: outCols,
 			Build: func() (exec.Operator, error) {
@@ -353,10 +361,13 @@ func (pl *Planner) planAggregate(sel *sqlparse.Select, rel *relation,
 				if err != nil {
 					return nil, err
 				}
-				return &exec.ParallelHashAggregate{
-					GroupBy:    groupExprs,
-					Aggs:       aggSpecs,
-					Partitions: children,
+				return &exec.SpillableAggregate{
+					GroupBy:      groupExprs,
+					Aggs:         aggSpecs,
+					Parts:        children,
+					Partitions:   DefaultAggPartitions,
+					MemoryBudget: pl.AggMemoryBudget,
+					Spill:        pl.Provider.SpillStore(),
 				}, nil
 			},
 		}
@@ -374,7 +385,14 @@ func (pl *Planner) planAggregate(sel *sqlparse.Select, rel *relation,
 			if err != nil {
 				return nil, err
 			}
-			return &exec.HashAggregate{GroupBy: groupExprs, Aggs: aggSpecs, Child: c}, nil
+			return &exec.SpillableAggregate{
+				GroupBy:      groupExprs,
+				Aggs:         aggSpecs,
+				Child:        c,
+				Partitions:   DefaultAggPartitions,
+				MemoryBudget: pl.AggMemoryBudget,
+				Spill:        pl.Provider.SpillStore(),
+			}, nil
 		},
 	}
 	return &relation{node: node, cols: outCols}, nil
@@ -442,9 +460,30 @@ func filterRelation(rel *relation, pred expr.Expr) *relation {
 	return out
 }
 
-func windowRelation(rel *relation, keys []exec.SortKey, grouped bool) *relation {
-	child := rel.node
+// windowRelation plans ROW_NUMBER() OVER (ORDER BY ...). Over a
+// partitionable input the ordering comes from per-partition external
+// sorts merged by an order-preserving exchange, and the numbering
+// streams; otherwise the operator sorts its input itself (externally,
+// under the sort memory budget).
+func (pl *Planner) windowRelation(rel *relation, keys []exec.SortKey, grouped bool) *relation {
 	cols := append(append([]ColMeta{}, rel.cols...), ColMeta{Name: "row_number"})
+	if !grouped && rel.parts != nil && rel.partsN > 1 {
+		node := &Node{
+			Op:       "Sequence Project (ROW_NUMBER)",
+			Detail:   fmt.Sprintf("ORDER BY:[%s]", describeSortKeys(keys)),
+			Children: []*Node{pl.parallelSortNode(keys, rel)},
+			Cols:     cols,
+			Build: func() (exec.Operator, error) {
+				ms, err := pl.buildParallelSort(keys, rel)
+				if err != nil {
+					return nil, err
+				}
+				return &exec.RowNumber{OrderBy: keys, Child: ms, InputSorted: true}, nil
+			},
+		}
+		return &relation{node: node, cols: cols}
+	}
+	child := rel.node
 	node := &Node{
 		Op:       "Sequence Project (ROW_NUMBER)",
 		Detail:   fmt.Sprintf("ORDER BY:[%s]", describeSortKeys(keys)),
@@ -455,7 +494,12 @@ func windowRelation(rel *relation, keys []exec.SortKey, grouped bool) *relation 
 			if err != nil {
 				return nil, err
 			}
-			return &exec.RowNumber{OrderBy: keys, Child: c}, nil
+			return &exec.RowNumber{
+				OrderBy:      keys,
+				Child:        c,
+				MemoryBudget: pl.SortMemoryBudget,
+				Spill:        pl.Provider.SpillStore(),
+			}, nil
 		},
 	}
 	return &relation{node: node, cols: cols}
@@ -473,7 +517,14 @@ func describeSortKeys(keys []exec.SortKey) string {
 	return strings.Join(parts, ", ")
 }
 
-func sortNode(keys []exec.SortKey, child *Node) *Node {
+// sortNode plans ORDER BY: an external merge sort under the sort memory
+// budget, parallelized into per-partition sorts below an order-
+// preserving merge exchange when the input is partitionable.
+func (pl *Planner) sortNode(keys []exec.SortKey, rel *relation) *Node {
+	if rel.parts != nil && rel.partsN > 1 {
+		return pl.parallelSortNode(keys, rel)
+	}
+	child := rel.node
 	return &Node{
 		Op:       "Sort",
 		Detail:   fmt.Sprintf("ORDER BY:[%s]", describeSortKeys(keys)),
@@ -484,9 +535,64 @@ func sortNode(keys []exec.SortKey, child *Node) *Node {
 			if err != nil {
 				return nil, err
 			}
-			return &exec.Sort{Keys: keys, Child: c}, nil
+			return &exec.Sort{
+				Keys:         keys,
+				Child:        c,
+				MemoryBudget: pl.SortMemoryBudget,
+				Spill:        pl.Provider.SpillStore(),
+			}, nil
 		},
 	}
+}
+
+// parallelSortNode is the paper-style parallel sort plan: each partition
+// chain sorts independently (sharing the sort budget), and a loser-tree
+// merge exchange preserves the global order above them. Key ties break
+// by partition index, so equal keys keep table order — the same output
+// as the serial stable sort.
+func (pl *Planner) parallelSortNode(keys []exec.SortKey, rel *relation) *Node {
+	inner := &Node{
+		Op:       "Sort",
+		Detail:   fmt.Sprintf("ORDER BY:[%s] BUDGET:%d", describeSortKeys(keys), pl.SortMemoryBudget),
+		Children: rel.node.Children,
+		Cols:     rel.node.Cols,
+	}
+	return &Node{
+		Op:       "Parallelism (Merge Gather, ordered)",
+		Detail:   fmt.Sprintf("DOP %d ORDER BY:[%s]", rel.partsN, describeSortKeys(keys)),
+		Children: []*Node{inner},
+		Cols:     rel.node.Cols,
+		Build: func() (exec.Operator, error) {
+			return pl.buildParallelSort(keys, rel)
+		},
+	}
+}
+
+// buildParallelSort instantiates the per-partition sorts and their merge
+// exchange.
+func (pl *Planner) buildParallelSort(keys []exec.SortKey, rel *relation) (*exec.MergeSorted, error) {
+	ops, err := rel.parts()
+	if err != nil {
+		return nil, err
+	}
+	perBudget := pl.SortMemoryBudget
+	if perBudget > 0 && len(ops) > 1 {
+		perBudget /= int64(len(ops))
+		if perBudget < 1 {
+			perBudget = 1
+		}
+	}
+	spill := pl.Provider.SpillStore()
+	sorts := make([]exec.Operator, len(ops))
+	for i, op := range ops {
+		sorts[i] = &exec.Sort{
+			Keys:         keys,
+			Child:        op,
+			MemoryBudget: perBudget,
+			Spill:        spill,
+		}
+	}
+	return &exec.MergeSorted{Keys: keys, Children: sorts}, nil
 }
 
 func topNNode(n int64, keys []exec.SortKey, child *Node) *Node {

@@ -73,6 +73,22 @@ func (m *SpillManager) Create() (*SpillFile, error) {
 	return &SpillFile{file: f, pool: m.pool}, nil
 }
 
+// CreateRun opens a spill file tuned for sorted runs: the external merge
+// sort writes each run once, in order, and reads it back exactly once
+// during the k-way merge. Its iterators therefore stream pages straight
+// from disk with a private one-page buffer instead of going through the
+// buffer pool — a wide merge fan-in must not evict the workload's hot
+// pages for bytes that will never be read again. Writes already bypass
+// the pool (see sealTailLocked), so a run performs zero pool traffic.
+func (m *SpillManager) CreateRun() (*SpillFile, error) {
+	f, err := m.Create()
+	if err != nil {
+		return nil, err
+	}
+	f.sequential = true
+	return f, nil
+}
+
 // SpillFile is an append-then-iterate temp row file. Append is safe for
 // concurrent use (parallel probe workers feed the same spilled partition);
 // iteration must not overlap appends. The unsealed tail stays in memory,
@@ -87,6 +103,13 @@ type SpillFile struct {
 	bytes    int64
 	scratch  []byte
 	released bool
+	// sequential marks a sorted-run file (CreateRun): iterators read pages
+	// directly instead of caching them in the buffer pool.
+	sequential bool
+	// Run boundaries (SealRun): start of the currently open run.
+	runStartPage  int64
+	runStartRows  int64
+	runStartBytes int64
 }
 
 // Append adds one row.
@@ -157,6 +180,33 @@ func (s *SpillFile) sealTailLocked() error {
 	return nil
 }
 
+// SealRun closes the run being appended: the tail page is sealed (runs
+// are page-aligned) and the run's page span, row count and payload bytes
+// are returned for NewRunIterator. An external merge sort appends every
+// run of one operator back to back into a single spill file this way —
+// hundreds of runs cost one file create/remove instead of hundreds.
+func (s *SpillFile) SealRun() (start, end, rows, bytes int64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.released {
+		return 0, 0, 0, 0, fmt.Errorf("storage: seal run on released spill file")
+	}
+	if err := s.sealTailLocked(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	start, end = s.runStartPage, s.pages
+	rows = s.rows - s.runStartRows
+	bytes = s.bytes - s.runStartBytes
+	s.runStartPage, s.runStartRows, s.runStartBytes = s.pages, s.rows, s.bytes
+	return start, end, rows, bytes, nil
+}
+
+// NewRunIterator streams one sealed run (pages [start, end), rows rows).
+// Runs never share pages, so the iterator needs no tail snapshot.
+func (s *SpillFile) NewRunIterator(start, end, rows int64) *SpillIterator {
+	return &SpillIterator{f: s, page: start, hiPage: end, rowsLeft: rows}
+}
+
 // Rows returns the number of appended rows.
 func (s *SpillFile) Rows() int64 {
 	s.mu.Lock()
@@ -213,6 +263,7 @@ type SpillIterator struct {
 	tailDone bool
 	buf      []byte
 	pos      int
+	pageBuf  []byte // private page buffer for sequential (run) files
 }
 
 // Next returns the next row. Rows are safe to retain.
@@ -256,18 +307,29 @@ func (it *SpillIterator) refill() (bool, error) {
 		it.pos = 0
 	}
 	if it.page < it.hiPage {
-		fr, err := it.f.pool.Get(it.f.file, PageID(it.page))
-		if err != nil {
-			return false, err
+		var data []byte
+		if it.f.sequential {
+			// Sorted-run page: read once, straight from disk, no caching.
+			if it.pageBuf == nil {
+				it.pageBuf = make([]byte, PageSize)
+			}
+			if err := it.f.file.ReadPage(PageID(it.page), it.pageBuf); err != nil {
+				return false, err
+			}
+			data = it.pageBuf
+		} else {
+			fr, err := it.f.pool.Get(it.f.file, PageID(it.page))
+			if err != nil {
+				return false, err
+			}
+			data = fr.Data()
+			defer it.f.pool.Unpin(fr, false)
 		}
-		data := fr.Data()
 		used := int(binary.LittleEndian.Uint16(data[0:]))
 		if used > spillCapacity {
-			it.f.pool.Unpin(fr, false)
 			return false, fmt.Errorf("storage: corrupt spill page (used=%d)", used)
 		}
 		it.buf = append(it.buf, data[spillHeaderSize:spillHeaderSize+used]...)
-		it.f.pool.Unpin(fr, false)
 		it.page++
 		return true, nil
 	}
