@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment: all, table1, table2, wrap, query1, consensus, plans, ablations, join, sortagg")
+	run := flag.String("run", "all", "experiment: all, table1, table2, wrap, query1, consensus, plans, ablations, join, sortagg, stats")
 	dgeReads := flag.Int("dge-reads", 400_000, "DGE lane size (level-1 reads)")
 	reseqReads := flag.Int("reseq-reads", 150_000, "re-sequencing lane size")
 	seed := flag.Int64("seed", 42, "generator seed")
@@ -31,6 +31,8 @@ func main() {
 	joinOut := flag.String("join-out", "BENCH_join.json", "output path for the join benchmark JSON")
 	sortaggOut := flag.String("sortagg-out", "BENCH_sortagg.json", "output path for the sort/aggregate benchmark JSON")
 	sortaggRows := flag.Int("sortagg-rows", 0, "sort/aggregate benchmark table size (0 = default)")
+	statsOut := flag.String("stats-out", "BENCH_stats.json", "output path for the statistics benchmark JSON")
+	statsRows := flag.Int("stats-rows", 0, "statistics benchmark fact-table size (0 = default)")
 	flag.Parse()
 
 	workDir := *work
@@ -246,8 +248,51 @@ func main() {
 		fmt.Println("partial/final aggregate plan:")
 		fmt.Println(res.AggPlan)
 	}
+	if want("stats") {
+		fmt.Println("---- table statistics: ANALYZE-driven build side, Bloom filter, spill pre-partitioning ----")
+		cfg := bench.DefaultStatsBenchConfig()
+		if *statsRows > 0 {
+			cfg.BigRows = *statsRows
+			cfg.DimRows = *statsRows / 5
+			cfg.KeySpace = *statsRows / 2
+			cfg.FilterBound = int64(*statsRows / 40)
+			cfg.JoinMemoryBudget = int64(cfg.DimRows) * 140 / 5 // wrong build side ~5x over budget
+		}
+		res, err := bench.StatsExperiment(filepath.Join(workDir, "stats"), cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("big %d rows (filter v < %d) ⋈ dim %d rows over %d keys, join budget %s (GOMAXPROCS %d)\n",
+			res.BigRows, res.FilterBound, res.DimRows, res.KeySpace,
+			bench.FormatBytes(res.JoinMemoryBudget), res.GOMAXPROCS)
+		fmt.Printf("ANALYZE (both tables): %.1f ms\n", res.AnalyzeMS)
+		for _, r := range res.Runs {
+			fmt.Printf("  analyzed=%-5v bloom=%-5v DOP %d: %9.1f ms  rows=%d bloom_drops=%d spilled_parts=%d spilled_probe=%d\n",
+				r.Analyzed, r.Bloom, r.DOP, r.ElapsedMS, r.Rows, r.BloomDrops, r.SpilledPartitions, r.SpilledProbeRows)
+		}
+		fmt.Printf("DOP-%d speedups: build-side flip %.2fx, bloom %.2fx\n",
+			maxOf(cfg.DOPs), res.BuildFlipSpeedupDOP4, res.BloomSpeedupDOP4)
+		if err := res.WriteJSON(*statsOut); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n\n", *statsOut)
+		fmt.Println("plan before ANALYZE:")
+		fmt.Println(res.PlanBefore)
+		fmt.Println("plan after ANALYZE:")
+		fmt.Println(res.PlanAfter)
+	}
 	fmt.Println(strings.Repeat("=", 60))
 	fmt.Println("done")
+}
+
+func maxOf(ns []int) int {
+	m := 0
+	for _, n := range ns {
+		if n > m {
+			m = n
+		}
+	}
+	return m
 }
 
 func fail(err error) {

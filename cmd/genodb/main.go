@@ -7,6 +7,11 @@
 //	genodb -db DIR -e "SELECT ..."      run one statement (repeatable ;-script)
 //	genodb -db DIR < script.sql         run a script from stdin
 //	genodb -db DIR                      interactive: one statement per line
+//
+// Run "ANALYZE" (or "ANALYZE TABLE t") after bulk loads: it collects
+// per-column histograms and NDV sketches that the planner uses to pick
+// join build sides, partition counts and Bloom filters; "EXPLAIN SELECT
+// ..." shows the resulting per-node "est=N rows" estimates.
 package main
 
 import (
@@ -47,6 +52,7 @@ func main() {
 	interactive := (st.Mode() & os.ModeCharDevice) != 0
 	if interactive {
 		fmt.Println("genodb SQL shell - one statement per line, \\q to quit")
+		fmt.Println("  tip: run ANALYZE [TABLE t] after loading data; EXPLAIN shows the est=N rows it gives the planner")
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

@@ -83,6 +83,19 @@ func main() {
 	for _, row := range res.Rows {
 		fmt.Printf("  rank=%v freq=%v %v\n", row[0], row[1], row[2])
 	}
+
+	// After bulk loads, ANALYZE collects per-column statistics (row
+	// counts, null fractions, NDV sketches, histograms) that the planner
+	// uses for join build sides, partition counts and Bloom filters;
+	// EXPLAIN then annotates every plan node with its estimate.
+	res = mustExec(db, `ANALYZE TABLE ShortReadFiles`)
+	fmt.Println("\nANALYZE ShortReadFiles:")
+	for _, row := range res.Rows {
+		fmt.Printf("  table=%v rows=%v sampled=%v columns=%v\n", row[0], row[1], row[2], row[3])
+	}
+	res = mustExec(db, `EXPLAIN SELECT sample, lane FROM ShortReadFiles WHERE sample = 855`)
+	fmt.Println("\nplan with statistics (note the est=N rows annotations):")
+	fmt.Print(res.Plan)
 }
 
 func mustExec(db *core.Database, sql string) *core.Result {

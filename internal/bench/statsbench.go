@@ -1,0 +1,307 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sqltypes"
+)
+
+// StatsBenchConfig sizes the statistics experiment: a filtered join whose
+// planner decisions (build side, Bloom filter, spill pre-partitioning)
+// depend on ANALYZE.
+type StatsBenchConfig struct {
+	BigRows     int   // fact-side table (filtered by v < FilterBound)
+	DimRows     int   // dimension table
+	KeySpace    int   // join-key domain
+	FilterBound int64 // big.v < FilterBound (v is uniform over [0, BigRows))
+	DOPs        []int
+	// JoinMemoryBudget is sized so the *wrong* build side (dim, chosen
+	// without statistics) spills, while the right one (filtered big) fits.
+	JoinMemoryBudget int64
+}
+
+// DefaultStatsBenchConfig: without ANALYZE the planner estimates the
+// filtered big side at BigRows/3 (default range selectivity), picks dim
+// (~5 MB build) and spills against the 1 MB budget; with ANALYZE the
+// histogram prices the filter at 2.5%, builds on ~5k rows, and the Bloom
+// filter drops the ~90% of dim probe rows with no matching key.
+func DefaultStatsBenchConfig() StatsBenchConfig {
+	return StatsBenchConfig{
+		BigRows:          200_000,
+		DimRows:          40_000,
+		KeySpace:         100_000,
+		FilterBound:      5_000,
+		DOPs:             []int{1, 4},
+		JoinMemoryBudget: 1 << 20,
+	}
+}
+
+// StatsBenchRun is one timed configuration.
+type StatsBenchRun struct {
+	Analyzed          bool    `json:"analyzed"`
+	Bloom             bool    `json:"bloom"`
+	DOP               int     `json:"dop"`
+	ElapsedMS         float64 `json:"elapsed_ms"`
+	Rows              int64   `json:"rows"`
+	BloomChecks       int64   `json:"bloom_checks"`
+	BloomDrops        int64   `json:"bloom_drops"`
+	SpilledPartitions int64   `json:"spilled_partitions"`
+	SpilledBuildRows  int64   `json:"spilled_build_rows"`
+	SpilledProbeRows  int64   `json:"spilled_probe_rows"`
+}
+
+// StatsBenchResult is the full experiment: the same filtered join with
+// and without ANALYZE, with the Bloom filter on and off, at each DOP.
+type StatsBenchResult struct {
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+	BigRows          int     `json:"big_rows"`
+	DimRows          int     `json:"dim_rows"`
+	KeySpace         int     `json:"key_space"`
+	FilterBound      int64   `json:"filter_bound"`
+	JoinMemoryBudget int64   `json:"join_memory_budget_bytes"`
+	AnalyzeMS        float64 `json:"analyze_ms"`
+	PlanBefore       string  `json:"plan_before_analyze"`
+	PlanAfter        string  `json:"plan_after_analyze"`
+	// BuildFlipSpeedupDOP4 compares the unanalyzed plan (wrong build
+	// side, mid-build spill) against the analyzed plan at DOP 4, Bloom on
+	// in both. BloomSpeedupDOP4 compares Bloom off vs on, both analyzed.
+	BuildFlipSpeedupDOP4 float64         `json:"build_flip_speedup_dop4"`
+	BloomSpeedupDOP4     float64         `json:"bloom_speedup_dop4"`
+	Runs                 []StatsBenchRun `json:"runs"`
+}
+
+const statsBenchSQL = `SELECT COUNT(*) FROM big JOIN dim ON big.k = dim.k WHERE big.v < %d`
+
+// statsBenchTimedRuns per configuration; the minimum is reported.
+const statsBenchTimedRuns = 3
+
+func loadStatsBenchTables(db *core.Database, cfg StatsBenchConfig) error {
+	if _, err := db.Exec(`CREATE TABLE big (k BIGINT, v BIGINT, payload VARCHAR(24))`); err != nil {
+		return err
+	}
+	if _, err := db.Exec(`CREATE TABLE dim (k BIGINT, name VARCHAR(24))`); err != nil {
+		return err
+	}
+	const batch = 20_000
+	rows := make([]sqltypes.Row, 0, batch)
+	flush := func(table string) error {
+		if len(rows) == 0 {
+			return nil
+		}
+		err := db.InsertRows(table, rows)
+		rows = rows[:0]
+		return err
+	}
+	for i := 0; i < cfg.BigRows; i++ {
+		rows = append(rows, sqltypes.Row{
+			// Deterministic key mix without a shared RNG.
+			sqltypes.NewInt(int64((i * 13) % cfg.KeySpace)),
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewString(fmt.Sprintf("b-%012d", i)),
+		})
+		if len(rows) == batch {
+			if err := flush("big"); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush("big"); err != nil {
+		return err
+	}
+	for i := 0; i < cfg.DimRows; i++ {
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewInt(int64((i * 7) % cfg.KeySpace)),
+			sqltypes.NewString(fmt.Sprintf("d-%012d", i)),
+		})
+		if len(rows) == batch {
+			if err := flush("dim"); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush("dim"); err != nil {
+		return err
+	}
+	_, err := db.Exec("CHECKPOINT")
+	return err
+}
+
+// runStatsBench measures the join at each DOP (warm-up discarded, best of
+// statsBenchTimedRuns kept) and tags the runs with the configuration.
+func runStatsBench(db *core.Database, sql string, cfg StatsBenchConfig, analyzed, bloom bool, wantRows int64) ([]StatsBenchRun, int64, error) {
+	var out []StatsBenchRun
+	for _, dop := range cfg.DOPs {
+		db.SetDOP(dop)
+		if _, err := db.Query(sql); err != nil { // warm-up
+			return nil, 0, err
+		}
+		var best StatsBenchRun
+		for i := 0; i < statsBenchTimedRuns; i++ {
+			before := db.ExecStats()
+			start := time.Now()
+			res, err := db.Query(sql)
+			if err != nil {
+				return nil, 0, err
+			}
+			elapsed := time.Since(start)
+			d := db.ExecStats().Sub(before)
+			if len(res.Rows) != 1 {
+				return nil, 0, fmt.Errorf("bench: stats join returned %d rows", len(res.Rows))
+			}
+			count := res.Rows[0][0].I
+			if wantRows == 0 {
+				wantRows = count
+			} else if count != wantRows {
+				return nil, 0, fmt.Errorf("bench: stats join count %d, want %d (analyzed=%v bloom=%v dop=%d)",
+					count, wantRows, analyzed, bloom, dop)
+			}
+			run := StatsBenchRun{
+				Analyzed:          analyzed,
+				Bloom:             bloom,
+				DOP:               dop,
+				ElapsedMS:         float64(elapsed.Microseconds()) / 1e3,
+				Rows:              count,
+				BloomChecks:       d.Join.BloomChecks,
+				BloomDrops:        d.Join.BloomDrops,
+				SpilledPartitions: d.Join.SpilledPartitions,
+				SpilledBuildRows:  d.Join.SpilledBuildRows,
+				SpilledProbeRows:  d.Join.SpilledProbeRows,
+			}
+			if i == 0 || run.ElapsedMS < best.ElapsedMS {
+				best = run
+			}
+		}
+		out = append(out, best)
+	}
+	return out, wantRows, nil
+}
+
+// StatsExperiment measures what ANALYZE buys the planner on a skewed
+// filtered join: build-side choice (wrong side spills against the
+// budget), Bloom filter drops, and EXPLAIN estimates — with and without
+// statistics, Bloom on and off, at each DOP.
+func StatsExperiment(workDir string, cfg StatsBenchConfig) (*StatsBenchResult, error) {
+	res := &StatsBenchResult{
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		BigRows:          cfg.BigRows,
+		DimRows:          cfg.DimRows,
+		KeySpace:         cfg.KeySpace,
+		FilterBound:      cfg.FilterBound,
+		JoinMemoryBudget: cfg.JoinMemoryBudget,
+	}
+	sql := fmt.Sprintf(statsBenchSQL, cfg.FilterBound)
+	open := func(name string, disableBloom bool) (*core.Database, error) {
+		db, err := core.Open(filepath.Join(workDir, name), core.Options{
+			DOP:              maxDOP(cfg.DOPs),
+			JoinMemoryBudget: cfg.JoinMemoryBudget,
+			DisableJoinBloom: disableBloom,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return db, loadStatsBenchTables(db, cfg)
+	}
+
+	bloomDB, err := open("stats_bloom", false)
+	if err != nil {
+		return nil, err
+	}
+	defer bloomDB.Close()
+	plainDB, err := open("stats_plain", true)
+	if err != nil {
+		return nil, err
+	}
+	defer plainDB.Close()
+
+	if expl, err := bloomDB.Query("EXPLAIN " + sql); err == nil {
+		res.PlanBefore = expl.Plan
+	}
+	var wantRows int64
+	collect := func(db *core.Database, analyzed, bloom bool) error {
+		runs, want, err := runStatsBench(db, sql, cfg, analyzed, bloom, wantRows)
+		if err != nil {
+			return err
+		}
+		wantRows = want
+		res.Runs = append(res.Runs, runs...)
+		return nil
+	}
+	if err := collect(bloomDB, false, true); err != nil {
+		return nil, err
+	}
+	if err := collect(plainDB, false, false); err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	if _, err := bloomDB.Exec("ANALYZE"); err != nil {
+		return nil, err
+	}
+	res.AnalyzeMS = float64(time.Since(start).Microseconds()) / 1e3
+	if _, err := plainDB.Exec("ANALYZE"); err != nil {
+		return nil, err
+	}
+	if expl, err := bloomDB.Query("EXPLAIN " + sql); err == nil {
+		res.PlanAfter = expl.Plan
+	}
+	if err := collect(bloomDB, true, true); err != nil {
+		return nil, err
+	}
+	if err := collect(plainDB, true, false); err != nil {
+		return nil, err
+	}
+
+	// Structural acceptance: ANALYZE must flip the build side from dim
+	// (right) to the filtered big side (left), and the analyzed plan must
+	// carry estimates.
+	if !strings.Contains(res.PlanBefore, "BUILD:right") {
+		return nil, fmt.Errorf("bench: pre-ANALYZE plan did not build on dim:\n%s", res.PlanBefore)
+	}
+	if !strings.Contains(res.PlanAfter, "BUILD:left") {
+		return nil, fmt.Errorf("bench: post-ANALYZE plan did not flip the build side:\n%s", res.PlanAfter)
+	}
+	if !strings.Contains(res.PlanAfter, "est=") {
+		return nil, fmt.Errorf("bench: post-ANALYZE plan has no estimates:\n%s", res.PlanAfter)
+	}
+	find := func(analyzed, bloom bool, dop int) *StatsBenchRun {
+		for i := range res.Runs {
+			r := &res.Runs[i]
+			if r.Analyzed == analyzed && r.Bloom == bloom && r.DOP == dop {
+				return r
+			}
+		}
+		return nil
+	}
+	topDOP := maxDOP(cfg.DOPs)
+	if r := find(true, true, topDOP); r != nil {
+		if r.BloomDrops == 0 {
+			return nil, fmt.Errorf("bench: analyzed bloom run dropped no probe rows")
+		}
+		if before := find(false, true, topDOP); before != nil && r.ElapsedMS > 0 {
+			res.BuildFlipSpeedupDOP4 = before.ElapsedMS / r.ElapsedMS
+		}
+		if off := find(true, false, topDOP); off != nil && r.ElapsedMS > 0 {
+			res.BloomSpeedupDOP4 = off.ElapsedMS / r.ElapsedMS
+		}
+	}
+	if r := find(false, true, topDOP); r != nil && r.SpilledPartitions == 0 {
+		return nil, fmt.Errorf("bench: unanalyzed run did not spill (budget too large for the wrong build side)")
+	}
+	return res, nil
+}
+
+// WriteJSON writes the result as indented JSON.
+func (r *StatsBenchResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -8,12 +8,14 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/blob"
 	"repro/internal/btree"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/plan"
 	"repro/internal/sqltypes"
+	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/wal"
 )
@@ -63,6 +66,11 @@ type Options struct {
 	// partition on output (default 64 MB; negative disables spilling).
 	// Parallel plans divide it across their partial aggregates.
 	AggMemoryBudget int64
+	// DisableJoinBloom turns off the probe-side Bloom filters partitioned
+	// joins build over their build keys (used by A/B experiments; the
+	// planner already auto-disables a filter when statistics say nearly
+	// every probe row matches).
+	DisableJoinBloom bool
 }
 
 // Database is an open engine instance rooted at a directory.
@@ -88,8 +96,10 @@ type Database struct {
 	joinParts  int   // join hash fan-out
 	sortBudget int64 // sort memory budget (0 = unlimited)
 	aggBudget  int64 // aggregate memory budget (0 = unlimited)
+	noBloom    bool  // disable join Bloom filters
 	planner    *plan.Planner
 	spill      *storage.SpillManager
+	tstats     *stats.Store
 	execStats  exec.ExecStats
 }
 
@@ -101,6 +111,11 @@ type tableData struct {
 	walCodec storage.RowCodec
 	// insertSeq numbers inserts for WAL row indexes.
 	insertSeq int64
+	// modCount counts modifications since open (seeded from the durable
+	// row count, so it is comparable across restarts); ANALYZE records it
+	// and the planner treats stats as stale once the live counter drifts
+	// too far from the recorded one.
+	modCount atomic.Int64
 }
 
 // Open opens (creating if needed) a database directory and runs crash
@@ -145,6 +160,10 @@ func Open(dir string, opts Options) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
+	tstats, err := stats.OpenStore(filepath.Join(dir, "stats.json"))
+	if err != nil {
+		return nil, err
+	}
 	db := &Database{
 		dir:        dir,
 		cat:        cat,
@@ -161,6 +180,8 @@ func Open(dir string, opts Options) (*Database, error) {
 		joinParts:  opts.JoinPartitions,
 		sortBudget: opts.SortMemoryBudget,
 		aggBudget:  opts.AggMemoryBudget,
+		noBloom:    opts.DisableJoinBloom,
+		tstats:     tstats,
 	}
 	db.spill = storage.NewSpillManager(filepath.Join(dir, "tmp"), db.pool)
 	db.planner = db.newPlanner(db.dop)
@@ -206,6 +227,7 @@ func (db *Database) newPlanner(dop int) *plan.Planner {
 	pl.JoinPartitions = db.joinParts
 	pl.SortMemoryBudget = db.sortBudget
 	pl.AggMemoryBudget = db.aggBudget
+	pl.EnableJoinBloom = !db.noBloom
 	return pl
 }
 
@@ -290,6 +312,7 @@ func (db *Database) openTableStorage(def *catalog.Table) error {
 		td.heap = h
 		td.insertSeq = h.RowCount()
 	}
+	td.modCount.Store(td.insertSeq)
 	db.tables[def.ID] = td
 	return nil
 }
@@ -388,6 +411,7 @@ func (db *Database) recover() error {
 	}); err != nil {
 		return err
 	}
+	statsReplayed := false
 	err := db.wal.Replay(func(rec wal.Record) error {
 		switch rec.Type {
 		case wal.RecInsert:
@@ -407,11 +431,32 @@ func (db *Database) recover() error {
 			if committed[rec.Txn] {
 				return db.blobs.Delete(string(rec.Data))
 			}
+		case wal.RecStats:
+			// Re-apply ANALYZE images whose stats-file write was lost.
+			if committed[rec.Txn] && db.cat.ByID(rec.Table) != nil {
+				var ts stats.TableStats
+				if err := json.Unmarshal(rec.Data, &ts); err != nil {
+					return fmt.Errorf("core: recovery stats decode: %w", err)
+				}
+				db.tstats.Apply(&ts)
+				statsReplayed = true
+			}
 		}
 		return nil
 	})
 	if err != nil {
 		return err
+	}
+	if statsReplayed {
+		if err := db.tstats.Save(); err != nil {
+			return err
+		}
+	}
+	// Replay may have re-applied inserts; re-seed the modification
+	// counters so they stay comparable with the ModCount values ANALYZE
+	// recorded (for insert-only tables both track the row count).
+	for _, td := range db.tables {
+		td.modCount.Store(td.rowCount())
 	}
 	// Converge: make everything durable and empty the log.
 	return db.checkpointLocked()

@@ -9,6 +9,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/plan"
 	"repro/internal/sqltypes"
+	"repro/internal/stats"
 	"repro/internal/storage"
 )
 
@@ -57,6 +58,51 @@ func (db *Database) RowCountEstimate(t *catalog.Table) int64 {
 		return 0
 	}
 	return td.rowCount()
+}
+
+// statsStaleDivisor: stats are stale once the table's modification
+// counter has drifted by more than rowCount/divisor since ANALYZE (with
+// a floor so tiny tables don't flap between fresh and stale).
+const statsStaleDivisor = 5
+
+// Stats returns the table's ANALYZE statistics, or nil when none were
+// collected or the table has been modified too much since collection —
+// the cheap invalidation the planner relies on to never trust a
+// distribution the data has outgrown.
+func (db *Database) Stats(t *catalog.Table) *stats.TableStats {
+	td := db.tables[t.ID]
+	if td == nil {
+		return nil
+	}
+	ts := db.tstats.Get(t.ID)
+	if ts == nil {
+		return nil
+	}
+	drift := td.modCount.Load() - ts.ModCount
+	if drift < 0 {
+		drift = -drift
+	}
+	limit := ts.RowCount / statsStaleDivisor
+	if limit < 64 {
+		limit = 64
+	}
+	if drift > limit {
+		return nil
+	}
+	return ts
+}
+
+// TableStatistics returns the (non-stale) collected statistics for a
+// table by name, or nil; the external mirror of the Provider method for
+// tests and benchmarks.
+func (db *Database) TableStatistics(name string) *stats.TableStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	def := db.cat.Get(name)
+	if def == nil {
+		return nil
+	}
+	return db.Stats(def)
 }
 
 // spillStore adapts the storage spill manager to the operator-layer

@@ -76,6 +76,9 @@ func (db *Database) ExecStmt(stmt sqlparse.Statement) (*Result, error) {
 		return &Result{}, db.Rollback()
 	case *sqlparse.Checkpoint:
 		return &Result{}, db.Checkpoint()
+	case *sqlparse.Analyze:
+		// Takes its own locks: collection under RLock, persist under Lock.
+		return db.runAnalyze(t)
 	}
 	return nil, fmt.Errorf("core: unsupported statement %T", stmt)
 }
@@ -303,6 +306,9 @@ func (db *Database) runDropTableLocked(dt *sqlparse.DropTable) (*Result, error) 
 		delete(db.tables, def.ID)
 	}
 	if err := db.cat.Drop(dt.Name); err != nil {
+		return nil, err
+	}
+	if err := db.tstats.Drop(def.ID); err != nil {
 		return nil, err
 	}
 	if err := removeFile(db.tablePath(def)); err != nil {

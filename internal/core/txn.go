@@ -176,6 +176,7 @@ func (db *Database) insertRow(t *Txn, td *tableData, row sqltypes.Row) error {
 		t.treeKeys[td.def.ID] = append(t.treeKeys[td.def.ID], key)
 	}
 	td.insertSeq = rowIdx + 1
+	td.modCount.Add(1)
 	return nil
 }
 

@@ -36,6 +36,8 @@ type JoinStats struct {
 	SpilledBuildRows  atomic.Int64 // build rows written to spill files
 	SpilledProbeRows  atomic.Int64 // probe rows written to spill files
 	SpillRecursions   atomic.Int64 // spilled partitions re-joined from disk
+	BloomChecks       atomic.Int64 // probe rows tested against a build Bloom filter
+	BloomDrops        atomic.Int64 // probe rows dropped by the Bloom filter
 }
 
 // JoinStatsSnapshot is a point-in-time copy of JoinStats.
@@ -46,6 +48,8 @@ type JoinStatsSnapshot struct {
 	SpilledBuildRows  int64
 	SpilledProbeRows  int64
 	SpillRecursions   int64
+	BloomChecks       int64
+	BloomDrops        int64
 }
 
 // Snapshot reads the counters; safe to call during queries.
@@ -57,6 +61,8 @@ func (s *JoinStats) Snapshot() JoinStatsSnapshot {
 		SpilledBuildRows:  s.SpilledBuildRows.Load(),
 		SpilledProbeRows:  s.SpilledProbeRows.Load(),
 		SpillRecursions:   s.SpillRecursions.Load(),
+		BloomChecks:       s.BloomChecks.Load(),
+		BloomDrops:        s.BloomDrops.Load(),
 	}
 }
 
@@ -69,6 +75,8 @@ func (s JoinStatsSnapshot) Sub(earlier JoinStatsSnapshot) JoinStatsSnapshot {
 		SpilledBuildRows:  s.SpilledBuildRows - earlier.SpilledBuildRows,
 		SpilledProbeRows:  s.SpilledProbeRows - earlier.SpilledProbeRows,
 		SpillRecursions:   s.SpillRecursions - earlier.SpillRecursions,
+		BloomChecks:       s.BloomChecks - earlier.BloomChecks,
+		BloomDrops:        s.BloomDrops - earlier.BloomDrops,
 	}
 }
 
@@ -114,9 +122,23 @@ type PartitionedHashJoin struct {
 	// Level is the recursion depth (seeds the partition hash so re-spilled
 	// rows redistribute); zero for planner-built joins.
 	Level int
+	// Bloom builds a blocked Bloom filter over the build-side keys during
+	// partitioning and drops probe rows with no possible match before they
+	// are routed — and in particular before they are spilled. The planner
+	// disables it when statistics say nearly every probe row matches.
+	Bloom bool
+	// BuildRowsEstimate sizes the Bloom filter (the planner's post-filter
+	// build-side cardinality estimate; 0 uses a default size).
+	BuildRowsEstimate int64
+	// PrePartition marks the first N partitions as spilled before the
+	// build side is drained: when statistics already say the build side
+	// exceeds MemoryBudget, routing those rows straight to disk avoids
+	// buffering them and evicting mid-build. Requires Spill.
+	PrePartition int
 
 	ctx        *Context
 	stats      *JoinStats
+	bloom      *BlockedBloom
 	tables     []map[string][]sqltypes.Row
 	spilled    []bool
 	buildSpill []SpillFile
@@ -178,6 +200,19 @@ func appendJoinKey(dst []byte, keys []expr.Expr, keyVals sqltypes.Row, row sqlty
 	return enc, false, err
 }
 
+// bloomKeyHash hashes a key encoding for the Bloom filter. It must be
+// independent of partitionHash (the filter's bit choices must not
+// correlate with partition routing), so it salts the FNV offset basis
+// with a constant outside the recursion-level range.
+func bloomKeyHash(key []byte) uint64 {
+	h := uint64(14695981039346656037) ^ 0xB10F_B10F_B10F_B10F
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
 // partitionHash distributes a key encoding onto partitions; level seeds
 // the hash so recursive re-partitioning shuffles the rows that collided at
 // the previous level (FNV-1a with a level-salted offset basis).
@@ -218,6 +253,30 @@ func (j *PartitionedHashJoin) Open(ctx *Context) error {
 	j.sub, j.subBuild, j.subProbe = nil, nil, nil
 	j.subIdx = 0
 	j.opened = true
+	j.bloom = nil
+	if j.Bloom {
+		est := j.BuildRowsEstimate
+		if est <= 0 {
+			est = 1 << 16
+		}
+		j.bloom = NewBlockedBloom(est)
+	}
+	if j.PrePartition > 0 && j.Spill != nil {
+		n := j.PrePartition
+		if n > p {
+			n = p
+		}
+		for i := 0; i < n; i++ {
+			f, err := j.Spill.Create()
+			if err != nil {
+				j.releaseSpills()
+				return err
+			}
+			j.buildSpill[i] = f
+			j.spilled[i] = true
+			j.stats.SpilledPartitions.Add(1)
+		}
+	}
 
 	partRows, partKeys, err := j.partitionBuildSide(ctx, p)
 	if err != nil {
@@ -300,6 +359,9 @@ func (j *PartitionedHashJoin) partitionBuildSide(ctx *Context, p int) ([][]sqlty
 			continue
 		}
 		j.stats.BuildRows.Add(1)
+		if j.bloom != nil {
+			j.bloom.Add(bloomKeyHash(keyBuf))
+		}
 		pt := int(partitionHash(keyBuf, j.Level) % uint64(p))
 		if j.spilled[pt] {
 			if err := j.buildSpill[pt].Append(row); err != nil {
@@ -541,6 +603,7 @@ func (j *PartitionedHashJoin) Close() error {
 	}
 	j.releaseSpills()
 	j.tables = nil
+	j.bloom = nil
 	return err
 }
 
@@ -590,6 +653,15 @@ func (w *phjProbe) Next() (sqltypes.Row, bool, error) {
 			continue
 		}
 		j.stats.ProbeRows.Add(1)
+		// The Bloom check runs before any routing: a dropped row is never
+		// partitioned and — the expensive case — never spilled.
+		if j.bloom != nil {
+			j.stats.BloomChecks.Add(1)
+			if !j.bloom.MayContain(bloomKeyHash(w.keyBuf)) {
+				j.stats.BloomDrops.Add(1)
+				continue
+			}
+		}
 		pt := int(partitionHash(w.keyBuf, j.Level) % uint64(p))
 		if j.spilled[pt] {
 			if err := j.probeSpill[pt].Append(row); err != nil {

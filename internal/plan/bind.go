@@ -106,6 +106,33 @@ func (b *binder) bind(e sqlparse.Expr) (expr.Expr, error) {
 			out = &expr.Not{X: out}
 		}
 		return out, nil
+	case *sqlparse.InExpr:
+		// IN expands to an OR chain of equalities (NOT IN negates it), so
+		// execution reuses the comparison operators and three-valued logic.
+		if len(t.List) == 0 {
+			return nil, fmt.Errorf("plan: IN requires at least one value")
+		}
+		x, err := b.bind(t.X)
+		if err != nil {
+			return nil, err
+		}
+		var out expr.Expr
+		for _, item := range t.List {
+			rhs, err := b.bind(item)
+			if err != nil {
+				return nil, err
+			}
+			eq := &expr.Cmp{Op: expr.CmpEq, L: x, R: rhs}
+			if out == nil {
+				out = eq
+			} else {
+				out = &expr.Logic{L: out, R: eq}
+			}
+		}
+		if t.Not {
+			out = &expr.Not{X: out}
+		}
+		return out, nil
 	case *sqlparse.FuncCall:
 		return b.bindCall(t)
 	}
@@ -202,6 +229,12 @@ func exprKey(e sqlparse.Expr) string {
 		return fmt.Sprintf("isnull:%v(%s)", t.Not, exprKey(t.X))
 	case *sqlparse.LikeExpr:
 		return fmt.Sprintf("like:%v(%s,%q)", t.Not, exprKey(t.X), t.Pattern)
+	case *sqlparse.InExpr:
+		parts := make([]string, len(t.List))
+		for i, item := range t.List {
+			parts[i] = exprKey(item)
+		}
+		return fmt.Sprintf("in:%v(%s;%s)", t.Not, exprKey(t.X), strings.Join(parts, ","))
 	case *sqlparse.FuncCall:
 		parts := make([]string, len(t.Args))
 		for i, a := range t.Args {
@@ -237,6 +270,11 @@ func (pl *Planner) collectAggCalls(e sqlparse.Expr, seen map[string]*sqlparse.Fu
 		pl.collectAggCalls(t.X, seen, order)
 	case *sqlparse.LikeExpr:
 		pl.collectAggCalls(t.X, seen, order)
+	case *sqlparse.InExpr:
+		pl.collectAggCalls(t.X, seen, order)
+		for _, item := range t.List {
+			pl.collectAggCalls(item, seen, order)
+		}
 	case *sqlparse.FuncCall:
 		if t.Over != nil {
 			// Window functions aggregate over the window, not the group;
@@ -296,6 +334,11 @@ func columnRefs(e sqlparse.Expr, out map[string]bool) {
 		columnRefs(t.X, out)
 	case *sqlparse.LikeExpr:
 		columnRefs(t.X, out)
+	case *sqlparse.InExpr:
+		columnRefs(t.X, out)
+		for _, item := range t.List {
+			columnRefs(item, out)
+		}
 	case *sqlparse.FuncCall:
 		for _, a := range t.Args {
 			columnRefs(a, out)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/sqlparse"
 	"repro/internal/sqltypes"
+	"repro/internal/stats"
 )
 
 // planFrom plans a FROM item. conjuncts are WHERE terms available for
@@ -80,7 +81,16 @@ func (pl *Planner) planNamedTable(t *sqlparse.NamedTable, conjuncts []sqlparse.E
 		}
 	}
 
+	// Post-filter cardinality: the raw row count scaled by the estimated
+	// selectivity of the pushed predicates (histograms/NDV/MCVs once
+	// ANALYZE ran, System R defaults otherwise). The partition count
+	// follows the post-filter estimate, so a selective point query no
+	// longer spins up DOP exchange workers to produce a handful of rows.
+	ts := pl.Provider.Stats(tab)
 	est := pl.Provider.RowCountEstimate(tab)
+	if len(pushed) > 0 {
+		est = scaleEst(est, conjunctsSelectivity(ts, pushed))
+	}
 	partsN := pl.partitionCount(est)
 	parts := func() ([]exec.Operator, error) {
 		ops, err := pl.Provider.ScanPartitions(tab, partsN)
@@ -108,7 +118,7 @@ func (pl *Planner) planNamedTable(t *sqlparse.NamedTable, conjuncts []sqlparse.E
 		detail += fmt.Sprintf(" WHERE:(%s)", pred)
 	}
 	var node *Node
-	scanLeaf := &Node{Op: scanOp, Detail: detail, Cols: cols}
+	scanLeaf := &Node{Op: scanOp, Detail: detail, Cols: cols, Est: est}
 	scanLeaf.Build = func() (exec.Operator, error) {
 		ops, err := parts()
 		if err != nil {
@@ -122,6 +132,7 @@ func (pl *Planner) planNamedTable(t *sqlparse.NamedTable, conjuncts []sqlparse.E
 			Detail:   fmt.Sprintf("DOP %d", partsN),
 			Children: []*Node{scanLeaf},
 			Cols:     cols,
+			Est:      est,
 			Build: func() (exec.Operator, error) {
 				ops, err := parts()
 				if err != nil {
@@ -133,7 +144,7 @@ func (pl *Planner) planNamedTable(t *sqlparse.NamedTable, conjuncts []sqlparse.E
 	} else {
 		node = scanLeaf
 	}
-	rel := &relation{node: node, cols: cols, ordered: ordered, est: est}
+	rel := &relation{node: node, cols: cols, ordered: ordered, est: est, stats: ts}
 	if partsN > 1 {
 		rel.parts = parts
 		rel.partsN = partsN
@@ -305,7 +316,12 @@ func (pl *Planner) planJoin(j *sqlparse.JoinRef, conjuncts []sqlparse.Expr) (*re
 	}
 
 	var rel *relation
-	if mj := pl.tryMergeJoin(j, left, right, leftKeyIdents, rightKeyIdents, leftKeys, rightKeys, remaining); mj != nil {
+	// tryMergeJoin discards the generic scan plans (and the predicates
+	// planFrom pushed into them) and builds its own ordered range scans,
+	// so it must re-push from the ORIGINAL conjunct list — not from
+	// `remaining`, which no longer holds the terms the generic scans
+	// consumed.
+	if mj := pl.tryMergeJoin(j, left, right, leftKeyIdents, rightKeyIdents, leftKeys, rightKeys, conjuncts); mj != nil {
 		rel = &mj.relation
 		// tryMergeJoin consumed the pushable conjuncts itself.
 		remaining = mj.leftoverConjuncts
@@ -315,14 +331,16 @@ func (pl *Planner) planJoin(j *sqlparse.JoinRef, conjuncts []sqlparse.Expr) (*re
 		// spilling partitions past the join memory budget. Chosen even at
 		// DOP 1 — the spill path is what keeps large joins out-of-core
 		// rather than OOM.
-		rel = pl.partitionedJoinRelation(left, right, leftKeys, rightKeys, combined)
+		rel = pl.partitionedJoinRelation(left, right, leftKeyIdents, rightKeyIdents, leftKeys, rightKeys, combined)
 	} else {
+		est := joinOutputEstimate(left, right, leftKeyIdents, rightKeyIdents)
 		leftNode, rightNode := left.node, right.node
 		node := &Node{
 			Op:       "Hash Match (Inner Join)",
 			Detail:   fmt.Sprintf("HASH:[%s]=[%s]", describeExprs(leftKeys), describeExprs(rightKeys)),
 			Children: []*Node{leftNode, rightNode},
 			Cols:     combined,
+			Est:      est,
 			Build: func() (exec.Operator, error) {
 				l, err := buildChild(leftNode)
 				if err != nil {
@@ -338,7 +356,7 @@ func (pl *Planner) planJoin(j *sqlparse.JoinRef, conjuncts []sqlparse.Expr) (*re
 				}, nil
 			},
 		}
-		rel = &relation{node: node, cols: combined, est: joinEstimate(left.est, right.est)}
+		rel = &relation{node: node, cols: combined, est: est}
 	}
 	rel.cols = combined
 
@@ -353,43 +371,100 @@ func (pl *Planner) planJoin(j *sqlparse.JoinRef, conjuncts []sqlparse.Expr) (*re
 	return rel, remaining, nil
 }
 
-// joinEstimate is the (crude) output cardinality guess for an equi-join:
-// the larger input, which is exact for key/foreign-key joins and keeps
-// nested joins choosing sensible build sides.
-func joinEstimate(l, r int64) int64 {
-	if l > r {
-		return l
-	}
-	return r
+// joinOutputEstimate estimates an equi-join's output cardinality from
+// the post-filter input estimates and the join keys' NDVs (containment
+// assumption: the smaller key domain is contained in the larger, so rows
+// pair through max(NDV) distinct keys). Falls back to max(l, r) — exact
+// for key/foreign-key joins — when either NDV is unknown.
+func joinOutputEstimate(left, right *relation, leftKeyIdents, rightKeyIdents []*sqlparse.Ident) int64 {
+	return stats.JoinCardinality(left.est, right.est,
+		keysNDV(left, leftKeyIdents), keysNDV(right, rightKeyIdents))
 }
 
 // partitionedJoinRelation plans the Grace-style parallel partitioned hash
 // join: both sides hash-partition, DOP workers own disjoint partitions,
 // and partitions whose build side exceeds the planner's JoinMemoryBudget
 // spill to the engine's spill store and are re-joined per partition.
+// Statistics steer every physical knob: the build side comes from the
+// post-filter estimates, the fan-out and spill pre-partitioning from the
+// estimated build footprint, and the probe-side Bloom filter is dropped
+// when nearly every probe row would pass it anyway.
 func (pl *Planner) partitionedJoinRelation(left, right *relation,
+	leftKeyIdents, rightKeyIdents []*sqlparse.Ident,
 	leftKeys, rightKeys []expr.Expr, combined []ColMeta) *relation {
 
 	// Build on the smaller estimated input; ties (and two unknowns) keep
 	// the right side, matching the serial hash join's convention.
 	buildLeft := left.est < right.est
 	buildSide := "right"
+	build, probe := right, left
+	buildIdents, probeIdents := rightKeyIdents, leftKeyIdents
 	if buildLeft {
 		buildSide = "left"
+		build, probe = left, right
+		buildIdents, probeIdents = leftKeyIdents, rightKeyIdents
 	}
+	outEst := joinOutputEstimate(left, right, leftKeyIdents, rightKeyIdents)
+
+	// Partition fan-out: when the estimated build footprint exceeds half
+	// the memory budget per default partition, widen the fan-out so each
+	// partition's build side still fits comfortably.
 	partitions := pl.JoinPartitions
 	if partitions <= 0 {
 		partitions = DefaultJoinPartitions
 	}
+	prePartition := 0
+	var buildBytes int64
+	if build.stats != nil && build.stats.AvgRowBytes > 0 && build.est > 0 {
+		buildBytes = build.est * build.stats.AvgRowBytes
+	}
+	if buildBytes > 0 && pl.JoinMemoryBudget > 0 {
+		if need := buildBytes/(pl.JoinMemoryBudget/2+1) + 1; need > int64(partitions) {
+			partitions = int(nextPow2(need))
+			if partitions > 256 {
+				partitions = 256
+			}
+		}
+		if buildBytes > pl.JoinMemoryBudget {
+			// The build side cannot fit even after widening: pre-spill
+			// enough partitions that the resident remainder fits, instead
+			// of buffering everything and evicting mid-build.
+			resident := int64(partitions) * pl.JoinMemoryBudget / buildBytes
+			if pre := partitions - int(resident); pre > 0 {
+				prePartition = pre
+			}
+		}
+	}
+
+	// Probe-side Bloom filter: skip it only when statistics say its pass
+	// rate would be ~1 (nearly every probe key exists on the build side).
+	bloom := pl.EnableJoinBloom
+	if bloom {
+		bNDV, pNDV := keysNDV(build, buildIdents), keysNDV(probe, probeIdents)
+		if bNDV > 0 && pNDV > 0 {
+			common := bNDV
+			if pNDV < common {
+				common = pNDV
+			}
+			if float64(common)/float64(pNDV) >= 0.75 {
+				bloom = false
+			}
+		}
+	}
+
+	buildEst := build.est
 	leftNode, rightNode := left.node, right.node
-	build := func() (exec.Operator, error) {
+	buildOp := func() (exec.Operator, error) {
 		j := &exec.PartitionedHashJoin{
-			LeftKeys:     leftKeys,
-			RightKeys:    rightKeys,
-			BuildLeft:    buildLeft,
-			Partitions:   partitions,
-			MemoryBudget: pl.JoinMemoryBudget,
-			Spill:        pl.Provider.SpillStore(),
+			LeftKeys:          leftKeys,
+			RightKeys:         rightKeys,
+			BuildLeft:         buildLeft,
+			Partitions:        partitions,
+			MemoryBudget:      pl.JoinMemoryBudget,
+			Spill:             pl.Provider.SpillStore(),
+			Bloom:             bloom,
+			BuildRowsEstimate: buildEst,
+			PrePartition:      prePartition,
 		}
 		if left.parts != nil && left.partsN > 1 {
 			ops, err := left.parts()
@@ -419,12 +494,20 @@ func (pl *Planner) partitionedJoinRelation(left, right *relation,
 		}
 		return j, nil
 	}
+	detail := fmt.Sprintf("HASH:[%s]=[%s] BUILD:%s PARTITIONS:%d",
+		describeExprs(leftKeys), describeExprs(rightKeys), buildSide, partitions)
+	if bloom {
+		detail += " BLOOM"
+	}
+	if prePartition > 0 {
+		detail += fmt.Sprintf(" PRESPILL:%d", prePartition)
+	}
 	inner := &Node{
-		Op: "Hash Match (Partitioned Inner Join)",
-		Detail: fmt.Sprintf("HASH:[%s]=[%s] BUILD:%s PARTITIONS:%d",
-			describeExprs(leftKeys), describeExprs(rightKeys), buildSide, partitions),
+		Op:       "Hash Match (Partitioned Inner Join)",
+		Detail:   detail,
 		Children: []*Node{leftNode, rightNode},
 		Cols:     combined,
+		Est:      outEst,
 	}
 	node := inner
 	if pl.DOP > 1 {
@@ -433,14 +516,15 @@ func (pl *Planner) partitionedJoinRelation(left, right *relation,
 			Detail:   fmt.Sprintf("DOP %d", pl.DOP),
 			Children: []*Node{inner},
 			Cols:     combined,
-			Build:    build,
+			Est:      outEst,
+			Build:    buildOp,
 		}
 	} else {
 		// Serial DOP still uses the partitioned operator: partitioning is
 		// what lets an over-budget build side spill instead of OOM.
-		inner.Build = build
+		inner.Build = buildOp
 	}
-	return &relation{node: node, cols: combined, est: joinEstimate(left.est, right.est)}
+	return &relation{node: node, cols: combined, est: outEst}
 }
 
 func identExprs(ids []*sqlparse.Ident) []sqlparse.Expr {
@@ -476,13 +560,16 @@ func (pl *Planner) tryMergeJoin(j *sqlparse.JoinRef, left, right *relation,
 		return nil
 	}
 
-	// Pushdown into either side.
+	// Pushdown into either side, tracking each side's estimated
+	// selectivity for the post-filter input cardinalities.
 	lqual := tableQual(lt)
 	rqual := tableQual(rt)
+	lts, rts := pl.Provider.Stats(ltab), pl.Provider.Stats(rtab)
 	leftScope := &scope{cols: left.cols}
 	rightScope := &scope{cols: right.cols}
 	var leftPred, rightPred expr.Expr
 	var leftovers []sqlparse.Expr
+	selL, selR := 1.0, 1.0
 	for _, c := range conjuncts {
 		switch {
 		case refsResolvableIn(c, leftScope):
@@ -492,6 +579,7 @@ func (pl *Planner) tryMergeJoin(j *sqlparse.JoinRef, left, right *relation,
 				return nil
 			}
 			leftPred = andExpr(leftPred, p)
+			selL *= conjunctSelectivity(lts, c)
 		case refsResolvableIn(c, rightScope):
 			b := &binder{pl: pl, scope: rightScope}
 			p, err := b.bind(c)
@@ -499,16 +587,34 @@ func (pl *Planner) tryMergeJoin(j *sqlparse.JoinRef, left, right *relation,
 				return nil
 			}
 			rightPred = andExpr(rightPred, p)
+			selR *= conjunctSelectivity(rts, c)
 		default:
 			leftovers = append(leftovers, c)
 		}
 	}
 
-	est := pl.Provider.RowCountEstimate(ltab)
-	if r := pl.Provider.RowCountEstimate(rtab); r > est {
-		est = r
+	lest := scaleEst(pl.Provider.RowCountEstimate(ltab), selL)
+	rest := scaleEst(pl.Provider.RowCountEstimate(rtab), selR)
+	// The post-filter estimates price the join output, but parallelism
+	// follows the raw scan sizes: a merge join reads its full key ranges
+	// even when the pushed filters drop most rows.
+	scanRows := pl.Provider.RowCountEstimate(ltab)
+	if r := pl.Provider.RowCountEstimate(rtab); r > scanRows {
+		scanRows = r
 	}
-	partsN := pl.partitionCount(est)
+	partsN := pl.partitionCount(scanRows)
+	colNDV := func(ts *stats.TableStats, name string, capRows int64) int64 {
+		if ts == nil {
+			return 0
+		}
+		n := ts.ColumnNDV(name)
+		if n > 0 && capRows > 0 && n > capRows {
+			n = capRows
+		}
+		return n
+	}
+	est := stats.JoinCardinality(lest, rest,
+		colNDV(lts, leftKeyIdents[0].Name, lest), colNDV(rts, rightKeyIdents[0].Name, rest))
 
 	combined := append(append([]ColMeta{}, left.cols...), right.cols...)
 	buildParts := func() ([]exec.Operator, error) {
@@ -560,10 +666,11 @@ func (pl *Planner) tryMergeJoin(j *sqlparse.JoinRef, left, right *relation,
 		Op:     "Merge Join (Inner Join)",
 		Detail: mjDetail,
 		Children: []*Node{
-			{Op: "Clustered Index Scan", Detail: scanDetail(ltab, leftPred)},
-			{Op: "Clustered Index Scan", Detail: scanDetail(rtab, rightPred)},
+			{Op: "Clustered Index Scan", Detail: scanDetail(ltab, leftPred), Est: lest},
+			{Op: "Clustered Index Scan", Detail: scanDetail(rtab, rightPred), Est: rest},
 		},
 		Cols: combined,
+		Est:  est,
 	}
 	var node *Node
 	if partsN > 1 {
@@ -572,6 +679,7 @@ func (pl *Planner) tryMergeJoin(j *sqlparse.JoinRef, left, right *relation,
 			Detail:   fmt.Sprintf("DOP %d, range-partitioned on %s.%s", partsN, lqual, leftKeyIdents[0].Name),
 			Children: []*Node{mjNode},
 			Cols:     combined,
+			Est:      est,
 			Build: func() (exec.Operator, error) {
 				ops, err := buildParts()
 				if err != nil {

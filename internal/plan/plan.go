@@ -14,6 +14,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/sqltypes"
+	"repro/internal/stats"
 )
 
 // TVF is a table-valued function — the pull-model extension of the paper's
@@ -48,6 +49,11 @@ type Provider interface {
 	KeyRanges(t *catalog.Table, parts int) ([][2]*sqltypes.Value, error)
 	// RowCountEstimate guides parallelism decisions.
 	RowCountEstimate(t *catalog.Table) int64
+	// Stats returns the table's collected statistics (ANALYZE), or nil
+	// when none exist or the table has drifted too far since collection.
+	// The planner uses them for predicate selectivity, join output
+	// cardinality, build-side choice and spill pre-partitioning.
+	Stats(t *catalog.Table) *stats.TableStats
 	// SpillStore creates temp files for joins that exceed the join memory
 	// budget; may return nil when the engine cannot spill (joins then fail
 	// rather than exceed the budget).
@@ -68,7 +74,10 @@ type Node struct {
 	Detail   string
 	Children []*Node
 	Cols     []ColMeta
-	Build    func() (exec.Operator, error)
+	// Est is the planner's estimated output cardinality (0 = unknown);
+	// EXPLAIN renders it so estimate quality is visible and testable.
+	Est   int64
+	Build func() (exec.Operator, error)
 }
 
 // Explain renders the plan in the indented style of the paper's plan
@@ -86,6 +95,9 @@ func (n *Node) explain(sb *strings.Builder, depth int) {
 	if n.Detail != "" {
 		sb.WriteString(" ")
 		sb.WriteString(n.Detail)
+	}
+	if n.Est > 0 {
+		fmt.Fprintf(sb, " (est=%d rows)", n.Est)
 	}
 	sb.WriteString("\n")
 	for _, c := range n.Children {
@@ -114,6 +126,11 @@ type Planner struct {
 	// aggregate may hold before partitions spill (0 = unlimited), divided
 	// across the partial aggregates of a parallel plan.
 	AggMemoryBudget int64
+	// EnableJoinBloom lets partitioned joins build a Bloom filter over
+	// their build keys and drop probe rows before routing/spilling. The
+	// planner auto-disables it per join when statistics estimate that
+	// nearly every probe row matches.
+	EnableJoinBloom bool
 }
 
 // Default join knobs: a 64 MB build budget keeps even DOP-wide joins
@@ -153,6 +170,7 @@ func NewPlanner(p Provider, dop int) *Planner {
 		JoinPartitions:    DefaultJoinPartitions,
 		SortMemoryBudget:  DefaultSortMemoryBudget,
 		AggMemoryBudget:   DefaultAggMemoryBudget,
+		EnableJoinBloom:   true,
 	}
 }
 
@@ -183,13 +201,16 @@ func buildChild(n *Node) (exec.Operator, error) {
 	return n.Build()
 }
 
-// newFilterNode wraps a child with a predicate filter.
+// newFilterNode wraps a child with a predicate filter. The filter's
+// selectivity is unknown at this level (estimable predicates were pushed
+// into scans), so the child estimate carries through unreduced.
 func newFilterNode(pred expr.Expr, child *Node) *Node {
 	return &Node{
 		Op:       "Filter",
 		Detail:   fmt.Sprintf("WHERE:(%s)", pred),
 		Children: []*Node{child},
 		Cols:     child.Cols,
+		Est:      child.Est,
 		Build: func() (exec.Operator, error) {
 			c, err := buildChild(child)
 			if err != nil {
@@ -211,6 +232,7 @@ func newProjectNode(exprs []expr.Expr, cols []ColMeta, child *Node) *Node {
 		Detail:   fmt.Sprintf("DEFINE:[%s]", strings.Join(parts, ", ")),
 		Children: []*Node{child},
 		Cols:     cols,
+		Est:      child.Est,
 		Build: func() (exec.Operator, error) {
 			c, err := buildChild(child)
 			if err != nil {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/sqlparse"
 	"repro/internal/sqltypes"
+	"repro/internal/stats"
 )
 
 // fakeProvider serves two in-memory tables: a heap "t" and a clustered
@@ -21,15 +22,22 @@ type fakeProvider struct {
 	scalars *expr.Registry
 	tables  map[string]*catalog.Table
 	rows    map[string][]sqltypes.Row
+	// tstats are per-table statistics served by Stats (nil = no ANALYZE);
+	// rowCounts overrides RowCountEstimate for tables whose in-memory row
+	// slice stands in for a much larger table.
+	tstats    map[string]*stats.TableStats
+	rowCounts map[string]int64
 }
 
 func newFakeProvider() *fakeProvider {
 	intT, _ := catalog.ParseType("BIGINT")
 	strT, _ := catalog.ParseType("VARCHAR(50)")
 	p := &fakeProvider{
-		scalars: expr.NewRegistry(),
-		tables:  map[string]*catalog.Table{},
-		rows:    map[string][]sqltypes.Row{},
+		scalars:   expr.NewRegistry(),
+		tables:    map[string]*catalog.Table{},
+		rows:      map[string][]sqltypes.Row{},
+		tstats:    map[string]*stats.TableStats{},
+		rowCounts: map[string]int64{},
 	}
 	p.tables["t"] = &catalog.Table{
 		ID: 1, Name: "t",
@@ -117,7 +125,14 @@ func (p *fakeProvider) KeyRanges(t *catalog.Table, parts int) ([][2]*sqltypes.Va
 	return [][2]*sqltypes.Value{{nil, &mid}, {&mid, nil}}, nil
 }
 func (p *fakeProvider) RowCountEstimate(t *catalog.Table) int64 {
+	if n, ok := p.rowCounts[strings.ToLower(t.Name)]; ok {
+		return n
+	}
 	return int64(len(p.rows[strings.ToLower(t.Name)]))
+}
+
+func (p *fakeProvider) Stats(t *catalog.Table) *stats.TableStats {
+	return p.tstats[strings.ToLower(t.Name)]
 }
 
 // memSpillStore is an in-memory exec.SpillStore for planner tests.
@@ -381,5 +396,264 @@ func TestPlanPartitionedJoinBelowThreshold(t *testing.T) {
 	node := planQuery(t, pl, "SELECT b, s FROM u JOIN t ON u.b = t.a")
 	if text := node.Explain(); !strings.Contains(text, "Hash Match (Inner Join)") {
 		t.Errorf("expected serial hash join below threshold:\n%s", text)
+	}
+}
+
+// uniformIntStats hand-builds table statistics for an integer column
+// uniformly distributed over [0, max): NDV = max, a 10-bucket equi-depth
+// histogram, exact min/max.
+func uniformIntStats(tableID uint32, table, col string, rows, max int64) *stats.TableStats {
+	ts := &stats.TableStats{
+		TableID: tableID, Table: table,
+		RowCount: rows, AvgRowBytes: 64,
+		Columns: []stats.ColumnStats{{Name: col, NDV: max, HistRows: rows}},
+	}
+	mn, mx := sqltypes.NewInt(0), sqltypes.NewInt(max-1)
+	c := &ts.Columns[0]
+	c.Min, c.Max = &mn, &mx
+	const buckets = 10
+	for b := int64(1); b <= buckets; b++ {
+		c.Histogram = append(c.Histogram, stats.Bucket{
+			Upper: sqltypes.NewInt(max*b/buckets - 1),
+			Rows:  rows / buckets,
+			NDV:   max / buckets,
+		})
+	}
+	return ts
+}
+
+// TestPlanPostFilterPartitionCount is the regression test for routing the
+// post-filter estimate into the partition-count decision: a selective
+// point query over a large table must not spin up DOP scan partitions.
+func TestPlanPostFilterPartitionCount(t *testing.T) {
+	p := newFakeProvider()
+	p.rowCounts["t"] = 100_000
+	pl := NewPlanner(p, 4) // default threshold 2048
+
+	// Without statistics the default equality selectivity (0.1) still
+	// leaves 10k estimated rows: parallel scan.
+	node := planQuery(t, pl, "SELECT s FROM t WHERE a = 1")
+	if !strings.Contains(node.Explain(), "Parallelism (Gather Streams)") {
+		t.Fatalf("pre-stats point query should stay parallel at est 10k:\n%s", node.Explain())
+	}
+
+	// With NDV statistics the estimate collapses to ~2 rows: serial scan.
+	p.tstats["t"] = uniformIntStats(1, "t", "a", 100_000, 50_000)
+	node = planQuery(t, pl, "SELECT s FROM t WHERE a = 1")
+	if text := node.Explain(); strings.Contains(text, "Parallelism") {
+		t.Fatalf("post-filter estimate should make the point query serial:\n%s", text)
+	}
+	// The unfiltered scan stays parallel.
+	node = planQuery(t, pl, "SELECT s FROM t")
+	if !strings.Contains(node.Explain(), "Parallelism (Gather Streams)") {
+		t.Fatalf("unfiltered scan lost parallelism:\n%s", node.Explain())
+	}
+}
+
+// TestPlanEstimateAnnotations: EXPLAIN must carry est=N rows on scans,
+// joins and aggregates so estimate quality is visible.
+func TestPlanEstimateAnnotations(t *testing.T) {
+	p := newFakeProvider()
+	pl := NewPlanner(p, 1)
+	text := planQuery(t, pl, "SELECT a FROM t").Explain()
+	if !strings.Contains(text, "(est=10 rows)") {
+		t.Errorf("scan estimate missing:\n%s", text)
+	}
+	text = planQuery(t, pl, "SELECT b, s FROM u JOIN t ON u.b = t.a").Explain()
+	if !strings.Contains(text, "est=") {
+		t.Errorf("join estimate missing:\n%s", text)
+	}
+	p.tstats["t"] = uniformIntStats(1, "t", "a", 10, 10)
+	text = planQuery(t, pl, "SELECT a, COUNT(*) FROM t GROUP BY a").Explain()
+	if !strings.Contains(text, "Hash Match (Aggregate)") || !strings.Contains(text, "(est=10 rows)") {
+		t.Errorf("aggregate group estimate missing:\n%s", text)
+	}
+}
+
+// TestPlanStatsBuildSideFlip: the same skewed join must flip its build
+// side once statistics reveal the filtered side is tiny.
+func TestPlanStatsBuildSideFlip(t *testing.T) {
+	p := newFakeProvider()
+	p.rowCounts["t"] = 10_000
+	p.rowCounts["u"] = 3_000
+	pl := NewPlanner(p, 4)
+	sql := "SELECT b, s FROM u JOIN t ON u.b = t.a WHERE t.a < 5"
+
+	// Pre-stats: default range selectivity (1/3) keeps t's estimate at
+	// ~3333 > u's 3000, so the build side is u (the left input).
+	text := planQuery(t, pl, sql).Explain()
+	if !strings.Contains(text, "Hash Match (Partitioned Inner Join)") {
+		t.Fatalf("expected partitioned join:\n%s", text)
+	}
+	if !strings.Contains(text, "BUILD:left") {
+		t.Fatalf("pre-stats build side should be left (u):\n%s", text)
+	}
+
+	// Post-ANALYZE: the histogram knows a < 5 keeps ~5 of 10000 rows, so
+	// the filtered t becomes the build side (the right input).
+	p.tstats["t"] = uniformIntStats(1, "t", "a", 10_000, 10_000)
+	node := planQuery(t, pl, sql)
+	text = node.Explain()
+	if !strings.Contains(text, "BUILD:right") {
+		t.Fatalf("post-stats build side should flip to right (filtered t):\n%s", text)
+	}
+	// The flipped plan still executes correctly over the backing rows.
+	rows := runPlan(t, node)
+	if len(rows) != 4 { // u.b in 0..3 joins t.a in 0..4
+		t.Errorf("flipped join rows = %v", rows)
+	}
+}
+
+// TestPlanJoinBloomDecision: the Bloom filter stays on by default, is
+// dropped when statistics say nearly every probe row matches, and obeys
+// the global switch.
+func TestPlanJoinBloomDecision(t *testing.T) {
+	sql := "SELECT b, s FROM u JOIN t ON u.b = t.a"
+	fresh := func() (*fakeProvider, *Planner) {
+		p := newFakeProvider()
+		p.rowCounts["t"] = 10_000
+		p.rowCounts["u"] = 3_000
+		return p, NewPlanner(p, 4)
+	}
+
+	p, pl := fresh()
+	if text := planQuery(t, pl, sql).Explain(); !strings.Contains(text, "BLOOM") {
+		t.Fatalf("bloom should default on without stats:\n%s", text)
+	}
+
+	// Build side u has 3000 distinct keys, probe t has 10000: only ~30%
+	// of probe rows can match — bloom stays on.
+	p.tstats["t"] = uniformIntStats(1, "t", "a", 10_000, 10_000)
+	p.tstats["u"] = uniformIntStats(4, "u", "b", 3_000, 3_000)
+	if text := planQuery(t, pl, sql).Explain(); !strings.Contains(text, "BLOOM") {
+		t.Fatalf("selective bloom should stay on:\n%s", text)
+	}
+
+	// Probe keys drawn from the same tiny domain as the build keys: the
+	// filter would pass ~every row, so the planner drops it.
+	p.tstats["t"] = uniformIntStats(1, "t", "a", 10_000, 2_000)
+	p.tstats["u"] = uniformIntStats(4, "u", "b", 3_000, 2_000)
+	if text := planQuery(t, pl, sql).Explain(); strings.Contains(text, "BLOOM") {
+		t.Fatalf("bloom should auto-disable at ~1 selectivity:\n%s", text)
+	}
+
+	_, pl2 := fresh()
+	pl2.EnableJoinBloom = false
+	if text := planQuery(t, pl2, sql).Explain(); strings.Contains(text, "BLOOM") {
+		t.Fatalf("bloom should honor the global switch:\n%s", text)
+	}
+}
+
+// TestPlanJoinPrePartition: when the estimated build footprint exceeds
+// the join budget, the plan pre-spills partitions (and widens the
+// fan-out) instead of relying on mid-build eviction.
+func TestPlanJoinPrePartition(t *testing.T) {
+	p := newFakeProvider()
+	p.rowCounts["t"] = 200_000
+	p.rowCounts["u"] = 100_000
+	// u is the build side: 100k rows * 64 B/row = 6.4 MB >> 256 KB budget.
+	p.tstats["u"] = uniformIntStats(4, "u", "b", 100_000, 50_000)
+	pl := NewPlanner(p, 4)
+	pl.JoinMemoryBudget = 256 << 10
+	text := planQuery(t, pl, "SELECT b, s FROM u JOIN t ON u.b = t.a").Explain()
+	if !strings.Contains(text, "PRESPILL:") {
+		t.Fatalf("expected spill pre-partitioning in plan:\n%s", text)
+	}
+	// 6.4 MB / (128 KB per partition) ≈ 50 -> widened to the next power
+	// of two above the default 32.
+	if !strings.Contains(text, "PARTITIONS:64") {
+		t.Fatalf("expected widened fan-out for the over-budget build:\n%s", text)
+	}
+}
+
+// TestPlanInExpression: IN plans as an OR of equalities, executes, and
+// narrows the estimate via the column's NDV.
+func TestPlanInExpression(t *testing.T) {
+	p := newFakeProvider()
+	pl := NewPlanner(p, 1)
+	node := planQuery(t, pl, "SELECT a FROM t WHERE a IN (1, 3, 7)")
+	rows := runPlan(t, node)
+	if len(rows) != 3 {
+		t.Fatalf("IN rows = %v", rows)
+	}
+	node = planQuery(t, pl, "SELECT a FROM t WHERE a NOT IN (1, 3)")
+	if rows := runPlan(t, node); len(rows) != 8 {
+		t.Fatalf("NOT IN rows = %v", rows)
+	}
+
+	// Estimate: 100k rows, NDV 50k, 3-value IN -> ~6 rows.
+	p.rowCounts["t"] = 100_000
+	p.tstats["t"] = uniformIntStats(1, "t", "a", 100_000, 50_000)
+	node = planQuery(t, pl, "SELECT a FROM t WHERE a IN (1, 3, 7)")
+	if text := node.Explain(); !strings.Contains(text, "(est=6 rows)") {
+		t.Errorf("IN estimate should use NDV (want ~6 rows):\n%s", text)
+	}
+}
+
+// TestPlanMergeJoinKeepsPushedPredicates is the regression test for a
+// dropped-WHERE bug: tryMergeJoin rebuilds its own ordered scans, so it
+// must re-push the single-table conjuncts that the discarded generic
+// scan plans had already consumed.
+func TestPlanMergeJoinKeepsPushedPredicates(t *testing.T) {
+	pl := NewPlanner(newFakeProvider(), 1)
+	node := planQuery(t, pl, "SELECT lv, rv FROM left JOIN right_t ON id = rid WHERE id = 4")
+	text := node.Explain()
+	if !strings.Contains(text, "Merge Join") {
+		t.Fatalf("expected merge join:\n%s", text)
+	}
+	if !strings.Contains(text, "WHERE:") {
+		t.Fatalf("pushed predicate missing from merge-join scans:\n%s", text)
+	}
+	rows := runPlan(t, node)
+	if len(rows) != 1 || rows[0][0].S != "L4" || rows[0][1].S != "R4" {
+		t.Fatalf("WHERE dropped by merge join: rows = %v", rows)
+	}
+	// Predicates on both sides, plus one the join must keep as residual.
+	node = planQuery(t, pl, "SELECT lv, rv FROM left JOIN right_t ON id = rid WHERE id >= 2 AND rid <= 6 AND lv <> rv")
+	rows = runPlan(t, node)
+	if len(rows) != 3 { // ids 2, 4, 6
+		t.Fatalf("two-sided pushdown rows = %v", rows)
+	}
+}
+
+// TestPlanNotOfUnknownPredicate: NOT over a predicate the estimator
+// cannot price must stay unknown (selectivity 1.0), not invert to zero
+// and collapse the estimate to one row.
+func TestPlanNotOfUnknownPredicate(t *testing.T) {
+	p := newFakeProvider()
+	p.rowCounts["t"] = 100_000
+	pl := NewPlanner(p, 4)
+	for _, sql := range []string{
+		"SELECT s FROM t WHERE NOT (a = a)",          // column-to-column: unknown
+		"SELECT s FROM t WHERE NOT (a = a) OR a = a", // OR with unknown branch
+	} {
+		node := planQuery(t, pl, sql)
+		text := node.Explain()
+		if !strings.Contains(text, "(est=100000 rows)") {
+			t.Errorf("%s: unknown predicate changed the estimate:\n%s", sql, text)
+		}
+		if !strings.Contains(text, "Parallelism (Gather Streams)") {
+			t.Errorf("%s: unknown predicate killed parallelism:\n%s", sql, text)
+		}
+	}
+	// A NOT over an estimable predicate still inverts.
+	node := planQuery(t, pl, "SELECT s FROM t WHERE NOT a = 1")
+	if text := node.Explain(); !strings.Contains(text, "(est=90000 rows)") {
+		t.Errorf("NOT of estimable predicate not inverted:\n%s", text)
+	}
+}
+
+// TestPlanNotOfPartiallyUnknownAnd: an AND with one unestimable branch
+// is only an upper bound, so NOT over it must stay unknown rather than
+// inverting to ~zero selectivity.
+func TestPlanNotOfPartiallyUnknownAnd(t *testing.T) {
+	p := newFakeProvider()
+	p.rowCounts["t"] = 100_000
+	p.tstats["t"] = uniformIntStats(1, "t", "a", 100_000, 50_000)
+	pl := NewPlanner(p, 4)
+	node := planQuery(t, pl, "SELECT s FROM t WHERE NOT (a >= 0 AND a = a)")
+	text := node.Explain()
+	if !strings.Contains(text, "(est=100000 rows)") || strings.Contains(text, "est=1 rows") {
+		t.Errorf("NOT over partially-unknown AND collapsed the estimate:\n%s", text)
 	}
 }

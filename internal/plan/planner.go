@@ -8,6 +8,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/sqlparse"
 	"repro/internal/sqltypes"
+	"repro/internal/stats"
 )
 
 // relation is an intermediate planning result: a materialized node plus
@@ -23,9 +24,14 @@ type relation struct {
 	partsN int
 	// ordered is the prefix column ordering of the output, if any.
 	ordered []ColMeta
-	// est is the estimated output cardinality (0 = unknown); join planning
-	// uses it to pick the build side and decide on a parallel join.
+	// est is the estimated output cardinality (0 = unknown), post-filter
+	// when predicates were pushed; join planning uses it to pick the
+	// build side and decide on a parallel join.
 	est int64
+	// stats backs est with per-column distributions when the relation is
+	// a (possibly filtered) base-table scan; join estimation reads key
+	// NDVs and average row widths from it.
+	stats *stats.TableStats
 }
 
 // PlanSelect plans a SELECT into a physical plan tree.
@@ -196,6 +202,7 @@ func (pl *Planner) PlanSelect(sel *sqlparse.Select) (*Node, error) {
 		node = &Node{
 			Op: "Top", Detail: fmt.Sprintf("TOP %d", sel.Top),
 			Children: []*Node{child}, Cols: child.Cols,
+			Est: limitEst(sel.Top, child.Est),
 			Build: func() (exec.Operator, error) {
 				c, err := buildChild(child)
 				if err != nil {
@@ -206,6 +213,14 @@ func (pl *Planner) PlanSelect(sel *sqlparse.Select) (*Node, error) {
 		}
 	}
 	return newProjectNode(outExprs, outCols, node), nil
+}
+
+// limitEst caps a child estimate by a TOP N count.
+func limitEst(n, childEst int64) int64 {
+	if childEst > 0 && childEst < n {
+		return childEst
+	}
+	return n
 }
 
 // groupedWidth returns the row width of an aggregate output given its
@@ -312,6 +327,7 @@ func (pl *Planner) planAggregate(sel *sqlparse.Select, rel *relation,
 
 	groupDesc := describeExprs(groupExprs)
 	aggDesc := describeAggs(aggSpecs)
+	estGroups := groupCountEstimate(rel, sel.GroupBy)
 
 	// Stream aggregation when the input ordering covers the group-by
 	// columns as a prefix.
@@ -322,6 +338,7 @@ func (pl *Planner) planAggregate(sel *sqlparse.Select, rel *relation,
 			Detail:   fmt.Sprintf("GROUP BY:[%s] AGG:[%s]", groupDesc, aggDesc),
 			Children: []*Node{child},
 			Cols:     outCols,
+			Est:      estGroups,
 			Build: func() (exec.Operator, error) {
 				c, err := buildChild(child)
 				if err != nil {
@@ -330,7 +347,7 @@ func (pl *Planner) planAggregate(sel *sqlparse.Select, rel *relation,
 				return &exec.StreamAggregate{GroupBy: groupExprs, Aggs: aggSpecs, Child: c}, nil
 			},
 		}
-		return &relation{node: node, cols: outCols}, nil
+		return &relation{node: node, cols: outCols, est: estGroups}, nil
 	}
 
 	// Partial/final parallel hash aggregation over a partitionable input:
@@ -356,6 +373,7 @@ func (pl *Planner) planAggregate(sel *sqlparse.Select, rel *relation,
 				Cols: outCols,
 			}},
 			Cols: outCols,
+			Est:  estGroups,
 			Build: func() (exec.Operator, error) {
 				children, err := parts()
 				if err != nil {
@@ -371,7 +389,7 @@ func (pl *Planner) planAggregate(sel *sqlparse.Select, rel *relation,
 				}, nil
 			},
 		}
-		return &relation{node: node, cols: outCols}, nil
+		return &relation{node: node, cols: outCols, est: estGroups}, nil
 	}
 
 	child := rel.node
@@ -380,6 +398,7 @@ func (pl *Planner) planAggregate(sel *sqlparse.Select, rel *relation,
 		Detail:   fmt.Sprintf("GROUP BY:[%s] AGG:[%s]", groupDesc, aggDesc),
 		Children: []*Node{child},
 		Cols:     outCols,
+		Est:      estGroups,
 		Build: func() (exec.Operator, error) {
 			c, err := buildChild(child)
 			if err != nil {
@@ -395,7 +414,29 @@ func (pl *Planner) planAggregate(sel *sqlparse.Select, rel *relation,
 			}, nil
 		},
 	}
-	return &relation{node: node, cols: outCols}, nil
+	return &relation{node: node, cols: outCols, est: estGroups}, nil
+}
+
+// groupCountEstimate estimates the number of GROUP BY groups: the NDV
+// product of the grouping columns when the input is a base-table scan
+// with statistics (capped by the input estimate), 1 for a global
+// aggregate, 0 when unknown.
+func groupCountEstimate(rel *relation, groupBy []sqlparse.Expr) int64 {
+	if len(groupBy) == 0 {
+		return 1
+	}
+	if rel.stats == nil {
+		return 0
+	}
+	idents := make([]*sqlparse.Ident, 0, len(groupBy))
+	for _, g := range groupBy {
+		id, ok := g.(*sqlparse.Ident)
+		if !ok {
+			return 0
+		}
+		idents = append(idents, id)
+	}
+	return keysNDV(rel, idents)
 }
 
 func describeExprs(list []expr.Expr) string {
@@ -442,7 +483,7 @@ func orderedCovers(rel *relation, groupBy []sqlparse.Expr) bool {
 
 func filterRelation(rel *relation, pred expr.Expr) *relation {
 	node := newFilterNode(pred, rel.node)
-	out := &relation{node: node, cols: rel.cols, ordered: rel.ordered, est: rel.est}
+	out := &relation{node: node, cols: rel.cols, ordered: rel.ordered, est: rel.est, stats: rel.stats}
 	if rel.parts != nil {
 		inner := rel.parts
 		out.partsN = rel.partsN
@@ -473,6 +514,7 @@ func (pl *Planner) windowRelation(rel *relation, keys []exec.SortKey, grouped bo
 			Detail:   fmt.Sprintf("ORDER BY:[%s]", describeSortKeys(keys)),
 			Children: []*Node{pl.parallelSortNode(keys, rel)},
 			Cols:     cols,
+			Est:      rel.est,
 			Build: func() (exec.Operator, error) {
 				ms, err := pl.buildParallelSort(keys, rel)
 				if err != nil {
@@ -481,7 +523,7 @@ func (pl *Planner) windowRelation(rel *relation, keys []exec.SortKey, grouped bo
 				return &exec.RowNumber{OrderBy: keys, Child: ms, InputSorted: true}, nil
 			},
 		}
-		return &relation{node: node, cols: cols}
+		return &relation{node: node, cols: cols, est: rel.est}
 	}
 	child := rel.node
 	node := &Node{
@@ -489,6 +531,7 @@ func (pl *Planner) windowRelation(rel *relation, keys []exec.SortKey, grouped bo
 		Detail:   fmt.Sprintf("ORDER BY:[%s]", describeSortKeys(keys)),
 		Children: []*Node{child},
 		Cols:     cols,
+		Est:      rel.est,
 		Build: func() (exec.Operator, error) {
 			c, err := buildChild(child)
 			if err != nil {
@@ -502,7 +545,7 @@ func (pl *Planner) windowRelation(rel *relation, keys []exec.SortKey, grouped bo
 			}, nil
 		},
 	}
-	return &relation{node: node, cols: cols}
+	return &relation{node: node, cols: cols, est: rel.est}
 }
 
 func describeSortKeys(keys []exec.SortKey) string {
@@ -530,6 +573,7 @@ func (pl *Planner) sortNode(keys []exec.SortKey, rel *relation) *Node {
 		Detail:   fmt.Sprintf("ORDER BY:[%s]", describeSortKeys(keys)),
 		Children: []*Node{child},
 		Cols:     child.Cols,
+		Est:      rel.est,
 		Build: func() (exec.Operator, error) {
 			c, err := buildChild(child)
 			if err != nil {
@@ -562,6 +606,7 @@ func (pl *Planner) parallelSortNode(keys []exec.SortKey, rel *relation) *Node {
 		Detail:   fmt.Sprintf("DOP %d ORDER BY:[%s]", rel.partsN, describeSortKeys(keys)),
 		Children: []*Node{inner},
 		Cols:     rel.node.Cols,
+		Est:      rel.est,
 		Build: func() (exec.Operator, error) {
 			return pl.buildParallelSort(keys, rel)
 		},
@@ -601,6 +646,7 @@ func topNNode(n int64, keys []exec.SortKey, child *Node) *Node {
 		Detail:   fmt.Sprintf("TOP %d ORDER BY:[%s]", n, describeSortKeys(keys)),
 		Children: []*Node{child},
 		Cols:     child.Cols,
+		Est:      limitEst(n, child.Est),
 		Build: func() (exec.Operator, error) {
 			c, err := buildChild(child)
 			if err != nil {

@@ -134,6 +134,12 @@ type Explain struct{ Stmt Statement }
 
 func (*Explain) stmt() {}
 
+// Analyze is ANALYZE [TABLE t]: collect planner statistics for one table,
+// or for every table when Table is empty.
+type Analyze struct{ Table string }
+
+func (*Analyze) stmt() {}
+
 // --- Expressions ---
 
 // Expr is a parsed scalar expression.
@@ -209,3 +215,12 @@ type LikeExpr struct {
 }
 
 func (*LikeExpr) expr() {}
+
+// InExpr is x [NOT] IN (e1, e2, ...).
+type InExpr struct {
+	X    Expr
+	List []Expr
+	Not  bool
+}
+
+func (*InExpr) expr() {}

@@ -128,7 +128,8 @@ var reserved = map[string]bool{
 	"table": true, "top": true, "like": true, "is": true, "null": true,
 	"asc": true, "desc": true, "with": true, "primary": true, "key": true,
 	"begin": true, "commit": true, "rollback": true, "checkpoint": true,
-	"explain": true, "over": true, "union": true,
+	"explain": true, "over": true, "union": true, "in": true,
+	"analyze": true,
 }
 
 func (p *parser) statement() (Statement, error) {
@@ -177,6 +178,18 @@ func (p *parser) statement() (Statement, error) {
 	case p.isKw("checkpoint"):
 		p.advance()
 		return &Checkpoint{}, nil
+	case p.isKw("analyze"):
+		p.advance()
+		explicitTable := p.acceptKw("table")
+		a := &Analyze{}
+		if t := p.peek(); t.kind == tkIdent && !reserved[strings.ToLower(t.text)] {
+			a.Table = t.text
+			p.advance()
+		} else if explicitTable {
+			// Having written TABLE, the user meant exactly one table.
+			return nil, p.errHere("expected a table name after ANALYZE TABLE")
+		}
+		return a, nil
 	}
 	return nil, p.errHere("expected a statement")
 }
@@ -710,6 +723,32 @@ func (p *parser) comparison() (Expr, error) {
 		}
 		p.advance()
 		return &LikeExpr{X: left, Pattern: t.text, Not: notLike}, nil
+	}
+	// [NOT] IN (e1, e2, ...)
+	notIn := false
+	if p.isKw("not") && strings.EqualFold(p.peek2().text, "in") {
+		p.advance()
+		notIn = true
+	}
+	if p.acceptKw("in") {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		in := &InExpr{X: left, Not: notIn}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			in.List = append(in.List, e)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return in, nil
 	}
 	t := p.peek()
 	if t.kind == tkPunct {

@@ -299,3 +299,80 @@ func TestParseQualifiedIdent(t *testing.T) {
 		t.Errorf("ident = %+v", id)
 	}
 }
+
+func TestParseAnalyze(t *testing.T) {
+	stmt, err := Parse("ANALYZE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, ok := stmt.(*Analyze); !ok || a.Table != "" {
+		t.Fatalf("ANALYZE parsed as %#v", stmt)
+	}
+	stmt, err = Parse("ANALYZE TABLE Reads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, ok := stmt.(*Analyze); !ok || a.Table != "Reads" {
+		t.Fatalf("ANALYZE TABLE parsed as %#v", stmt)
+	}
+	stmt, err = Parse("analyze alignments;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, ok := stmt.(*Analyze); !ok || a.Table != "alignments" {
+		t.Fatalf("analyze t parsed as %#v", stmt)
+	}
+	// Scripts mix ANALYZE with other statements.
+	stmts, err := ParseAll("ANALYZE; SELECT 1")
+	if err != nil || len(stmts) != 2 {
+		t.Fatalf("script parse: %v (%d stmts)", err, len(stmts))
+	}
+	// ANALYZE TABLE without a name is a syntax error, not analyze-all.
+	if _, err := Parse("ANALYZE TABLE"); err == nil {
+		t.Error("ANALYZE TABLE without a name parsed")
+	}
+	if _, err := Parse("ANALYZE TABLE; SELECT 1"); err == nil {
+		t.Error("ANALYZE TABLE; parsed")
+	}
+}
+
+func TestParseIn(t *testing.T) {
+	stmt, err := Parse("SELECT a FROM t WHERE a IN (1, 2, 3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	where := stmt.(*Select).Where
+	in, ok := where.(*InExpr)
+	if !ok || in.Not || len(in.List) != 3 {
+		t.Fatalf("IN parsed as %#v", where)
+	}
+	if id, ok := in.X.(*Ident); !ok || id.Name != "a" {
+		t.Fatalf("IN subject parsed as %#v", in.X)
+	}
+
+	stmt, err = Parse("SELECT a FROM t WHERE t.a NOT IN ('x', 'y')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, ok = stmt.(*Select).Where.(*InExpr)
+	if !ok || !in.Not || len(in.List) != 2 {
+		t.Fatalf("NOT IN parsed as %#v", stmt.(*Select).Where)
+	}
+
+	// IN composes with AND/OR as a comparison-level operator.
+	stmt, err = Parse("SELECT a FROM t WHERE a IN (1) AND b > 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := stmt.(*Select).Where.(*Binary); !ok || b.Op != "AND" {
+		t.Fatalf("IN AND cmp parsed as %#v", stmt.(*Select).Where)
+	}
+
+	// Errors: empty list, missing parens.
+	if _, err := Parse("SELECT a FROM t WHERE a IN ()"); err == nil {
+		t.Error("empty IN list parsed")
+	}
+	if _, err := Parse("SELECT a FROM t WHERE a IN 1, 2"); err == nil {
+		t.Error("IN without parens parsed")
+	}
+}

@@ -1,0 +1,315 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/sqltypes"
+)
+
+// DefaultSampleSize is the per-column reservoir capacity: large enough
+// that a 64-bucket equi-depth histogram gets ~128 sample values per
+// bucket, small enough that ANALYZE never holds more than a few MB per
+// column.
+const DefaultSampleSize = 8192
+
+// DefaultHistogramBuckets is the equi-depth bucket count.
+const DefaultHistogramBuckets = 64
+
+// DefaultMCVs is the most-common-values list length.
+const DefaultMCVs = 16
+
+// reservoir is a uniform row sample of one column's non-null values
+// (Vitter's algorithm R), mergeable across scan partitions.
+type reservoir struct {
+	cap  int
+	seen int64
+	vals []sqltypes.Value
+	rng  *rand.Rand
+}
+
+func (r *reservoir) add(v sqltypes.Value) {
+	r.seen++
+	if len(r.vals) < r.cap {
+		r.vals = append(r.vals, v)
+		return
+	}
+	if j := r.rng.Int63n(r.seen); j < int64(r.cap) {
+		r.vals[j] = v
+	}
+}
+
+// merge folds o into r, drawing from each side proportionally to how many
+// values it has seen, so the merged reservoir stays ~uniform over the
+// union stream.
+func (r *reservoir) merge(o *reservoir) {
+	if o.seen == 0 {
+		return
+	}
+	if r.seen == 0 {
+		r.seen, r.vals = o.seen, o.vals
+		return
+	}
+	a, b := r.vals, o.vals
+	r.rng.Shuffle(len(a), func(i, j int) { a[i], a[j] = a[j], a[i] })
+	r.rng.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+	merged := make([]sqltypes.Value, 0, r.cap)
+	for len(merged) < r.cap && (len(a) > 0 || len(b) > 0) {
+		takeA := len(b) == 0 || (len(a) > 0 && r.rng.Int63n(r.seen+o.seen) < r.seen)
+		if takeA {
+			merged = append(merged, a[0])
+			a = a[1:]
+		} else {
+			merged = append(merged, b[0])
+			b = b[1:]
+		}
+	}
+	r.vals = merged
+	r.seen += o.seen
+}
+
+// colAcc accumulates one column's statistics.
+type colAcc struct {
+	nulls    int64
+	hasRange bool
+	min, max sqltypes.Value
+	hll      *HLL
+	sample   *reservoir
+}
+
+// Collector accumulates per-column statistics over one scan partition.
+// It is not safe for concurrent use: ANALYZE runs one collector per
+// partition and merges them.
+type Collector struct {
+	names []string
+	cols  []colAcc
+	rows  int64
+	bytes int64
+}
+
+// NewCollector returns a collector for the named columns. sampleCap
+// bounds the per-column reservoir (<= 0 uses DefaultSampleSize); seed
+// makes the sampling deterministic for tests.
+func NewCollector(names []string, sampleCap int, seed int64) *Collector {
+	if sampleCap <= 0 {
+		sampleCap = DefaultSampleSize
+	}
+	c := &Collector{names: names, cols: make([]colAcc, len(names))}
+	for i := range c.cols {
+		c.cols[i].hll = NewHLL()
+		c.cols[i].sample = &reservoir{
+			cap: sampleCap,
+			rng: rand.New(rand.NewSource(seed + int64(i)*7919)),
+		}
+	}
+	return c
+}
+
+// Add observes one row. Retained values are cloned, so callers may reuse
+// the row buffer.
+func (c *Collector) Add(row sqltypes.Row) {
+	c.rows++
+	for i := range c.cols {
+		if i >= len(row) {
+			break
+		}
+		v := row[i]
+		c.bytes += int64(len(v.S)) + int64(len(v.B)) + 48
+		a := &c.cols[i]
+		if v.IsNull() {
+			a.nulls++
+			continue
+		}
+		a.hll.Add(sqltypes.Hash(v))
+		v = cloneValue(v)
+		if !a.hasRange {
+			a.min, a.max, a.hasRange = v, v, true
+		} else {
+			if sqltypes.Compare(v, a.min) < 0 {
+				a.min = v
+			}
+			if sqltypes.Compare(v, a.max) > 0 {
+				a.max = v
+			}
+		}
+		a.sample.add(v)
+	}
+	c.bytes += 24
+}
+
+// Rows returns the observed row count.
+func (c *Collector) Rows() int64 { return c.rows }
+
+// Merge folds another collector (same column layout) into c.
+func (c *Collector) Merge(o *Collector) {
+	c.rows += o.rows
+	c.bytes += o.bytes
+	for i := range c.cols {
+		if i >= len(o.cols) {
+			break
+		}
+		a, b := &c.cols[i], &o.cols[i]
+		a.nulls += b.nulls
+		a.hll.Merge(b.hll)
+		if b.hasRange {
+			if !a.hasRange {
+				a.min, a.max, a.hasRange = b.min, b.max, true
+			} else {
+				if sqltypes.Compare(b.min, a.min) < 0 {
+					a.min = b.min
+				}
+				if sqltypes.Compare(b.max, a.max) > 0 {
+					a.max = b.max
+				}
+			}
+		}
+		a.sample.merge(b.sample)
+	}
+}
+
+// Finalize builds the persistent statistics: NDV from the sketch, MCVs
+// and an equi-depth histogram from the sorted reservoir sample, scaled to
+// the full table.
+func (c *Collector) Finalize(tableID uint32, table string, modCount int64, buckets, mcvCap int) *TableStats {
+	if buckets <= 0 {
+		buckets = DefaultHistogramBuckets
+	}
+	if mcvCap < 0 {
+		mcvCap = DefaultMCVs
+	}
+	ts := &TableStats{
+		TableID:  tableID,
+		Table:    table,
+		RowCount: c.rows,
+		ModCount: modCount,
+		Columns:  make([]ColumnStats, len(c.cols)),
+	}
+	if c.rows > 0 {
+		ts.AvgRowBytes = c.bytes / c.rows
+	}
+	for i := range c.cols {
+		a := &c.cols[i]
+		cs := ColumnStats{Name: c.names[i], NullCount: a.nulls}
+		nonNull := c.rows - a.nulls
+		if ndv := a.hll.Estimate(); ndv < nonNull {
+			cs.NDV = ndv
+		} else {
+			cs.NDV = nonNull
+		}
+		if a.hasRange {
+			mn, mx := a.min, a.max
+			cs.Min, cs.Max = &mn, &mx
+		}
+		if int64(len(a.sample.vals)) > ts.SampleRows {
+			ts.SampleRows = int64(len(a.sample.vals))
+		}
+		finalizeDistribution(&cs, a.sample.vals, nonNull, buckets, mcvCap)
+		ts.Columns[i] = cs
+	}
+	return ts
+}
+
+// valueRun is one distinct sample value and its sample frequency.
+type valueRun struct {
+	v sqltypes.Value
+	n int
+}
+
+// finalizeDistribution fills the MCV list and equi-depth histogram of one
+// column from its sorted sample, scaling sample frequencies to nonNull
+// total rows.
+func finalizeDistribution(cs *ColumnStats, sample []sqltypes.Value, nonNull int64, buckets, mcvCap int) {
+	if len(sample) == 0 || nonNull <= 0 {
+		return
+	}
+	sort.Slice(sample, func(i, j int) bool { return sqltypes.Compare(sample[i], sample[j]) < 0 })
+	var runs []valueRun
+	for _, v := range sample {
+		if n := len(runs); n > 0 && sqltypes.Equal(runs[n-1].v, v) {
+			runs[n-1].n++
+		} else {
+			runs = append(runs, valueRun{v: v, n: 1})
+		}
+	}
+	scale := float64(nonNull) / float64(len(sample))
+
+	// MCVs: values clearly more frequent than the uniform expectation.
+	// Sort candidate runs by frequency without disturbing `runs` order.
+	idx := make([]int, len(runs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return runs[idx[a]].n > runs[idx[b]].n })
+	minCount := 2
+	if u := 2 * len(sample) / len(runs); u+1 > minCount {
+		minCount = u + 1 // at least 2x the average sample frequency
+	}
+	isMCV := make(map[int]bool)
+	for _, ri := range idx {
+		if len(cs.MCVs) >= mcvCap || runs[ri].n < minCount {
+			break
+		}
+		isMCV[ri] = true
+		cs.MCVs = append(cs.MCVs, MCV{
+			Value: runs[ri].v,
+			Count: int64(float64(runs[ri].n)*scale + 0.5),
+		})
+	}
+	sort.Slice(cs.MCVs, func(a, b int) bool { return cs.MCVs[a].Count > cs.MCVs[b].Count })
+
+	// Equi-depth histogram over the non-MCV remainder of the sample.
+	var rest []valueRun
+	restLen := 0
+	for ri, r := range runs {
+		if !isMCV[ri] {
+			rest = append(rest, r)
+			restLen += r.n
+		}
+	}
+	if restLen == 0 {
+		return
+	}
+	var mcvRows int64
+	for _, m := range cs.MCVs {
+		mcvRows += m.Count
+	}
+	cs.HistRows = nonNull - mcvRows
+	if cs.HistRows < 0 {
+		cs.HistRows = 0
+	}
+	if buckets > restLen {
+		buckets = restLen
+	}
+	per := float64(restLen) / float64(buckets)
+	rowScale := float64(cs.HistRows) / float64(restLen)
+	filled, bNDV, bRows := 0, int64(0), 0
+	target := per
+	for _, r := range rest {
+		bNDV++
+		bRows += r.n
+		filled += r.n
+		if float64(filled) >= target-0.5 {
+			cs.Histogram = append(cs.Histogram, Bucket{
+				Upper: r.v,
+				Rows:  int64(float64(bRows)*rowScale + 0.5),
+				NDV:   bNDV,
+			})
+			bNDV, bRows = 0, 0
+			target = per * float64(len(cs.Histogram)+1)
+		}
+	}
+	if bRows > 0 {
+		cs.Histogram = append(cs.Histogram, Bucket{
+			Upper: rest[len(rest)-1].v,
+			Rows:  int64(float64(bRows)*rowScale + 0.5),
+			NDV:   bNDV,
+		})
+	}
+}
+
+func cloneValue(v sqltypes.Value) sqltypes.Value {
+	if v.K == sqltypes.KindBytes && v.B != nil {
+		v.B = append([]byte(nil), v.B...)
+	}
+	return v
+}

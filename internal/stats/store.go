@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+)
+
+// Store holds the statistics of every analyzed table and persists them as
+// JSON next to the catalog (atomic tmp+rename, like the catalog itself).
+// ANALYZE also WAL-logs each TableStats image, so stats written after the
+// last checkpoint survive a crash that loses the file: recovery replays
+// the records through Apply and re-saves.
+type Store struct {
+	mu   sync.RWMutex
+	path string
+	byID map[uint32]*TableStats
+}
+
+// OpenStore loads (or initializes) the stats persisted at path.
+func OpenStore(path string) (*Store, error) {
+	s := &Store{path: path, byID: map[uint32]*TableStats{}}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var disk struct {
+		Tables []*TableStats `json:"tables"`
+	}
+	if err := json.Unmarshal(data, &disk); err != nil {
+		// Statistics are advisory and re-collectable (ANALYZE, plus the
+		// WAL images recovery replays), so a torn or corrupt file must
+		// not make the database unopenable: set it aside and start empty.
+		_ = os.Rename(path, path+".corrupt")
+		return s, nil
+	}
+	for _, t := range disk.Tables {
+		s.byID[t.TableID] = t
+	}
+	return s, nil
+}
+
+// Get returns the stored stats for a table id, or nil.
+func (s *Store) Get(id uint32) *TableStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.byID[id]
+}
+
+// Apply installs stats without saving (WAL replay during recovery).
+func (s *Store) Apply(ts *TableStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byID[ts.TableID] = ts
+}
+
+// Put installs stats and persists the store.
+func (s *Store) Put(ts *TableStats) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byID[ts.TableID] = ts
+	return s.saveLocked()
+}
+
+// Drop removes a dropped table's stats (missing ids are a no-op).
+func (s *Store) Drop(id uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byID[id]; !ok {
+		return nil
+	}
+	delete(s.byID, id)
+	return s.saveLocked()
+}
+
+// Save persists the current contents (used after recovery replay).
+func (s *Store) Save() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.saveLocked()
+}
+
+func (s *Store) saveLocked() error {
+	var disk struct {
+		Tables []*TableStats `json:"tables"`
+	}
+	for _, t := range s.byID {
+		disk.Tables = append(disk.Tables, t)
+	}
+	data, err := json.MarshalIndent(disk, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := s.path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.path)
+}

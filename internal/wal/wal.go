@@ -36,6 +36,10 @@ const (
 	RecBlobDelete
 	// RecDDL logs a catalog change (data is the serialized statement).
 	RecDDL
+	// RecStats logs an ANALYZE statistics image (data is the JSON-encoded
+	// table statistics); recovery re-applies the image so stats collected
+	// after the last checkpoint survive a crash that loses the stats file.
+	RecStats
 )
 
 // Record is one log entry.
