@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment: all, table1, table2, wrap, query1, consensus, plans, ablations, join, sortagg, stats")
+	run := flag.String("run", "all", "experiment: all, table1, table2, wrap, query1, consensus, plans, ablations, join, sortagg, stats, txn")
 	dgeReads := flag.Int("dge-reads", 400_000, "DGE lane size (level-1 reads)")
 	reseqReads := flag.Int("reseq-reads", 150_000, "re-sequencing lane size")
 	seed := flag.Int64("seed", 42, "generator seed")
@@ -33,6 +33,8 @@ func main() {
 	sortaggRows := flag.Int("sortagg-rows", 0, "sort/aggregate benchmark table size (0 = default)")
 	statsOut := flag.String("stats-out", "BENCH_stats.json", "output path for the statistics benchmark JSON")
 	statsRows := flag.Int("stats-rows", 0, "statistics benchmark fact-table size (0 = default)")
+	txnOut := flag.String("txn-out", "BENCH_txn.json", "output path for the transaction benchmark JSON")
+	txnCount := flag.Int("txn-txns", 0, "transaction benchmark: commits per writer (0 = default)")
 	flag.Parse()
 
 	workDir := *work
@@ -280,6 +282,28 @@ func main() {
 		fmt.Println(res.PlanBefore)
 		fmt.Println("plan after ANALYZE:")
 		fmt.Println(res.PlanAfter)
+	}
+	if want("txn") {
+		fmt.Println("---- MVCC transactions: pipelined group commit, snapshot scans under write load ----")
+		cfg := bench.DefaultTxnBenchConfig()
+		if *txnCount > 0 {
+			cfg.TxnsPerWriter = *txnCount
+		}
+		res, err := bench.TxnExperiment(filepath.Join(workDir, "txn"), cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%d txns/writer x %d rows/txn, concurrent COUNT(*) reader (GOMAXPROCS %d)\n",
+			res.TxnsPerWriter, res.BatchRows, res.GOMAXPROCS)
+		for _, r := range res.Runs {
+			fmt.Printf("  writers %d: %8.0f commits/s  (%d commits in %.1f ms, %.2f fsyncs/commit, %d scans @ %.2f ms)\n",
+				r.Writers, r.CommitsPerSec, r.Commits, r.ElapsedMS, r.SyncsPerCommit, r.Scans, r.MeanScanMS)
+		}
+		fmt.Printf("best multi-writer speedup vs 1 writer: %.2fx\n", res.SpeedupBest)
+		if err := res.WriteJSON(*txnOut); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n\n", *txnOut)
 	}
 	fmt.Println(strings.Repeat("=", 60))
 	fmt.Println("done")

@@ -12,6 +12,13 @@
 // per-column histograms and NDV sketches that the planner uses to pick
 // join build sides, partition counts and Bloom filters; "EXPLAIN SELECT
 // ..." shows the resulting per-node "est=N rows" estimates.
+//
+// BEGIN / COMMIT / ROLLBACK group statements into one atomic transaction.
+// The shell is a single session; other sessions (another genodb on the
+// same directory is NOT supported, but embedded users of core.Session
+// are) see none of its changes until COMMIT, and its reads come from a
+// consistent snapshot taken at BEGIN. DDL (CREATE/DROP TABLE) and
+// CHECKPOINT are refused inside a transaction.
 package main
 
 import (
@@ -53,6 +60,7 @@ func main() {
 	if interactive {
 		fmt.Println("genodb SQL shell - one statement per line, \\q to quit")
 		fmt.Println("  tip: run ANALYZE [TABLE t] after loading data; EXPLAIN shows the est=N rows it gives the planner")
+		fmt.Println("  tip: BEGIN; ...; COMMIT (or ROLLBACK) makes a multi-statement change atomic")
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

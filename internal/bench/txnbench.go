@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sqltypes"
+)
+
+// TxnBenchConfig sizes the transaction experiment: W writer sessions each
+// committing TxnsPerWriter explicit transactions of BatchRows rows, while
+// one reader session scans the same table the whole time.
+type TxnBenchConfig struct {
+	TxnsPerWriter int
+	BatchRows     int
+	Writers       []int
+}
+
+// DefaultTxnBenchConfig keeps individual transactions small (a handful of
+// rows, one fsync's worth of log) so commit-path overhead — not row
+// ingest — dominates, which is what the pipeline is supposed to hide.
+func DefaultTxnBenchConfig() TxnBenchConfig {
+	return TxnBenchConfig{
+		TxnsPerWriter: 200,
+		BatchRows:     16,
+		Writers:       []int{1, 2, 4},
+	}
+}
+
+// TxnBenchRun is one writer-count configuration.
+type TxnBenchRun struct {
+	Writers       int     `json:"writers"`
+	Commits       int64   `json:"commits"`
+	RowsCommitted int64   `json:"rows_committed"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	// WALSyncs counts fsyncs during the run; SyncsPerCommit < 1 means
+	// commits shared fsyncs (group commit at work).
+	WALSyncs       int64   `json:"wal_syncs"`
+	SyncsPerCommit float64 `json:"syncs_per_commit"`
+	// Concurrent-scan evidence: the reader session ran SELECT COUNT(*)
+	// against the write-hot table for the whole run. Scans completing at
+	// all proves reads don't queue behind writers; every observed count
+	// being a whole number of batches proves snapshot isolation (no torn
+	// reads of half-committed transactions).
+	Scans      int64   `json:"concurrent_scans"`
+	MeanScanMS float64 `json:"mean_scan_ms"`
+}
+
+// TxnBenchResult is the full experiment.
+type TxnBenchResult struct {
+	GOMAXPROCS    int   `json:"gomaxprocs"`
+	TxnsPerWriter int   `json:"txns_per_writer"`
+	BatchRows     int   `json:"batch_rows"`
+	Writers       []int `json:"writers"`
+	// SpeedupBest is the best multi-writer commit throughput over the
+	// single-writer baseline; > 1 means concurrent commits overlapped.
+	SpeedupBest float64       `json:"speedup_best_vs_1_writer"`
+	Runs        []TxnBenchRun `json:"runs"`
+}
+
+// TxnExperiment measures MVCC commit-pipeline scaling: for each writer
+// count, W sessions run explicit BEGIN/INSERT/COMMIT loops against one
+// table while a reader session continuously counts it. Reported per
+// configuration: commit throughput, fsyncs per commit, and concurrent
+// scan count/latency.
+func TxnExperiment(workDir string, cfg TxnBenchConfig) (*TxnBenchResult, error) {
+	db, err := core.Open(workDir, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	res := &TxnBenchResult{
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		TxnsPerWriter: cfg.TxnsPerWriter,
+		BatchRows:     cfg.BatchRows,
+		Writers:       cfg.Writers,
+	}
+	for _, w := range cfg.Writers {
+		run, err := runTxnBench(db, cfg, w)
+		if err != nil {
+			return nil, err
+		}
+		res.Runs = append(res.Runs, *run)
+		// Compact the table and truncate the WAL between configurations so
+		// each one starts from the same storage state.
+		if _, err := db.Exec("CHECKPOINT"); err != nil {
+			return nil, err
+		}
+	}
+	var base float64
+	for _, r := range res.Runs {
+		if r.Writers == 1 {
+			base = r.CommitsPerSec
+		} else if base > 0 {
+			if s := r.CommitsPerSec / base; s > res.SpeedupBest {
+				res.SpeedupBest = s
+			}
+		}
+	}
+	if res.SpeedupBest <= 1.0 {
+		return nil, fmt.Errorf("bench: no multi-writer config beat 1 writer (best %.2fx) — commit pipeline not overlapping", res.SpeedupBest)
+	}
+	return res, nil
+}
+
+// runTxnBench runs one writer-count configuration against its own table.
+func runTxnBench(db *core.Database, cfg TxnBenchConfig, writers int) (*TxnBenchRun, error) {
+	table := fmt.Sprintf("txns_w%d", writers)
+	if _, err := db.Exec(fmt.Sprintf(
+		"CREATE TABLE %s (id BIGINT, writer BIGINT, payload VARCHAR(24))", table)); err != nil {
+		return nil, err
+	}
+
+	syncs0 := db.WALSyncs()
+	writerErrs := make([]error, writers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := db.NewSession()
+			batch := make([]sqltypes.Row, cfg.BatchRows)
+			for i := 0; i < cfg.TxnsPerWriter; i++ {
+				if err := sess.Begin(); err != nil {
+					writerErrs[w] = err
+					return
+				}
+				for j := range batch {
+					id := int64(w*cfg.TxnsPerWriter*cfg.BatchRows + i*cfg.BatchRows + j)
+					batch[j] = sqltypes.Row{
+						sqltypes.NewInt(id),
+						sqltypes.NewInt(int64(w)),
+						sqltypes.NewString(fmt.Sprintf("p-%012d", id)),
+					}
+				}
+				if err := sess.InsertRows(table, batch); err != nil {
+					writerErrs[w] = err
+					_ = sess.Rollback()
+					return
+				}
+				if err := sess.Commit(); err != nil {
+					writerErrs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+
+	// The reader hammers the write-hot table until the writers finish;
+	// under MVCC it must never block behind them nor see a torn batch.
+	stopRead := make(chan struct{})
+	readerDone := make(chan struct{})
+	var scans int64
+	var scanTotal time.Duration
+	var readErr error
+	go func() {
+		defer close(readerDone)
+		sess := db.NewSession()
+		sql := "SELECT COUNT(*) FROM " + table
+		for {
+			select {
+			case <-stopRead:
+				return
+			default:
+			}
+			t0 := time.Now()
+			r, err := sess.Query(sql)
+			if err != nil {
+				readErr = err
+				return
+			}
+			scanTotal += time.Since(t0)
+			scans++
+			if n := r.Rows[0][0].I; n%int64(cfg.BatchRows) != 0 {
+				readErr = fmt.Errorf("bench: torn read: saw %d rows, not a multiple of batch %d", n, cfg.BatchRows)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stopRead)
+	<-readerDone
+	for _, err := range writerErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if readErr != nil {
+		return nil, readErr
+	}
+	if scans == 0 {
+		return nil, fmt.Errorf("bench: reader completed no scans while %d writers ran", writers)
+	}
+
+	commits := int64(writers) * int64(cfg.TxnsPerWriter)
+	wantRows := commits * int64(cfg.BatchRows)
+	final, err := db.Query("SELECT COUNT(*) FROM " + table)
+	if err != nil {
+		return nil, err
+	}
+	if got := final.Rows[0][0].I; got != wantRows {
+		return nil, fmt.Errorf("bench: %s has %d rows after commit, want %d", table, got, wantRows)
+	}
+
+	run := &TxnBenchRun{
+		Writers:       writers,
+		Commits:       commits,
+		RowsCommitted: wantRows,
+		ElapsedMS:     float64(elapsed.Microseconds()) / 1e3,
+		CommitsPerSec: float64(commits) / elapsed.Seconds(),
+		WALSyncs:      db.WALSyncs() - syncs0,
+		Scans:         scans,
+		MeanScanMS:    float64(scanTotal.Microseconds()) / 1e3 / float64(scans),
+	}
+	run.SyncsPerCommit = float64(run.WALSyncs) / float64(commits)
+	return run, nil
+}
+
+// WriteJSON writes the result as indented JSON.
+func (r *TxnBenchResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -22,16 +22,15 @@ import (
 // they survive a crash before the next file write.
 //
 // Statistics are advisory, so the long collection scans run under the
-// SHARED lock (concurrent SELECTs keep flowing; writers are excluded, so
-// each scan sees a stable snapshot consistent with its captured
-// modCount). Only the short WAL-log + persist phase takes the exclusive
-// lock the commit protocol requires.
-func (db *Database) runAnalyze(a *sqlparse.Analyze) (*Result, error) {
-	db.mu.RLock()
-	if db.txn != nil {
-		db.mu.RUnlock()
+// SHARED structure lock and an MVCC read snapshot: concurrent SELECTs
+// and writers both keep flowing, and every partition of the scan sees
+// the same committed version of each table. Only the short WAL-log +
+// persist phase takes the exclusive lock.
+func (db *Database) runAnalyze(s *Session, a *sqlparse.Analyze) (*Result, error) {
+	if s.txn != nil {
 		return nil, fmt.Errorf("core: ANALYZE inside a transaction is not supported")
 	}
+	db.mu.RLock()
 	var defs []*catalog.Table
 	if a.Table != "" {
 		def := db.cat.Get(a.Table)
@@ -47,23 +46,23 @@ func (db *Database) runAnalyze(a *sqlparse.Analyze) (*Result, error) {
 			defs = append(defs, db.cat.Get(n))
 		}
 	}
+	snap := db.tm.readSnapshot()
 	collected := make([]*stats.TableStats, 0, len(defs))
 	for _, def := range defs {
-		ts, err := db.analyzeTable(def)
+		ts, err := db.analyzeTable(def, snap)
 		if err != nil {
+			db.tm.releaseSnapshot(snap)
 			db.mu.RUnlock()
 			return nil, err
 		}
 		collected = append(collected, ts)
 	}
+	db.tm.releaseSnapshot(snap)
 	db.mu.RUnlock()
 
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if db.txn != nil {
-		return nil, fmt.Errorf("core: ANALYZE inside a transaction is not supported")
-	}
-	t := db.currentTxnLocked()
+	t := db.newTxn(true)
 	res := &Result{Cols: []string{"table", "rows", "sampled", "columns"}}
 	execErr := func() error {
 		for _, ts := range collected {
@@ -80,6 +79,7 @@ func (db *Database) runAnalyze(a *sqlparse.Analyze) (*Result, error) {
 			}); err != nil {
 				return err
 			}
+			t.logged = true // the image needs a commit record to replay
 			if err := db.tstats.Put(ts); err != nil {
 				return err
 			}
@@ -93,15 +93,15 @@ func (db *Database) runAnalyze(a *sqlparse.Analyze) (*Result, error) {
 		}
 		return nil
 	}()
-	if err := db.finishAutoLocked(t, execErr); err != nil {
+	if err := db.finishAuto(t, execErr); err != nil {
 		return nil, err
 	}
 	return res, nil
 }
 
-// analyzeTable scans one table with up to DOP partition collectors and
-// merges them into the table's statistics.
-func (db *Database) analyzeTable(def *catalog.Table) (*stats.TableStats, error) {
+// analyzeTable scans one table under snap with up to DOP partition
+// collectors and merges them into the table's statistics.
+func (db *Database) analyzeTable(def *catalog.Table, snap *Snapshot) (*stats.TableStats, error) {
 	td := db.tables[def.ID]
 	if td == nil {
 		return nil, fmt.Errorf("core: no storage for table %s", def.Name)
@@ -130,7 +130,7 @@ func (db *Database) analyzeTable(def *catalog.Table) (*stats.TableStats, error) 
 			// wobble between runs over unchanged data.
 			c := stats.NewCollector(names, stats.DefaultSampleSize, int64(i+1)*104729)
 			collectors[i] = c
-			if err := op.Open(&exec.Context{DOP: 1, Stats: &db.execStats}); err != nil {
+			if err := op.Open(&exec.Context{DOP: 1, Stats: &db.execStats, Snapshot: snap}); err != nil {
 				errs[i] = err
 				return
 			}

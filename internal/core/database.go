@@ -81,15 +81,31 @@ type Database struct {
 	wal   *wal.WAL
 	blobs *blob.Store
 
-	mu     sync.RWMutex // writers exclusive; queries shared
+	// mu is the STRUCTURE lock: DDL, checkpoint and Close take it
+	// exclusively; every other statement — SELECT, INSERT, ANALYZE —
+	// holds it shared. Row-level write synchronization lives in the
+	// per-table write latches; read visibility comes from MVCC
+	// snapshots, so readers never wait for writers.
+	mu     sync.RWMutex
 	tables map[uint32]*tableData
 
 	scalars *expr.Registry
 	aggs    map[string]exec.AggFactory
 	tvfs    map[string]plan.TVF
 
-	txn        *Txn // open explicit transaction, nil otherwise
-	txnSeq     uint64
+	tm          *txnManager
+	defaultSess *Session // serves the Database-level statement API
+
+	// fatalErr poisons the database after a failed mid-transaction undo
+	// or an ambiguous commit: storage no longer matches any consistent
+	// image, so every statement is refused until the directory is
+	// reopened and WAL recovery rebuilds a clean state.
+	fatalMu  sync.Mutex
+	fatalErr error
+
+	vacuumStop chan struct{}
+	vacuumDone chan struct{}
+
 	dop        int
 	threshold  int64 // planner ParallelThreshold override, 0 = default
 	joinBudget int64 // join memory budget (0 = unlimited)
@@ -109,7 +125,16 @@ type tableData struct {
 	heap     *storage.Heap // heap-organized tables
 	tree     *btree.BTree  // clustered tables
 	walCodec storage.RowCodec
-	// insertSeq numbers inserts for WAL row indexes.
+	// writeMu is the table's write latch: writers hold it exclusively per
+	// row insert (and rollback key deletes); clustered-table scans hold
+	// it shared for their duration because the btree iterator walks pages
+	// unlatched. Heap scans never take it — MVCC snapshots make heap
+	// reads safe against concurrent appends.
+	writeMu sync.RWMutex
+	// versions is the table's MVCC state: which rows belong to which
+	// transaction, and at which commit sequence they became visible.
+	versions *tableVersions
+	// insertSeq numbers inserts for WAL row indexes; guarded by writeMu.
 	insertSeq int64
 	// modCount counts modifications since open (seeded from the durable
 	// row count, so it is comparable across restarts); ANALYZE records it
@@ -182,7 +207,9 @@ func Open(dir string, opts Options) (*Database, error) {
 		aggBudget:  opts.AggMemoryBudget,
 		noBloom:    opts.DisableJoinBloom,
 		tstats:     tstats,
+		tm:         newTxnManager(),
 	}
+	db.defaultSess = db.NewSession()
 	db.spill = storage.NewSpillManager(filepath.Join(dir, "tmp"), db.pool)
 	db.planner = db.newPlanner(db.dop)
 	db.registerEngineFunctions()
@@ -196,7 +223,41 @@ func Open(dir string, opts Options) (*Database, error) {
 		db.Close()
 		return nil, err
 	}
+	db.vacuumStop = make(chan struct{})
+	db.vacuumDone = make(chan struct{})
+	go func() {
+		defer close(db.vacuumDone)
+		db.vacuumLoop(db.vacuumStop)
+	}()
 	return db, nil
+}
+
+// poison records the first fatal error; every later statement fails with
+// it until the database is reopened (which runs WAL recovery).
+func (db *Database) poison(err error) {
+	db.fatalMu.Lock()
+	if db.fatalErr == nil {
+		db.fatalErr = err
+	}
+	db.fatalMu.Unlock()
+}
+
+// healthErr returns the statement-blocking error of a poisoned database.
+func (db *Database) healthErr() error {
+	db.fatalMu.Lock()
+	defer db.fatalMu.Unlock()
+	if db.fatalErr != nil {
+		return fmt.Errorf("core: database is in a failed state and must be reopened for recovery: %w", db.fatalErr)
+	}
+	return nil
+}
+
+// Health returns the error that poisoned the database, or nil while it is
+// healthy.
+func (db *Database) Health() error {
+	db.fatalMu.Lock()
+	defer db.fatalMu.Unlock()
+	return db.fatalErr
 }
 
 // Dir returns the database directory.
@@ -215,6 +276,11 @@ func (db *Database) DOP() int { return db.dop }
 // concurrent queries (the counters are atomics). The benchmarks report
 // per-query hit rates from deltas of this.
 func (db *Database) PoolStats() storage.PoolStats { return db.pool.Stats() }
+
+// WALSyncs returns the number of WAL fsyncs completed so far. With the
+// group-commit pipeline concurrently committing sessions share fsyncs, so
+// under multi-writer load this grows slower than the commit count.
+func (db *Database) WALSyncs() int64 { return db.wal.Syncs() }
 
 // newPlanner builds a planner honoring the database's threshold and join
 // overrides.
@@ -313,6 +379,7 @@ func (db *Database) openTableStorage(def *catalog.Table) error {
 		td.insertSeq = h.RowCount()
 	}
 	td.modCount.Store(td.insertSeq)
+	td.versions = newTableVersions(td.insertSeq)
 	db.tables[def.ID] = td
 	return nil
 }
@@ -330,7 +397,8 @@ func (db *Database) table(name string) (*tableData, error) {
 	return td, nil
 }
 
-// rowCount returns the current row count of a table.
+// rowCount returns the current physical row count of a table (including
+// not-yet-visible and dead rows).
 func (td *tableData) rowCount() int64 {
 	if td.heap != nil {
 		return td.heap.RowCount()
@@ -338,10 +406,27 @@ func (td *tableData) rowCount() int64 {
 	return td.tree.Count()
 }
 
+// visibleRowCount returns the table's cardinality under a snapshot.
+func (td *tableData) visibleRowCount(snap *Snapshot) int64 {
+	if td.heap != nil {
+		var n int64
+		for _, r := range td.versions.visibleRanges(snap) {
+			n += r.end - r.start
+		}
+		return n
+	}
+	return td.tree.Count() - td.versions.invisibleKeys(snap)
+}
+
 // Close releases all resources. It does NOT checkpoint; callers wanting a
 // clean shutdown should call Checkpoint first (recovery replays the WAL
 // otherwise).
 func (db *Database) Close() error {
+	if db.vacuumStop != nil {
+		close(db.vacuumStop)
+		<-db.vacuumDone
+		db.vacuumStop = nil
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	var firstErr error
@@ -372,8 +457,23 @@ func (db *Database) Checkpoint() error {
 }
 
 func (db *Database) checkpointLocked() error {
-	if db.txn != nil {
+	if err := db.healthErr(); err != nil {
+		return err
+	}
+	if db.tm.explicitOpen() {
 		return fmt.Errorf("core: CHECKPOINT is not allowed inside a transaction")
+	}
+	// Quiescent point: db.mu is held exclusively and no explicit
+	// transaction is open, so every version span is resolved. Compact
+	// rolled-back rows out of the heaps before making them durable — the
+	// durable image then never contains dead rows, which is what lets
+	// recovery replay committed transactions by plain re-append.
+	for _, td := range db.tables {
+		if td.heap != nil && td.versions.deadCount() > 0 {
+			if err := db.compactHeapLocked(td); err != nil {
+				return err
+			}
+		}
 	}
 	// WAL first: every logged effect must be durable before data files
 	// advance past it.
@@ -391,26 +491,86 @@ func (db *Database) checkpointLocked() error {
 			return err
 		}
 	}
-	return db.wal.Truncate()
+	if err := db.wal.Truncate(); err != nil {
+		return err
+	}
+	// All surviving rows are committed and durable; version metadata and
+	// insert sequences restart from the compacted counts.
+	for _, td := range db.tables {
+		td.versions.resetAtCheckpoint(td.rowCount())
+		if td.heap != nil {
+			td.insertSeq = td.heap.RowCount()
+		}
+	}
+	return nil
 }
 
-// recover replays the WAL: committed effects are redone (idempotently),
-// effects of uncommitted or aborted transactions are undone where storage
-// could already contain them (clustered upserts, blobs).
+// compactHeapLocked rewrites a heap's suffix so rows of rolled-back
+// transactions disappear physically. Called only from checkpointLocked
+// (quiescent, db.mu exclusive). The first dead row is always at or above
+// the durable row count — dead rows can never be durable, because the
+// previous checkpoint also compacted before flushing — so the truncate
+// never cuts into checkpointed pages.
+func (db *Database) compactHeapLocked(td *tableData) error {
+	first := td.versions.firstDead()
+	if first < 0 {
+		return nil
+	}
+	live := td.versions.visibleRanges(nil) // all spans resolved: nil = committed
+	var keep []sqltypes.Row
+	it := td.heap.NewVersionIterator(0, 0, true)
+	ri := 0
+	for {
+		row, idx, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if idx < first {
+			continue
+		}
+		for ri < len(live) && idx >= live[ri].end {
+			ri++
+		}
+		if ri < len(live) && idx >= live[ri].start {
+			keep = append(keep, row)
+		}
+	}
+	if err := td.heap.Truncate(first); err != nil {
+		return err
+	}
+	for _, r := range keep {
+		if err := td.heap.Append(r); err != nil {
+			return err
+		}
+	}
+	td.insertSeq = td.heap.RowCount()
+	return nil
+}
+
+// recover replays the WAL: only committed transactions are redone
+// (idempotently); effects of uncommitted or aborted transactions are
+// undone where storage could already contain them (clustered upserts,
+// blobs) and simply skipped for heaps, whose rows never reach disk
+// before a quiescent checkpoint.
 func (db *Database) recover() error {
 	committed := map[uint64]bool{}
-	aborted := map[uint64]bool{}
 	if err := db.wal.Replay(func(rec wal.Record) error {
-		switch rec.Type {
-		case wal.RecCommit:
+		if rec.Type == wal.RecCommit {
 			committed[rec.Txn] = true
-		case wal.RecAbort:
-			aborted[rec.Txn] = true
 		}
 		return nil
 	}); err != nil {
 		return err
 	}
+	// Logged row indexes count every insert since the last checkpoint,
+	// including ones whose transaction never committed. Those rows are
+	// not replayed, so each committed row's physical position is its
+	// logged index minus the non-committed inserts logged before it —
+	// exactly the compaction a crash-free checkpoint would have applied.
+	skipped := map[uint32]int64{}
 	statsReplayed := false
 	err := db.wal.Replay(func(rec wal.Record) error {
 		switch rec.Type {
@@ -420,8 +580,9 @@ func (db *Database) recover() error {
 				return nil // table was dropped
 			}
 			if committed[rec.Txn] {
-				return db.redoInsert(td, rec)
+				return db.redoInsert(td, rec, skipped[rec.Table])
 			}
+			skipped[rec.Table]++
 			return db.undoInsert(td, rec)
 		case wal.RecBlobCreate:
 			if !committed[rec.Txn] {
@@ -452,26 +613,29 @@ func (db *Database) recover() error {
 			return err
 		}
 	}
-	// Replay may have re-applied inserts; re-seed the modification
-	// counters so they stay comparable with the ModCount values ANALYZE
-	// recorded (for insert-only tables both track the row count).
+	// Replay may have re-applied inserts; re-seed the insert sequences,
+	// modification counters and version floors from the recovered counts
+	// (every surviving row is committed, so the whole table is visible).
 	for _, td := range db.tables {
-		td.modCount.Store(td.rowCount())
+		td.insertSeq = td.rowCount()
+		td.modCount.Store(td.insertSeq)
+		td.versions.resetAtCheckpoint(td.insertSeq)
 	}
 	// Converge: make everything durable and empty the log.
 	return db.checkpointLocked()
 }
 
-func (db *Database) redoInsert(td *tableData, rec wal.Record) error {
+// redoInsert re-applies one committed insert. skipped is the number of
+// earlier non-committed inserts logged for the same table; subtracting it
+// turns the logged row index into the row's physical position.
+func (db *Database) redoInsert(td *tableData, rec wal.Record, skipped int64) error {
 	row, _, err := td.walCodec.Decode(rec.Data, true)
 	if err != nil {
 		return fmt.Errorf("core: recovery decode for %s: %w", td.def.Name, err)
 	}
-	if rec.RowIndex+1 > td.insertSeq {
-		td.insertSeq = rec.RowIndex + 1
-	}
 	if td.heap != nil {
-		if rec.RowIndex < td.heap.RowCount() {
+		pos := rec.RowIndex - skipped
+		if pos < td.heap.RowCount() {
 			return nil // already durable
 		}
 		return td.heap.Append(row)

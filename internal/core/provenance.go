@@ -67,16 +67,31 @@ func (db *Database) ensureProvenanceTable() error {
 	return db.openTableStorage(def)
 }
 
-// RecordProvenance appends a provenance record within the current
-// transaction (or its own autocommit one). The record's ID is returned.
-// Creating the system table on first use is DDL and is not undone by a
-// later rollback; the record itself is transactional.
+// RecordProvenance appends a provenance record within the default
+// session's current transaction (or its own autocommit one). The
+// record's ID is returned. Creating the system table on first use is DDL
+// and is not undone by a later rollback; the record itself is
+// transactional.
 func (db *Database) RecordProvenance(rec ProvenanceRecord) (int64, error) {
+	return db.defaultSess.RecordProvenance(rec)
+}
+
+// RecordProvenance appends a provenance record within this session's
+// transaction scope.
+func (s *Session) RecordProvenance(rec ProvenanceRecord) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db := s.db
+	if err := db.healthErr(); err != nil {
+		return 0, err
+	}
+	// Exclusive: first use may create the system table (DDL), and the
+	// exclusive lock keeps record-ID assignment race-free.
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	t := db.currentTxnLocked()
+	t := s.currentTxn()
 	id, execErr := db.recordProvenanceInTxn(t, rec)
-	if err := db.finishAutoLocked(t, execErr); err != nil {
+	if err := db.finishAuto(t, execErr); err != nil {
 		return 0, err
 	}
 	return id, nil

@@ -51,13 +51,18 @@ func lower(s string) string {
 	return string(b)
 }
 
-// RowCountEstimate returns the current table cardinality.
+// RowCountEstimate returns the current table cardinality (an estimate:
+// physical rows minus known-dead ones; in-flight inserts count).
 func (db *Database) RowCountEstimate(t *catalog.Table) int64 {
 	td := db.tables[t.ID]
 	if td == nil {
 		return 0
 	}
-	return td.rowCount()
+	n := td.rowCount() - td.versions.deadCount()
+	if n < 0 {
+		n = 0
+	}
+	return n
 }
 
 // statsStaleDivisor: stats are stale once the table's modification
@@ -174,9 +179,42 @@ func (db *Database) wrapIterator(def *catalog.Table, it exec.RowIterator) exec.R
 	return it
 }
 
+// visibleHeapIterator filters an indexed heap scan down to the rows a
+// snapshot may see. The visible set is rendered once at open as sorted
+// disjoint index ranges; row indexes arrive in increasing order, so the
+// filter is a monotonic pointer walk with early exit past the last range.
+type visibleHeapIterator struct {
+	it     *storage.HeapVersionIterator
+	ranges []rowRange
+	ri     int
+}
+
+func (v *visibleHeapIterator) Next() (sqltypes.Row, bool, error) {
+	for {
+		row, idx, ok, err := v.it.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		for v.ri < len(v.ranges) && idx >= v.ranges[v.ri].end {
+			v.ri++
+		}
+		if v.ri >= len(v.ranges) {
+			return nil, false, nil // nothing visible beyond this index
+		}
+		if idx >= v.ranges[v.ri].start {
+			return row, true, nil
+		}
+	}
+}
+
+func (v *visibleHeapIterator) Close() error { return v.it.Close() }
+
 // ScanPartitions returns `parts` operators that together scan the table
 // once: heap tables partition by sealed-page ranges (the tail rides with
-// the last partition); clustered tables partition by key range.
+// the last partition); clustered tables partition by key range. Each
+// partition filters rows against the snapshot in the exec context its
+// factory runs under — scans read a consistent version of the table
+// while writers keep appending.
 func (db *Database) ScanPartitions(t *catalog.Table, parts int) ([]exec.Operator, error) {
 	td := db.tables[t.ID]
 	if td == nil {
@@ -198,12 +236,19 @@ func (db *Database) ScanPartitions(t *catalog.Table, parts int) ([]exec.Operator
 			lo := sealed * int64(i) / int64(parts)
 			hi := sealed * int64(i+1) / int64(parts)
 			includeTail := i == parts-1
-			heap := td.heap
+			tdc := td
 			def := td.def
 			ops = append(ops, &exec.Source{
 				Label: fmt.Sprintf("%s pages [%d,%d)", t.Name, lo, hi),
-				Factory: func(*exec.Context) (exec.RowIterator, error) {
-					return db.wrapIterator(def, heap.NewIterator(lo, hi, includeTail)), nil
+				Factory: func(ctx *exec.Context) (exec.RowIterator, error) {
+					snap, _ := ctx.Snapshot.(*Snapshot)
+					// The tail partition re-captures the sealed-page count
+					// at open ("extend"): pages sealed since planning stay
+					// covered, and the visibility filter hides whatever
+					// the snapshot should not see.
+					it := tdc.heap.NewVersionIterator(lo, hi, includeTail)
+					vis := &visibleHeapIterator{it: it, ranges: tdc.versions.visibleRanges(snap)}
+					return db.wrapIterator(def, vis), nil
 				},
 			})
 		}
@@ -226,26 +271,40 @@ func (db *Database) ScanPartitions(t *catalog.Table, parts int) ([]exec.Operator
 	return ops, nil
 }
 
-// treeIterator adapts a btree range scan to rows.
+// treeIterator adapts a btree range scan to rows, hiding keys the scan's
+// snapshot cannot see. The btree iterator walks leaf pages unlatched, so
+// the scan holds the table's write latch shared for its duration —
+// writers to this clustered table wait for the scan, but scans never
+// wait behind an open transaction (only behind individual row inserts).
 type treeIterator struct {
-	it  *btree.Iterator
-	td  *tableData
-	row sqltypes.Row
+	it     *btree.Iterator
+	td     *tableData
+	snap   *Snapshot
+	locked bool
 }
 
 func (ti *treeIterator) Next() (sqltypes.Row, bool, error) {
-	if !ti.it.Next() {
-		return nil, false, ti.it.Err()
+	for {
+		if !ti.it.Next() {
+			return nil, false, ti.it.Err()
+		}
+		if !ti.td.versions.keyVisible(ti.it.Key(), ti.snap) {
+			continue
+		}
+		row, _, err := ti.td.walCodec.Decode(ti.it.Value(), true)
+		if err != nil {
+			return nil, false, err
+		}
+		return row, true, nil
 	}
-	row, _, err := ti.td.walCodec.Decode(ti.it.Value(), true)
-	if err != nil {
-		return nil, false, err
-	}
-	return row, true, nil
 }
 
 func (ti *treeIterator) Close() error {
 	ti.it.Close()
+	if ti.locked {
+		ti.td.writeMu.RUnlock()
+		ti.locked = false
+	}
 	return nil
 }
 
@@ -273,12 +332,18 @@ func (db *Database) OrderedScanRange(t *catalog.Table, lo, hi *sqltypes.Value) (
 	def := td.def
 	return &exec.Source{
 		Label: fmt.Sprintf("%s ordered", t.Name),
-		Factory: func(*exec.Context) (exec.RowIterator, error) {
+		Factory: func(ctx *exec.Context) (exec.RowIterator, error) {
+			var snap *Snapshot
+			if ctx != nil {
+				snap, _ = ctx.Snapshot.(*Snapshot)
+			}
+			td.writeMu.RLock()
 			it, err := td.tree.Seek(startKey, endKey)
 			if err != nil {
+				td.writeMu.RUnlock()
 				return nil, err
 			}
-			return db.wrapIterator(def, &treeIterator{it: it, td: td}), nil
+			return db.wrapIterator(def, &treeIterator{it: it, td: td, snap: snap, locked: true}), nil
 		},
 	}, nil
 }

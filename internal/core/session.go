@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/catalog"
 	"repro/internal/exec"
@@ -19,25 +20,74 @@ type Result struct {
 	Plan         string // EXPLAIN output
 }
 
+// Session is one connection to the database: it owns at most one open
+// transaction and runs its statements one at a time. Sessions are
+// independent — each reads under its own MVCC snapshot, so a SELECT or
+// ANALYZE in one session never blocks behind an open transaction in
+// another. A Session is safe for concurrent use; statements serialize on
+// the session, not on the engine.
+type Session struct {
+	db  *Database
+	mu  sync.Mutex
+	txn *Txn // open explicit transaction, nil otherwise
+}
+
+// NewSession opens an independent session. Sessions need no Close: an
+// abandoned one at most pins the vacuum horizon until its transaction
+// handle is garbage collected, and a clean shutdown only requires not
+// leaving transactions open.
+func (db *Database) NewSession() *Session {
+	return &Session{db: db}
+}
+
+// Exec parses and executes one SQL statement on the database's default
+// session. Independent callers wanting transaction isolation from each
+// other should use NewSession.
+func (db *Database) Exec(sql string) (*Result, error) { return db.defaultSess.Exec(sql) }
+
+// ExecScript executes a semicolon-separated script on the default
+// session, returning the last statement's result.
+func (db *Database) ExecScript(sql string) (*Result, error) { return db.defaultSess.ExecScript(sql) }
+
+// ExecStmt executes a parsed statement on the default session.
+func (db *Database) ExecStmt(stmt sqlparse.Statement) (*Result, error) {
+	return db.defaultSess.ExecStmt(stmt)
+}
+
+// Query is a convenience for SELECT statements.
+func (db *Database) Query(sql string) (*Result, error) { return db.Exec(sql) }
+
+// Begin opens an explicit transaction on the default session.
+func (db *Database) Begin() error { return db.defaultSess.Begin() }
+
+// Commit commits the default session's open transaction.
+func (db *Database) Commit() error { return db.defaultSess.Commit() }
+
+// Rollback aborts the default session's open transaction.
+func (db *Database) Rollback() error { return db.defaultSess.Rollback() }
+
 // Exec parses and executes one SQL statement.
-func (db *Database) Exec(sql string) (*Result, error) {
+func (s *Session) Exec(sql string) (*Result, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.ExecStmt(stmt)
+	return s.ExecStmt(stmt)
 }
+
+// Query is a convenience for SELECT statements.
+func (s *Session) Query(sql string) (*Result, error) { return s.Exec(sql) }
 
 // ExecScript executes a semicolon-separated script, returning the last
 // statement's result.
-func (db *Database) ExecScript(sql string) (*Result, error) {
+func (s *Session) ExecScript(sql string) (*Result, error) {
 	stmts, err := sqlparse.ParseAll(sql)
 	if err != nil {
 		return nil, err
 	}
 	var res *Result
-	for _, s := range stmts {
-		res, err = db.ExecStmt(s)
+	for _, st := range stmts {
+		res, err = s.ExecStmt(st)
 		if err != nil {
 			return nil, err
 		}
@@ -46,57 +96,155 @@ func (db *Database) ExecScript(sql string) (*Result, error) {
 }
 
 // ExecStmt executes a parsed statement.
-func (db *Database) ExecStmt(stmt sqlparse.Statement) (*Result, error) {
+func (s *Session) ExecStmt(stmt sqlparse.Statement) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db := s.db
+	if err := db.healthErr(); err != nil {
+		return nil, err
+	}
 	switch t := stmt.(type) {
 	case *sqlparse.Select:
 		db.mu.RLock()
 		defer db.mu.RUnlock()
-		return db.runSelectLocked(t)
+		snap, release := s.statementSnapshot()
+		defer release()
+		return db.runSelect(t, snap)
 	case *sqlparse.Explain:
 		db.mu.RLock()
 		defer db.mu.RUnlock()
-		return db.explainLocked(t.Stmt)
+		return db.explain(t.Stmt)
 	case *sqlparse.Insert:
-		db.mu.Lock()
-		defer db.mu.Unlock()
-		return db.runInsertLocked(t)
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return s.runInsert(t)
 	case *sqlparse.CreateTable:
 		db.mu.Lock()
 		defer db.mu.Unlock()
-		return db.runCreateTableLocked(t)
+		if err := s.refuseDDLInTxn(); err != nil {
+			return nil, err
+		}
+		return db.runCreateTable(t)
 	case *sqlparse.DropTable:
 		db.mu.Lock()
 		defer db.mu.Unlock()
-		return db.runDropTableLocked(t)
+		if err := s.refuseDDLInTxn(); err != nil {
+			return nil, err
+		}
+		return db.runDropTable(t)
 	case *sqlparse.BeginTxn:
-		return &Result{}, db.Begin()
+		return &Result{}, s.beginLocked()
 	case *sqlparse.CommitTxn:
-		return &Result{}, db.Commit()
+		return &Result{}, s.commitLocked()
 	case *sqlparse.RollbackTxn:
-		return &Result{}, db.Rollback()
+		return &Result{}, s.rollbackLocked()
 	case *sqlparse.Checkpoint:
 		return &Result{}, db.Checkpoint()
 	case *sqlparse.Analyze:
 		// Takes its own locks: collection under RLock, persist under Lock.
-		return db.runAnalyze(t)
+		return db.runAnalyze(s, t)
 	}
 	return nil, fmt.Errorf("core: unsupported statement %T", stmt)
 }
 
-// Query is a convenience for SELECT statements.
-func (db *Database) Query(sql string) (*Result, error) {
-	return db.Exec(sql)
+// refuseDDLInTxn rejects DDL while any transaction is open: catalog and
+// storage changes are not versioned, so they cannot coexist with
+// snapshots that must not see them.
+func (s *Session) refuseDDLInTxn() error {
+	if s.txn != nil || s.db.tm.explicitOpen() {
+		return fmt.Errorf("core: DDL inside a transaction is not supported")
+	}
+	return nil
 }
 
-// execContext builds the per-query execution context: the configured DOP
-// plus the engine-wide operator counters.
-func (db *Database) execContext() *exec.Context {
-	return &exec.Context{DOP: db.dop, Stats: &db.execStats}
+// Begin opens an explicit transaction with a snapshot fixed at BEGIN.
+func (s *Session) Begin() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.beginLocked()
 }
 
-// runSelectLocked plans and executes a SELECT (callers hold db.mu in some
+func (s *Session) beginLocked() error {
+	if err := s.db.healthErr(); err != nil {
+		return err
+	}
+	if s.txn != nil {
+		return fmt.Errorf("core: a transaction is already open")
+	}
+	// Under the structure lock so the snapshot cannot straddle a
+	// checkpoint's version-metadata reset.
+	s.db.mu.RLock()
+	s.txn = s.db.newTxn(false)
+	s.db.mu.RUnlock()
+	return nil
+}
+
+// Commit commits the session's open transaction.
+func (s *Session) Commit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.commitLocked()
+}
+
+func (s *Session) commitLocked() error {
+	if s.txn == nil {
+		return fmt.Errorf("core: no open transaction")
+	}
+	t := s.txn
+	s.txn = nil
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	return s.db.commitTxn(t)
+}
+
+// Rollback aborts the session's open transaction, undoing its effects.
+func (s *Session) Rollback() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rollbackLocked()
+}
+
+func (s *Session) rollbackLocked() error {
+	if s.txn == nil {
+		return fmt.Errorf("core: no open transaction")
+	}
+	t := s.txn
+	s.txn = nil
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	return s.db.rollbackTxn(t)
+}
+
+// currentTxn returns the open transaction or a fresh autocommit one.
+// Callers hold db.mu (any mode).
+func (s *Session) currentTxn() *Txn {
+	if s.txn != nil {
+		return s.txn
+	}
+	return s.db.newTxn(true)
+}
+
+// statementSnapshot returns the snapshot a read statement runs under: the
+// transaction's own (repeatable reads + read-your-writes) inside an
+// explicit transaction, otherwise a fresh statement-scoped one. Callers
+// hold db.mu (any mode).
+func (s *Session) statementSnapshot() (*Snapshot, func()) {
+	if s.txn != nil {
+		return s.txn.snap, func() {}
+	}
+	snap := s.db.tm.readSnapshot()
+	return snap, func() { s.db.tm.releaseSnapshot(snap) }
+}
+
+// execContext builds the per-query execution context: the configured DOP,
+// the engine-wide operator counters, and the statement's snapshot.
+func (db *Database) execContext(snap *Snapshot) *exec.Context {
+	return &exec.Context{DOP: db.dop, Stats: &db.execStats, Snapshot: snap}
+}
+
+// runSelect plans and executes a SELECT (callers hold db.mu in some
 // mode).
-func (db *Database) runSelectLocked(sel *sqlparse.Select) (*Result, error) {
+func (db *Database) runSelect(sel *sqlparse.Select, snap *Snapshot) (*Result, error) {
 	node, err := db.planner.PlanSelect(sel)
 	if err != nil {
 		return nil, err
@@ -105,7 +253,7 @@ func (db *Database) runSelectLocked(sel *sqlparse.Select) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := exec.Run(db.execContext(), op)
+	rows, err := exec.Run(db.execContext(snap), op)
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +264,7 @@ func (db *Database) runSelectLocked(sel *sqlparse.Select) (*Result, error) {
 	return &Result{Cols: cols, Rows: rows}, nil
 }
 
-func (db *Database) explainLocked(stmt sqlparse.Statement) (*Result, error) {
+func (db *Database) explain(stmt sqlparse.Statement) (*Result, error) {
 	var sel *sqlparse.Select
 	switch t := stmt.(type) {
 	case *sqlparse.Select:
@@ -141,7 +289,10 @@ func (db *Database) explainLocked(stmt sqlparse.Statement) (*Result, error) {
 	return res, nil
 }
 
-func (db *Database) runInsertLocked(ins *sqlparse.Insert) (*Result, error) {
+// runInsert executes INSERT under the shared structure lock; row-level
+// write synchronization happens in insertRow via the table write latch.
+func (s *Session) runInsert(ins *sqlparse.Insert) (*Result, error) {
+	db := s.db
 	td, err := db.table(ins.Table)
 	if err != nil {
 		return nil, err
@@ -160,7 +311,7 @@ func (db *Database) runInsertLocked(ins *sqlparse.Insert) (*Result, error) {
 		width = len(td.def.Columns)
 	}
 
-	t := db.currentTxnLocked()
+	t := s.currentTxn()
 	var n int64
 	insertOne := func(vals sqltypes.Row) error {
 		if len(vals) != width {
@@ -217,37 +368,31 @@ func (db *Database) runInsertLocked(ins *sqlparse.Insert) (*Result, error) {
 			execErr = err
 			break
 		}
-		execErr = func() error {
-			if err := op.Open(db.execContext()); err != nil {
-				return err
+		// The scan runs under the inserting transaction's snapshot, and is
+		// fully materialized before the first insert: the source row set
+		// is fixed (no Halloween self-chasing), and scan latches — a
+		// clustered source holds its table's write latch shared — are
+		// released before insertRow needs them exclusively.
+		rows, err := exec.Run(db.execContext(t.snap), op)
+		if err != nil {
+			execErr = err
+			break
+		}
+		for _, row := range rows {
+			if execErr = insertOne(row); execErr != nil {
+				break
 			}
-			defer op.Close()
-			for {
-				row, ok, err := op.Next()
-				if err != nil {
-					return err
-				}
-				if !ok {
-					return nil
-				}
-				if err := insertOne(row); err != nil {
-					return err
-				}
-			}
-		}()
+		}
 	default:
 		execErr = fmt.Errorf("core: INSERT requires VALUES or SELECT")
 	}
-	if err := db.finishAutoLocked(t, execErr); err != nil {
+	if err := db.finishAuto(t, execErr); err != nil {
 		return nil, err
 	}
 	return &Result{RowsAffected: n}, nil
 }
 
-func (db *Database) runCreateTableLocked(ct *sqlparse.CreateTable) (*Result, error) {
-	if db.txn != nil {
-		return nil, fmt.Errorf("core: DDL inside a transaction is not supported")
-	}
+func (db *Database) runCreateTable(ct *sqlparse.CreateTable) (*Result, error) {
 	def := &catalog.Table{Name: ct.Name, Clustered: ct.Clustered}
 	for _, c := range ct.Cols {
 		typ, err := catalog.ParseType(c.Type)
@@ -288,10 +433,7 @@ func (db *Database) runCreateTableLocked(ct *sqlparse.CreateTable) (*Result, err
 	return &Result{}, nil
 }
 
-func (db *Database) runDropTableLocked(dt *sqlparse.DropTable) (*Result, error) {
-	if db.txn != nil {
-		return nil, fmt.Errorf("core: DDL inside a transaction is not supported")
-	}
+func (db *Database) runDropTable(dt *sqlparse.DropTable) (*Result, error) {
 	def := db.cat.Get(dt.Name)
 	if def == nil {
 		return nil, fmt.Errorf("core: unknown table %q", dt.Name)
@@ -319,22 +461,34 @@ func (db *Database) runDropTableLocked(dt *sqlparse.DropTable) (*Result, error) 
 
 // InsertRows is the bulk Go-API insert path used by loaders and
 // experiments: it bypasses SQL parsing but follows the same WAL and
-// transaction protocol.
+// transaction protocol. On the Database it uses the default session;
+// Session.InsertRows joins that session's open transaction.
 func (db *Database) InsertRows(table string, rows []sqltypes.Row) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	return db.defaultSess.InsertRows(table, rows)
+}
+
+// InsertRows bulk-inserts rows within the session's transaction scope.
+func (s *Session) InsertRows(table string, rows []sqltypes.Row) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db := s.db
+	if err := db.healthErr(); err != nil {
+		return err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	td, err := db.table(table)
 	if err != nil {
 		return err
 	}
-	t := db.currentTxnLocked()
+	t := s.currentTxn()
 	var execErr error
 	for _, r := range rows {
 		if execErr = db.insertRow(t, td, r); execErr != nil {
 			break
 		}
 	}
-	return db.finishAutoLocked(t, execErr)
+	return db.finishAuto(t, execErr)
 }
 
 // ImportFileStream imports a file as a FileStream blob and inserts a row
@@ -342,7 +496,20 @@ func (db *Database) InsertRows(table string, rows []sqltypes.Row) error {
 // the provided values in the remaining columns (by name). It is the
 // engine's OPENROWSET(BULK ..., SINGLE_BLOB) ingest path from the paper's
 // Section 3.3 example.
-func (db *Database) ImportFileStream(table, srcPath string, values map[string]sqltypes.Value) (guid string, err error) {
+func (db *Database) ImportFileStream(table, srcPath string, values map[string]sqltypes.Value) (string, error) {
+	return db.defaultSess.ImportFileStream(table, srcPath, values)
+}
+
+// ImportFileStream imports a blob + row + provenance record in one
+// transaction on this session.
+func (s *Session) ImportFileStream(table, srcPath string, values map[string]sqltypes.Value) (guid string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db := s.db
+	if err := db.healthErr(); err != nil {
+		return "", err
+	}
+	// Exclusive: the import may create the provenance table (DDL).
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	td, err := db.table(table)
@@ -359,7 +526,7 @@ func (db *Database) ImportFileStream(table, srcPath string, values map[string]sq
 	if fsCol < 0 {
 		return "", fmt.Errorf("core: table %s has no FILESTREAM column", table)
 	}
-	t := db.currentTxnLocked()
+	t := s.currentTxn()
 	guid = newGUIDForImport()
 	execErr := func() error {
 		if _, err := db.createBlobInTxn(t, guid, srcPath); err != nil {
@@ -391,7 +558,7 @@ func (db *Database) ImportFileStream(table, srcPath string, values map[string]sq
 		})
 		return err
 	}()
-	if err := db.finishAutoLocked(t, execErr); err != nil {
+	if err := db.finishAuto(t, execErr); err != nil {
 		return "", err
 	}
 	return guid, nil
@@ -436,9 +603,10 @@ func (db *Database) TableUsedBytes(table string) (int64, error) {
 }
 
 // ScanTableNoLock iterates every row of a table WITHOUT acquiring the
-// session lock. It exists for table-valued functions that execute inside
-// a query (which already holds the lock; re-acquiring could deadlock
-// against a waiting writer). Callers must not run DDL concurrently.
+// structure lock. It exists for table-valued functions that execute
+// inside a query (which already holds the lock; re-acquiring could
+// deadlock against a waiting DDL). The scan sees the latest committed
+// rows. Callers must not run DDL concurrently.
 func (db *Database) ScanTableNoLock(table string, fn func(sqltypes.Row) error) error {
 	def := db.cat.Get(table)
 	if def == nil {
@@ -467,7 +635,8 @@ func (db *Database) ScanTableNoLock(table string, fn func(sqltypes.Row) error) e
 	}
 }
 
-// TableRowCount returns a table's row count.
+// TableRowCount returns a table's committed row count under a fresh read
+// snapshot (in-flight transactions are not counted).
 func (db *Database) TableRowCount(table string) (int64, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -475,5 +644,7 @@ func (db *Database) TableRowCount(table string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return td.rowCount(), nil
+	snap := db.tm.readSnapshot()
+	defer db.tm.releaseSnapshot(snap)
+	return td.visibleRowCount(snap), nil
 }

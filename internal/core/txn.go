@@ -7,134 +7,214 @@ import (
 	"repro/internal/wal"
 )
 
-// Txn tracks a transaction's undo information: per-table pre-transaction
-// row counts for heap truncation, inserted clustered keys for deletion,
-// and created blobs for removal.
+// Txn is one MVCC transaction: a snapshot fixing what it reads plus
+// per-table write sets (heap version spans, clustered keys, blobs) that
+// commit flips visible or rollback undoes. Every session owns its own
+// transaction handle; there is no global writer slot.
 type Txn struct {
 	id         uint64
 	db         *Database
-	heapMarks  map[uint32]int64 // table id -> row count at txn start
-	treeKeys   map[uint32][][]byte
-	blobsMade  []string
+	snap       *Snapshot
 	autocommit bool
+	explicit   bool // counted by the txn manager (BEGIN ... COMMIT)
+	began      bool // RecBegin appended
+	logged     bool // WAL-only effects (e.g. ANALYZE images) need a commit record
+	finished   bool
+	writes     map[uint32]*txnWrites
+	blobsMade  []string
 }
 
-// newTxn starts a transaction (callers hold db.mu).
+// txnWrites is one transaction's write set against one table.
+type txnWrites struct {
+	td    *tableData
+	spans []*verSpan // heap version spans owned by this txn
+	keys  [][]byte   // clustered keys inserted by this txn
+	rows  int64
+}
+
+// newTxn starts a transaction with a fresh snapshot.
 func (db *Database) newTxn(autocommit bool) *Txn {
-	db.txnSeq++
+	id, snap := db.tm.begin(!autocommit)
 	return &Txn{
-		id:         db.txnSeq,
+		id:         id,
 		db:         db,
-		heapMarks:  map[uint32]int64{},
-		treeKeys:   map[uint32][][]byte{},
+		snap:       snap,
 		autocommit: autocommit,
+		explicit:   !autocommit,
+		writes:     map[uint32]*txnWrites{},
 	}
 }
 
-// Begin opens an explicit transaction.
-func (db *Database) Begin() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.txn != nil {
-		return fmt.Errorf("core: a transaction is already open")
+func (t *Txn) tableWrites(td *tableData) *txnWrites {
+	w := t.writes[td.def.ID]
+	if w == nil {
+		w = &txnWrites{td: td}
+		t.writes[td.def.ID] = w
 	}
-	db.txn = db.newTxn(false)
+	return w
+}
+
+func (t *Txn) hasWrites() bool {
+	return len(t.writes) > 0 || len(t.blobsMade) > 0 || t.logged
+}
+
+// beginWAL lazily logs RecBegin before the transaction's first write.
+func (t *Txn) beginWAL() error {
+	if t.began {
+		return nil
+	}
+	if err := t.db.wal.Append(wal.Record{Type: wal.RecBegin, Txn: t.id}); err != nil {
+		return err
+	}
+	t.began = true
 	return nil
 }
 
-// Commit commits the open transaction.
-func (db *Database) Commit() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.txn == nil {
-		return fmt.Errorf("core: no open transaction")
+// endTxn releases the transaction's snapshot pin and explicit slot.
+func (db *Database) endTxn(t *Txn) {
+	db.tm.releaseSnapshot(t.snap)
+	if t.explicit {
+		db.tm.endExplicit()
 	}
-	err := db.commitTxnLocked(db.txn)
-	db.txn = nil
-	return err
 }
 
-func (db *Database) commitTxnLocked(t *Txn) error {
-	if err := db.wal.Append(wal.Record{Type: wal.RecCommit, Txn: t.id}); err != nil {
-		return err
+// markAborted hides every write of t from all snapshots without touching
+// storage — used when physical undo is impossible (failed commit flush on
+// a poisoned database). The rows stay until checkpoint compaction or
+// recovery.
+func (t *Txn) markAborted() {
+	for _, w := range t.writes {
+		w.td.versions.abortSpans(w.spans)
+		w.td.versions.markKeysDead(w.keys)
 	}
-	return db.wal.Flush() // durability point
 }
 
-// Rollback aborts the open transaction, undoing its effects.
-func (db *Database) Rollback() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.txn == nil {
-		return fmt.Errorf("core: no open transaction")
+// commitTxn drives the pipelined commit: the commit sequence is assigned
+// and the RecCommit appended under one short txn-manager critical section
+// (so WAL order equals commit order — the only serialized step), then the
+// caller rides the WAL's leader/follower group fsync alongside other
+// committers, and finally visibility is published. Concurrent commits
+// overlap everywhere except the append point.
+func (db *Database) commitTxn(t *Txn) error {
+	if t.finished {
+		return fmt.Errorf("core: transaction already finished")
 	}
-	err := db.rollbackTxnLocked(db.txn)
-	db.txn = nil
-	return err
+	t.finished = true
+	defer db.endTxn(t)
+	if !t.hasWrites() {
+		return nil // read-only: nothing to log or publish
+	}
+	tm := db.tm
+	tm.mu.Lock()
+	err := db.wal.Append(wal.Record{Type: wal.RecCommit, Txn: t.id})
+	var cseq uint64
+	if err == nil {
+		tm.nextCommitSeq++
+		cseq = tm.nextCommitSeq
+	}
+	tm.mu.Unlock()
+	if err != nil {
+		// Nothing reached the log; no sequence was burned. The writes
+		// can never become visible.
+		t.markAborted()
+		db.poison(fmt.Errorf("core: commit of txn %d failed: %w", t.id, err))
+		return err
+	}
+	if err := db.wal.Flush(); err != nil { // durability point (group fsync)
+		// The commit record may or may not have hit disk — recovery
+		// decides from the log after reopen. In this process the txn is
+		// treated as aborted, and the database is poisoned so no later
+		// statement can observe the ambiguity. Publish the sequence so
+		// the visibility horizon is not wedged behind the gap.
+		t.markAborted()
+		db.poison(fmt.Errorf("core: commit flush of txn %d failed: %w", t.id, err))
+		tm.publish(cseq)
+		return err
+	}
+	for _, w := range t.writes {
+		w.td.versions.commit(w.spans, w.keys, cseq)
+		// Stats staleness counts committed rows only; rolled-back inserts
+		// must not inflate the ANALYZE drift counter.
+		w.td.modCount.Add(w.rows)
+	}
+	tm.publish(cseq)
+	return nil
 }
 
-func (db *Database) rollbackTxnLocked(t *Txn) error {
-	if err := db.wal.Append(wal.Record{Type: wal.RecAbort, Txn: t.id}); err != nil {
-		return err
+// rollbackTxn undoes the transaction: heap spans are marked dead (the
+// rows linger, invisible, until checkpoint compaction), clustered keys
+// are physically deleted, created blobs removed. A failure mid-undo
+// leaves half-reverted storage, so it poisons the database: every later
+// statement fails until the file set is reopened and WAL recovery —
+// which replays only committed transactions — rebuilds a clean image.
+func (db *Database) rollbackTxn(t *Txn) error {
+	if t.finished {
+		return fmt.Errorf("core: transaction already finished")
 	}
-	if err := db.wal.Flush(); err != nil {
-		return err
+	t.finished = true
+	defer db.endTxn(t)
+	if !t.hasWrites() {
+		return nil
 	}
-	// Undo storage effects.
-	for id, mark := range t.heapMarks {
-		td := db.tables[id]
-		if td == nil || td.heap == nil {
+	// Best-effort abort record, no flush: recovery treats a missing
+	// commit record as an abort, so losing this record is harmless.
+	_ = db.wal.Append(wal.Record{Type: wal.RecAbort, Txn: t.id})
+	var undoErr error
+	for _, w := range t.writes {
+		w.td.versions.abortSpans(w.spans)
+		if len(w.keys) == 0 {
 			continue
 		}
-		if err := td.heap.Truncate(mark); err != nil {
-			return err
-		}
-		td.insertSeq = mark
-	}
-	for id, keys := range t.treeKeys {
-		td := db.tables[id]
-		if td == nil || td.tree == nil {
-			continue
-		}
-		for _, k := range keys {
-			if _, err := td.tree.Delete(k); err != nil {
-				return err
+		w.td.writeMu.Lock()
+		failed := false
+		for _, k := range w.keys {
+			if _, err := w.td.tree.Delete(k); err != nil {
+				failed = true
+				if undoErr == nil {
+					undoErr = fmt.Errorf("undo %s key: %w", w.td.def.Name, err)
+				}
 			}
 		}
-		td.insertSeq = td.tree.Count()
+		w.td.writeMu.Unlock()
+		if failed {
+			// Some keys may physically remain; keep their version entries
+			// as dead masks instead of dropping them.
+			w.td.versions.markKeysDead(w.keys)
+		} else {
+			w.td.versions.dropKeys(w.keys)
+		}
 	}
 	for _, guid := range t.blobsMade {
-		if err := db.blobs.Delete(guid); err != nil {
-			return err
+		if err := db.blobs.Delete(guid); err != nil && undoErr == nil {
+			undoErr = fmt.Errorf("undo blob %s: %w", guid, err)
 		}
+	}
+	if undoErr != nil {
+		err := fmt.Errorf("core: rollback of txn %d failed mid-undo: %w", t.id, undoErr)
+		db.poison(err)
+		return err
 	}
 	return nil
 }
 
-// currentTxnLocked returns the open transaction or a fresh autocommit one.
-func (db *Database) currentTxnLocked() *Txn {
-	if db.txn != nil {
-		return db.txn
-	}
-	return db.newTxn(true)
-}
-
-// finishAutoLocked commits an autocommit transaction (explicit ones wait
-// for COMMIT/ROLLBACK).
-func (db *Database) finishAutoLocked(t *Txn, execErr error) error {
+// finishAuto commits or rolls back an autocommit transaction at the end
+// of its statement (explicit ones wait for COMMIT/ROLLBACK).
+func (db *Database) finishAuto(t *Txn, execErr error) error {
 	if !t.autocommit {
 		return execErr
 	}
 	if execErr != nil {
-		if rbErr := db.rollbackTxnLocked(t); rbErr != nil {
+		if rbErr := db.rollbackTxn(t); rbErr != nil {
 			return fmt.Errorf("%w (rollback also failed: %v)", execErr, rbErr)
 		}
 		return execErr
 	}
-	return db.commitTxnLocked(t)
+	return db.commitTxn(t)
 }
 
-// insertRow validates, logs and applies one row insert within t.
+// insertRow validates, logs and applies one row insert within t. The
+// table's write latch serializes row appends (and the duplicate-key
+// probe) against other writers; readers never take it.
 func (db *Database) insertRow(t *Txn, td *tableData, row sqltypes.Row) error {
 	stored, err := td.def.ToStorageRow(row)
 	if err != nil {
@@ -144,11 +224,45 @@ func (db *Database) insertRow(t *Txn, td *tableData, row sqltypes.Row) error {
 	if err != nil {
 		return err
 	}
-	// Remember undo info before the first touch.
-	if td.heap != nil {
-		if _, ok := t.heapMarks[td.def.ID]; !ok {
-			t.heapMarks[td.def.ID] = td.heap.RowCount()
+	w := t.tableWrites(td)
+	td.writeMu.Lock()
+	defer td.writeMu.Unlock()
+	if td.tree != nil {
+		key, err := td.pkKey(stored)
+		if err != nil {
+			return err
 		}
+		// Probe before inserting: Insert upserts, so letting it run first
+		// would clobber the existing row image before the duplicate check
+		// could reject the statement.
+		if _, exists, err := td.tree.Get(key); err != nil {
+			return err
+		} else if exists {
+			return fmt.Errorf("core: duplicate primary key in %s", td.def.Name)
+		}
+		if err := t.beginWAL(); err != nil {
+			return err
+		}
+		rowIdx := td.insertSeq
+		if err := db.wal.Append(wal.Record{
+			Type: wal.RecInsert, Txn: t.id, Table: td.def.ID,
+			RowIndex: rowIdx, Data: img,
+		}); err != nil {
+			return err
+		}
+		// Version entry before the physical insert: an absent entry means
+		// "visible to everyone", so the key must be masked first.
+		td.versions.noteKey(t.id, key)
+		w.keys = append(w.keys, key)
+		if _, err := td.tree.Insert(key, img); err != nil {
+			return err // rollback deletes the (absent) key and drops the mask
+		}
+		td.insertSeq = rowIdx + 1
+		w.rows++
+		return nil
+	}
+	if err := t.beginWAL(); err != nil {
+		return err
 	}
 	rowIdx := td.insertSeq
 	if err := db.wal.Append(wal.Record{
@@ -157,31 +271,25 @@ func (db *Database) insertRow(t *Txn, td *tableData, row sqltypes.Row) error {
 	}); err != nil {
 		return err
 	}
-	if td.heap != nil {
-		if err := td.heap.Append(stored); err != nil {
-			return err
-		}
-	} else {
-		key, err := td.pkKey(stored)
-		if err != nil {
-			return err
-		}
-		replaced, err := td.tree.Insert(key, img)
-		if err != nil {
-			return err
-		}
-		if replaced {
-			return fmt.Errorf("core: duplicate primary key in %s", td.def.Name)
-		}
-		t.treeKeys[td.def.ID] = append(t.treeKeys[td.def.ID], key)
+	if sp := td.versions.noteInsert(t.id, rowIdx); sp != nil {
+		w.spans = append(w.spans, sp)
 	}
 	td.insertSeq = rowIdx + 1
-	td.modCount.Add(1)
+	w.rows++
+	if err := td.heap.Append(stored); err != nil {
+		// The span is recorded but the physical append failed: the heap
+		// position is burned and storage state is unknown. Poison.
+		db.poison(fmt.Errorf("core: heap append %s: %w", td.def.Name, err))
+		return err
+	}
 	return nil
 }
 
 // createBlobInTxn imports a blob under transactional control.
 func (db *Database) createBlobInTxn(t *Txn, guid, srcPath string) (int64, error) {
+	if err := t.beginWAL(); err != nil {
+		return 0, err
+	}
 	if err := db.wal.Append(wal.Record{
 		Type: wal.RecBlobCreate, Txn: t.id, Data: []byte(guid),
 	}); err != nil {

@@ -21,6 +21,12 @@ type Context struct {
 	// Stats, when non-nil, accumulates operator counters (join, sort and
 	// aggregate spill activity) for the engine's monitoring surface.
 	Stats *ExecStats
+	// Snapshot is the engine's opaque MVCC visibility token. The session
+	// layer sets it when a statement runs under snapshot isolation; scan
+	// factories type-assert it back to filter row versions. Operators
+	// must thread the same Context down to their sources. nil means
+	// "latest committed" (recovery, TVF side scans).
+	Snapshot any
 }
 
 // Operator is a Volcano iterator: Open, a stream of Next calls, Close.

@@ -43,9 +43,10 @@ type Heap struct {
 	comp  Compression
 	codec RowCodec
 
-	rowCount    int64 // total rows including the in-memory tail
-	pageRows    []int // rows per sealed data page (index 0 = page 1)
-	durableRows int64 // as recorded on the meta page
+	rowCount    int64   // total rows including the in-memory tail
+	pageRows    []int   // rows per sealed data page (index 0 = page 1)
+	pageCum     []int64 // pageCum[i] = rows in sealed pages [0, i); len = len(pageRows)+1
+	durableRows int64   // as recorded on the meta page
 
 	// In-memory tail.
 	tailRows  []sqltypes.Row // retained for CompressPage mode and truncation
@@ -70,11 +71,12 @@ func OpenHeapWidths(path string, kinds []sqltypes.Kind, widths []uint8, comp Com
 		return nil, err
 	}
 	h := &Heap{
-		file:  f,
-		pool:  pool,
-		kinds: append([]sqltypes.Kind(nil), kinds...),
-		comp:  comp,
-		codec: RowCodec{Kinds: kinds, Mode: rowMode(comp), Widths: widths},
+		file:    f,
+		pool:    pool,
+		kinds:   append([]sqltypes.Kind(nil), kinds...),
+		comp:    comp,
+		codec:   RowCodec{Kinds: kinds, Mode: rowMode(comp), Widths: widths},
+		pageCum: []int64{0},
 	}
 	if f.NumPages() == 0 {
 		if _, err := f.Allocate(); err != nil {
@@ -138,6 +140,7 @@ func (h *Heap) loadAndRecover() error {
 	var buf [PageSize]byte
 	total := int64(0)
 	h.pageRows = h.pageRows[:0]
+	h.pageCum = append(h.pageCum[:0], 0)
 	for p := int64(1); p <= durablePages; p++ {
 		if err := h.file.ReadPage(PageID(p), buf[:]); err != nil {
 			return err
@@ -145,6 +148,7 @@ func (h *Heap) loadAndRecover() error {
 		n := int(binary.LittleEndian.Uint16(buf[2:]))
 		h.pageRows = append(h.pageRows, n)
 		total += int64(n)
+		h.pageCum = append(h.pageCum, total)
 	}
 	if total < durableRows {
 		return fmt.Errorf("storage: %s pages hold %d rows, meta claims %d", h.file.Path(), total, durableRows)
@@ -163,6 +167,7 @@ func (h *Heap) loadAndRecover() error {
 		}
 		keep := rows[:int64(len(rows))-excess]
 		h.pageRows = h.pageRows[:last-1]
+		h.pageCum = h.pageCum[:last]
 		if err := h.file.Truncate(last); err != nil { // drop the partial page
 			return err
 		}
@@ -294,6 +299,7 @@ func (h *Heap) sealTailLocked() error {
 		return err
 	}
 	h.pageRows = append(h.pageRows, sealed)
+	h.pageCum = append(h.pageCum, h.pageCum[len(h.pageCum)-1]+int64(sealed))
 	h.tailRows = h.tailRows[:0]
 	h.tailBytes = h.tailBytes[:0]
 	h.tailOffs = h.tailOffs[:0]
@@ -482,6 +488,7 @@ func (h *Heap) Truncate(n int64) error {
 			return err
 		}
 		h.pageRows = h.pageRows[:last-1]
+		h.pageCum = h.pageCum[:last]
 		h.rowCount -= int64(len(rows))
 		h.pool.DropFile(h.file) // stale cache below the truncation point
 		if err := h.file.Truncate(last); err != nil {

@@ -67,3 +67,83 @@ func (it *HeapIterator) Next() (sqltypes.Row, bool, error) {
 // Close releases nothing (pages are unpinned eagerly) but satisfies the
 // iterator contract.
 func (it *HeapIterator) Close() error { return nil }
+
+// HeapVersionIterator is a HeapIterator that also reports each row's
+// global row index — the coordinate the MVCC layer stamps versions with.
+// The partition that owns the table tail ("extend" mode) re-reads the
+// sealed-page count at creation, so rows sealed between planning and
+// opening are not lost; the visibility filter above hides whatever the
+// scan's snapshot should not see.
+type HeapVersionIterator struct {
+	h       *Heap
+	page    int64
+	hiPage  int64
+	cum     []int64 // captured pageCum (immutable prefix)
+	buf     []sqltypes.Row
+	pos     int
+	baseIdx int64 // global index of buf[0]
+	tail    []sqltypes.Row
+	tailAt  int64 // global index of tail[0]
+	tailOn  bool
+}
+
+// NewVersionIterator returns an indexed iterator over sealed pages
+// [loPage, hiPage). With extend=true the upper bound and the tail are
+// captured atomically at call time instead (hiPage is ignored): the
+// iterator covers every row physically present at creation.
+func (h *Heap) NewVersionIterator(loPage, hiPage int64, extend bool) *HeapVersionIterator {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	it := &HeapVersionIterator{h: h, page: loPage, hiPage: hiPage, cum: h.pageCum}
+	if extend {
+		it.hiPage = int64(len(h.pageRows))
+		it.tail = make([]sqltypes.Row, len(h.tailRows))
+		copy(it.tail, h.tailRows)
+		it.tailAt = h.rowCount - int64(len(h.tailRows))
+		it.tailOn = true
+	}
+	if it.page > it.hiPage {
+		it.page = it.hiPage
+	}
+	return it
+}
+
+// Next returns the next row and its global row index.
+func (it *HeapVersionIterator) Next() (sqltypes.Row, int64, bool, error) {
+	for {
+		if it.pos < len(it.buf) {
+			r := it.buf[it.pos]
+			idx := it.baseIdx + int64(it.pos)
+			it.pos++
+			return r, idx, true, nil
+		}
+		if it.page < it.hiPage {
+			fr, err := it.h.pool.Get(it.h.file, PageID(it.page+1))
+			if err != nil {
+				return nil, 0, false, err
+			}
+			rows, err := it.h.decodePage(fr.Data(), it.buf[:0])
+			it.h.pool.Unpin(fr, false)
+			if err != nil {
+				return nil, 0, false, err
+			}
+			it.buf = rows
+			it.pos = 0
+			it.baseIdx = it.cum[it.page]
+			it.page++
+			continue
+		}
+		if it.tailOn {
+			it.buf = it.tail
+			it.pos = 0
+			it.baseIdx = it.tailAt
+			it.tail = nil
+			it.tailOn = false
+			continue
+		}
+		return nil, 0, false, nil
+	}
+}
+
+// Close satisfies the iterator contract.
+func (it *HeapVersionIterator) Close() error { return nil }

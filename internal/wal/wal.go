@@ -40,6 +40,10 @@ const (
 	// table statistics); recovery re-applies the image so stats collected
 	// after the last checkpoint survive a crash that loses the stats file.
 	RecStats
+	// RecBegin marks the first write of a transaction. Recovery does not
+	// need it (commit presence decides replay) but it bounds each txn id's
+	// record range for log inspection and future partial-truncate schemes.
+	RecBegin
 )
 
 // Record is one log entry.
