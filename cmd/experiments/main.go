@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment: all, table1, table2, wrap, query1, consensus, plans, ablations, join, sortagg, stats, txn")
+	run := flag.String("run", "all", "experiment: all, table1, table2, wrap, query1, consensus, plans, ablations, join, sortagg, stats, txn, vector")
 	dgeReads := flag.Int("dge-reads", 400_000, "DGE lane size (level-1 reads)")
 	reseqReads := flag.Int("reseq-reads", 150_000, "re-sequencing lane size")
 	seed := flag.Int64("seed", 42, "generator seed")
@@ -35,6 +35,8 @@ func main() {
 	statsRows := flag.Int("stats-rows", 0, "statistics benchmark fact-table size (0 = default)")
 	txnOut := flag.String("txn-out", "BENCH_txn.json", "output path for the transaction benchmark JSON")
 	txnCount := flag.Int("txn-txns", 0, "transaction benchmark: commits per writer (0 = default)")
+	vectorOut := flag.String("vector-out", "BENCH_vector.json", "output path for the vectorized-scan benchmark JSON")
+	vectorRows := flag.Int("vector-rows", 0, "vectorized-scan benchmark table size (0 = default)")
 	flag.Parse()
 
 	workDir := *work
@@ -304,6 +306,32 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("wrote %s\n\n", *txnOut)
+	}
+	if want("vector") {
+		fmt.Println("---- vectorized batch execution: row vs batch filter scan, compressed vs decompressed predicates ----")
+		cfg := bench.DefaultVectorBenchConfig()
+		if *vectorRows > 0 {
+			cfg.Rows = *vectorRows
+		}
+		res, err := bench.VectorExperiment(filepath.Join(workDir, "vector"), cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%d rows, %d-entry flowcell dictionary, DOP 1, best of %d (GOMAXPROCS %d)\n",
+			res.Rows, res.Flows, res.Iters, res.GOMAXPROCS)
+		for _, r := range res.Runs {
+			fmt.Printf("  %-10s %-4s: %9.1f ms  %7.2fM rows/s  matches=%d batches=%d cells_decoded=%d dict_entries=%d\n",
+				r.Engine, r.Compression, r.ElapsedMS, r.RowsPerSec/1e6,
+				r.Matches, r.Batches, r.ValuesDecoded, r.DictEntriesDecoded)
+		}
+		fmt.Printf("vectorized over row (dictionary pages): %.2fx; code-compare over decoded-compare: %.2fx\n",
+			res.SpeedupVectorized, res.SpeedupCompressed)
+		if err := res.WriteJSON(*vectorOut); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n\n", *vectorOut)
+		fmt.Println("vectorized filter-scan plan:")
+		fmt.Println(res.PlanVectorized)
 	}
 	fmt.Println(strings.Repeat("=", 60))
 	fmt.Println("done")

@@ -19,6 +19,20 @@
 // are) see none of its changes until COMMIT, and its reads come from a
 // consistent snapshot taken at BEGIN. DDL (CREATE/DROP TABLE) and
 // CHECKPOINT are refused inside a transaction.
+//
+// # Vectorized execution
+//
+// Scans, filters, projections, TOP and the exchange run batch-at-a-time
+// by default: ~1024-row columnar batches with selection vectors instead
+// of one row per operator call. On tables created WITH
+// (DATA_COMPRESSION = PAGE), sealed pages keep their dictionary/RLE
+// coding into the scan, so predicates like "flow = 'X'" compare small
+// integer codes and rows they drop are never decompressed. "EXPLAIN
+// SELECT ..." marks batch-capable scan nodes with a trailing
+// "vectorized" annotation. Tuning (rarely needed): -batch-size sets the
+// rows-per-batch target (core.Options.BatchSize), -no-vectorize forces
+// the row-at-a-time path (core.Options.DisableVectorized) — useful for
+// comparing the two engines on the same data.
 package main
 
 import (
@@ -38,9 +52,11 @@ func main() {
 	dbDir := flag.String("db", "genodb-data", "database directory")
 	exec := flag.String("e", "", "execute this SQL (semicolon-separated script) and exit")
 	dop := flag.Int("dop", 0, "degree of parallelism (default: all cores)")
+	batchSize := flag.Int("batch-size", 0, "vectorized batch size in rows (default: 1024)")
+	noVec := flag.Bool("no-vectorize", false, "disable batch-at-a-time execution (row engine only)")
 	flag.Parse()
 
-	db, err := core.Open(*dbDir, core.Options{DOP: *dop})
+	db, err := core.Open(*dbDir, core.Options{DOP: *dop, BatchSize: *batchSize, DisableVectorized: *noVec})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "genodb:", err)
 		os.Exit(1)
@@ -61,6 +77,7 @@ func main() {
 		fmt.Println("genodb SQL shell - one statement per line, \\q to quit")
 		fmt.Println("  tip: run ANALYZE [TABLE t] after loading data; EXPLAIN shows the est=N rows it gives the planner")
 		fmt.Println("  tip: BEGIN; ...; COMMIT (or ROLLBACK) makes a multi-statement change atomic")
+		fmt.Println("  tip: scans run vectorized (EXPLAIN shows which nodes); CREATE TABLE ... WITH (DATA_COMPRESSION = PAGE) lets filters compare dictionary codes without decompressing")
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

@@ -71,6 +71,13 @@ type Options struct {
 	// planner already auto-disables a filter when statistics say nearly
 	// every probe row matches).
 	DisableJoinBloom bool
+	// BatchSize is the target rows per columnar batch for vectorized
+	// execution (default vec.DefaultBatchSize; page-backed scans batch
+	// one page at a time regardless).
+	BatchSize int
+	// DisableVectorized forces every plan back to row-at-a-time
+	// execution (used by A/B experiments and as an escape hatch).
+	DisableVectorized bool
 }
 
 // Database is an open engine instance rooted at a directory.
@@ -113,10 +120,13 @@ type Database struct {
 	sortBudget int64 // sort memory budget (0 = unlimited)
 	aggBudget  int64 // aggregate memory budget (0 = unlimited)
 	noBloom    bool  // disable join Bloom filters
+	batchSize  int   // vectorized batch size (0 = vec default)
+	noVec      bool  // disable vectorized execution
 	planner    *plan.Planner
 	spill      *storage.SpillManager
 	tstats     *stats.Store
 	execStats  exec.ExecStats
+	scanStats  storage.VecScanStats
 }
 
 // tableData is the open storage behind one catalog table.
@@ -206,6 +216,8 @@ func Open(dir string, opts Options) (*Database, error) {
 		sortBudget: opts.SortMemoryBudget,
 		aggBudget:  opts.AggMemoryBudget,
 		noBloom:    opts.DisableJoinBloom,
+		batchSize:  opts.BatchSize,
+		noVec:      opts.DisableVectorized,
 		tstats:     tstats,
 		tm:         newTxnManager(),
 	}
@@ -305,6 +317,7 @@ type ExecStatsSnapshot struct {
 	Join exec.JoinStatsSnapshot
 	Sort exec.SortStatsSnapshot
 	Agg  exec.AggStatsSnapshot
+	Scan storage.VecScanSnapshot
 }
 
 // Sub returns the counter deltas since an earlier snapshot.
@@ -314,16 +327,20 @@ func (s ExecStatsSnapshot) Sub(earlier ExecStatsSnapshot) ExecStatsSnapshot {
 		Join: s.Join.Sub(earlier.Join),
 		Sort: s.Sort.Sub(earlier.Sort),
 		Agg:  s.Agg.Sub(earlier.Agg),
+		Scan: s.Scan.Sub(earlier.Scan),
 	}
 }
 
 // ExecStats snapshots all operator counters and the buffer pool; safe to
 // call during concurrent queries (every counter is an atomic). Benches
-// and tests observe join, sort and aggregate spill behavior through this
-// single surface.
+// and tests observe join, sort, aggregate spill and vectorized-scan
+// decode behavior through this single surface.
 func (db *Database) ExecStats() ExecStatsSnapshot {
 	op := db.execStats.Snapshot()
-	return ExecStatsSnapshot{Pool: db.pool.Stats(), Join: op.Join, Sort: op.Sort, Agg: op.Agg}
+	return ExecStatsSnapshot{
+		Pool: db.pool.Stats(), Join: op.Join, Sort: op.Sort, Agg: op.Agg,
+		Scan: db.scanStats.Snapshot(),
+	}
 }
 
 // SetDOP overrides the degree of parallelism (used by the scaling

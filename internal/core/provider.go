@@ -11,6 +11,7 @@ import (
 	"repro/internal/sqltypes"
 	"repro/internal/stats"
 	"repro/internal/storage"
+	"repro/internal/vec"
 )
 
 // The Database implements plan.Provider: catalog lookups, function
@@ -179,6 +180,14 @@ func (db *Database) wrapIterator(def *catalog.Table, it exec.RowIterator) exec.R
 	return it
 }
 
+// VectorizedScan reports whether the table's scan partitions deliver
+// columnar batches: heap tables only (clustered scans are key-ordered
+// row streams), unless vectorized execution is disabled.
+func (db *Database) VectorizedScan(t *catalog.Table) bool {
+	td := db.tables[t.ID]
+	return !db.noVec && td != nil && td.heap != nil
+}
+
 // visibleHeapIterator filters an indexed heap scan down to the rows a
 // snapshot may see. The visible set is rendered once at open as sorted
 // disjoint index ranges; row indexes arrive in increasing order, so the
@@ -209,6 +218,70 @@ func (v *visibleHeapIterator) Next() (sqltypes.Row, bool, error) {
 
 func (v *visibleHeapIterator) Close() error { return v.it.Close() }
 
+// visibleBatchIterator is the batch-capable heap scan source: the row
+// interface delegates to the version-filtered row iterator, while
+// NextBatch serves columnar page batches with MVCC visibility applied as
+// a selection-vector intersection — invisible rows are deselected, never
+// decoded. Only one of the two interfaces is pulled per execution (the
+// parent operator is either a row or a batch consumer), so nothing is
+// read twice.
+type visibleBatchIterator struct {
+	rows    exec.RowIterator
+	bi      *storage.HeapBatchIterator
+	ranges  []rowRange
+	ri      int
+	seqCols []int
+}
+
+func (v *visibleBatchIterator) Next() (sqltypes.Row, bool, error) { return v.rows.Next() }
+
+// NextBatch intersects the next page batch's selection with the visible
+// ranges. Batch row s is global row Base+s; ranges are sorted and
+// batches arrive in ascending Base order, so the intersection is one
+// monotonic walk across the whole scan.
+func (v *visibleBatchIterator) NextBatch() (*vec.Batch, error) {
+	for {
+		b, err := v.bi.NextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		sel := b.Sel[:0]
+		for _, s := range b.Sel {
+			idx := b.Base + int64(s)
+			for v.ri < len(v.ranges) && idx >= v.ranges[v.ri].end {
+				v.ri++
+			}
+			if v.ri >= len(v.ranges) {
+				break
+			}
+			if idx >= v.ranges[v.ri].start {
+				sel = append(sel, s)
+			}
+		}
+		b.Sel = sel
+		// SEQUENCE columns stay in packed storage form; the Packed mark
+		// makes value materialization unpack them to the query
+		// representation (what FromStorageRow does on the row path).
+		for _, c := range v.seqCols {
+			b.Cols[c].Packed = true
+		}
+		if len(b.Sel) > 0 {
+			return b, nil
+		}
+		if v.ri >= len(v.ranges) {
+			return nil, nil // nothing visible beyond this point
+		}
+	}
+}
+
+func (v *visibleBatchIterator) Close() error {
+	berr := v.bi.Close()
+	if err := v.rows.Close(); err != nil {
+		return err
+	}
+	return berr
+}
+
 // ScanPartitions returns `parts` operators that together scan the table
 // once: heap tables partition by sealed-page ranges (the tail rides with
 // the last partition); clustered tables partition by key range. Each
@@ -231,6 +304,13 @@ func (db *Database) ScanPartitions(t *catalog.Table, parts int) ([]exec.Operator
 		if sealed == 0 {
 			parts = 1
 		}
+		var seqCols []int
+		for i := range td.def.Columns {
+			if td.def.Columns[i].Type.Name == catalog.TypeSequence {
+				seqCols = append(seqCols, i)
+			}
+		}
+		vectorized := !db.noVec
 		ops := make([]exec.Operator, 0, parts)
 		for i := 0; i < parts; i++ {
 			lo := sealed * int64(i) / int64(parts)
@@ -246,9 +326,18 @@ func (db *Database) ScanPartitions(t *catalog.Table, parts int) ([]exec.Operator
 					// at open ("extend"): pages sealed since planning stay
 					// covered, and the visibility filter hides whatever
 					// the snapshot should not see.
+					ranges := tdc.versions.visibleRanges(snap)
 					it := tdc.heap.NewVersionIterator(lo, hi, includeTail)
-					vis := &visibleHeapIterator{it: it, ranges: tdc.versions.visibleRanges(snap)}
-					return db.wrapIterator(def, vis), nil
+					rows := db.wrapIterator(def, &visibleHeapIterator{it: it, ranges: ranges})
+					if !vectorized {
+						return rows, nil
+					}
+					return &visibleBatchIterator{
+						rows:    rows,
+						bi:      tdc.heap.NewBatchIterator(lo, hi, includeTail, &db.scanStats),
+						ranges:  ranges,
+						seqCols: seqCols,
+					}, nil
 				},
 			})
 		}

@@ -239,7 +239,7 @@ func (s *Session) statementSnapshot() (*Snapshot, func()) {
 // execContext builds the per-query execution context: the configured DOP,
 // the engine-wide operator counters, and the statement's snapshot.
 func (db *Database) execContext(snap *Snapshot) *exec.Context {
-	return &exec.Context{DOP: db.dop, Stats: &db.execStats, Snapshot: snap}
+	return &exec.Context{DOP: db.dop, Stats: &db.execStats, Snapshot: snap, BatchSize: db.batchSize}
 }
 
 // runSelect plans and executes a SELECT (callers hold db.mu in some

@@ -27,6 +27,10 @@ type Context struct {
 	// must thread the same Context down to their sources. nil means
 	// "latest committed" (recovery, TVF side scans).
 	Snapshot any
+	// BatchSize is the target rows per batch for row-to-batch shims;
+	// 0 means vec.DefaultBatchSize. Page-backed scans batch one page at
+	// a time regardless.
+	BatchSize int
 }
 
 // Operator is a Volcano iterator: Open, a stream of Next calls, Close.
@@ -52,7 +56,8 @@ type Source struct {
 	Label   string
 	Factory func(ctx *Context) (RowIterator, error)
 
-	it RowIterator
+	it        RowIterator
+	batchSize int
 }
 
 // Open creates the underlying iterator.
@@ -62,6 +67,7 @@ func (s *Source) Open(ctx *Context) error {
 		return err
 	}
 	s.it = it
+	s.batchSize = ctx.BatchSize
 	return nil
 }
 
@@ -111,23 +117,46 @@ func NewValues(rows []sqltypes.Row) *Source {
 }
 
 // Filter drops rows whose predicate is not TRUE (three-valued logic: NULL
-// fails the filter).
+// fails the filter). Constant conjuncts left behind by predicate pushdown
+// are folded once at Open: a constant-TRUE predicate passes rows through
+// untested, a constant non-TRUE predicate short-circuits the stream.
 type Filter struct {
 	Pred  expr.Expr
 	Child Operator
+
+	pred  expr.Expr
+	pass  bool
+	empty bool
 }
 
-// Open opens the child.
-func (f *Filter) Open(ctx *Context) error { return f.Child.Open(ctx) }
+// Open folds the predicate and opens the child.
+func (f *Filter) Open(ctx *Context) error {
+	f.pred = expr.FoldConstants(f.Pred)
+	f.pass, f.empty = false, false
+	if lit, ok := f.pred.(*expr.Lit); ok {
+		if expr.Truthy(lit.V) {
+			f.pass = true
+		} else {
+			f.empty = true
+		}
+	}
+	return f.Child.Open(ctx)
+}
 
 // Next pulls until a row passes.
 func (f *Filter) Next() (sqltypes.Row, bool, error) {
+	if f.empty {
+		return nil, false, nil
+	}
 	for {
 		row, ok, err := f.Child.Next()
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		v, err := f.Pred.Eval(row)
+		if f.pass {
+			return row, true, nil
+		}
+		v, err := f.pred.Eval(row)
 		if err != nil {
 			return nil, false, err
 		}

@@ -1,0 +1,114 @@
+package expr
+
+import "repro/internal/sqltypes"
+
+// FoldConstants rewrites column-free pure subtrees into literals, so a
+// filter evaluates planner-introduced constant conjuncts (WHERE 1=1 AND
+// ...) once at Open instead of per row. Scalar function calls are never
+// folded (they may be non-deterministic), and a subtree whose constant
+// evaluation errors (1/0) is left in place so the error still surfaces
+// at row-evaluation time exactly as before.
+func FoldConstants(e Expr) Expr {
+	switch t := e.(type) {
+	case *Lit, *Col:
+		return e
+	case *Arith:
+		l, r := FoldConstants(t.L), FoldConstants(t.R)
+		if out, ok := foldBinary(&Arith{Op: t.Op, L: l, R: r}); ok {
+			return out
+		}
+		return &Arith{Op: t.Op, L: l, R: r}
+	case *Cmp:
+		l, r := FoldConstants(t.L), FoldConstants(t.R)
+		if out, ok := foldBinary(&Cmp{Op: t.Op, L: l, R: r}); ok {
+			return out
+		}
+		return &Cmp{Op: t.Op, L: l, R: r}
+	case *Logic:
+		l, r := FoldConstants(t.L), FoldConstants(t.R)
+		// Partial folds valid under 3VL: TRUE is the AND identity and
+		// the OR absorber; FALSE is the OR identity and the AND
+		// absorber (FALSE AND NULL = FALSE, TRUE OR NULL = TRUE).
+		if lv, ok := l.(*Lit); ok {
+			if folded, ok := foldLogicSide(t.And, lv.V, r); ok {
+				return folded
+			}
+		}
+		if rv, ok := r.(*Lit); ok {
+			if folded, ok := foldLogicSide(t.And, rv.V, l); ok {
+				return folded
+			}
+		}
+		return &Logic{And: t.And, L: l, R: r}
+	case *Not:
+		x := FoldConstants(t.X)
+		if out, ok := foldBinary(&Not{X: x}); ok {
+			return out
+		}
+		return &Not{X: x}
+	case *IsNull:
+		x := FoldConstants(t.X)
+		if out, ok := foldBinary(&IsNull{X: x, Negate: t.Negate}); ok {
+			return out
+		}
+		return &IsNull{X: x, Negate: t.Negate}
+	case *Like:
+		x := FoldConstants(t.X)
+		if out, ok := foldBinary(&Like{X: x, Pattern: t.Pattern}); ok {
+			return out
+		}
+		return &Like{X: x, Pattern: t.Pattern}
+	}
+	return e
+}
+
+// foldLogicSide folds one constant operand of AND/OR: the identity
+// constant yields the other side, the absorbing constant yields itself.
+// NULL constants do not fold (NULL AND x depends on x).
+func foldLogicSide(and bool, v sqltypes.Value, other Expr) (Expr, bool) {
+	if v.K != sqltypes.KindBool {
+		return nil, false
+	}
+	truthy := v.I != 0
+	if and {
+		if truthy {
+			return other, true
+		}
+		return &Lit{V: sqltypes.NewBool(false)}, true
+	}
+	if truthy {
+		return &Lit{V: sqltypes.NewBool(true)}, true
+	}
+	return other, true
+}
+
+// foldBinary evaluates a node whose children are all literals; ok=false
+// when any child is non-constant or evaluation errors.
+func foldBinary(e Expr) (Expr, bool) {
+	if !allLits(e) {
+		return nil, false
+	}
+	v, err := e.Eval(nil)
+	if err != nil {
+		return nil, false
+	}
+	return &Lit{V: v}, true
+}
+
+func allLits(e Expr) bool {
+	switch t := e.(type) {
+	case *Lit:
+		return true
+	case *Arith:
+		return allLits(t.L) && allLits(t.R)
+	case *Cmp:
+		return allLits(t.L) && allLits(t.R)
+	case *Not:
+		return allLits(t.X)
+	case *IsNull:
+		return allLits(t.X)
+	case *Like:
+		return allLits(t.X)
+	}
+	return false
+}

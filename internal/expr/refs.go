@@ -1,0 +1,38 @@
+package expr
+
+// MarkCols sets mark[i] for every input column the expression reads.
+// An unrecognized node type conservatively marks every column, so
+// callers pruning unmarked columns stay correct as node types are
+// added.
+func MarkCols(e Expr, mark []bool) {
+	switch t := e.(type) {
+	case *Col:
+		if t.Idx >= 0 && t.Idx < len(mark) {
+			mark[t.Idx] = true
+		}
+	case *Lit:
+	case *Arith:
+		MarkCols(t.L, mark)
+		MarkCols(t.R, mark)
+	case *Cmp:
+		MarkCols(t.L, mark)
+		MarkCols(t.R, mark)
+	case *Logic:
+		MarkCols(t.L, mark)
+		MarkCols(t.R, mark)
+	case *Not:
+		MarkCols(t.X, mark)
+	case *IsNull:
+		MarkCols(t.X, mark)
+	case *Like:
+		MarkCols(t.X, mark)
+	case *Call:
+		for _, a := range t.Args {
+			MarkCols(a, mark)
+		}
+	default:
+		for i := range mark {
+			mark[i] = true
+		}
+	}
+}

@@ -1,0 +1,701 @@
+// Vectorized expression evaluation: predicates compile to tri-state mask
+// evaluators that process a batch column-at-a-time and shrink the
+// selection vector, and projections compile to per-expression vector
+// builders. Dictionary-encoded columns evaluate a predicate once per
+// dictionary entry and then map codes through the verdict table, so rows
+// dropped by the filter are never decompressed; packed 2-bit sequence
+// columns evaluate equality against the packed wire bytes without
+// unpacking a single base.
+package expr
+
+import (
+	"bytes"
+
+	"repro/internal/seq"
+	"repro/internal/sqltypes"
+	"repro/internal/vec"
+)
+
+// Tri-state mask values. A plain boolean mask cannot express NOT under
+// SQL three-valued logic (NOT NULL is NULL, not true), so masks carry
+// the third state explicitly and only kTrue survives a filter.
+const (
+	kFalse uint8 = 0
+	kTrue  uint8 = 1
+	kNull  uint8 = 2
+)
+
+// maskEval computes the tri-state truth value of a predicate for the
+// rows listed in sel, writing out[i] for sel[i].
+type maskEval interface {
+	mask(b *vec.Batch, sel []int, out []uint8) error
+}
+
+// FilterEval is a compiled vectorized predicate.
+type FilterEval struct {
+	root    maskEval
+	scratch []uint8
+}
+
+// CompileFilter compiles a predicate for batch evaluation. Every
+// expression compiles: subtrees with no specialized kernel fall back to
+// row-at-a-time evaluation over the selected rows only.
+func CompileFilter(e Expr) *FilterEval {
+	return &FilterEval{root: compileMask(e)}
+}
+
+// Apply evaluates the predicate over the batch's selected rows and
+// shrinks the selection vector to the rows where it is true.
+func (f *FilterEval) Apply(b *vec.Batch) error {
+	n := len(b.Sel)
+	if n == 0 {
+		return nil
+	}
+	if cap(f.scratch) < n {
+		f.scratch = make([]uint8, n)
+	}
+	out := f.scratch[:n]
+	if err := f.root.mask(b, b.Sel, out); err != nil {
+		return err
+	}
+	k := 0
+	for i, s := range b.Sel {
+		if out[i] == kTrue {
+			b.Sel[k] = s
+			k++
+		}
+	}
+	b.Sel = b.Sel[:k]
+	return nil
+}
+
+func compileMask(e Expr) maskEval {
+	switch t := e.(type) {
+	case *Lit:
+		return &constMask{v: classify(t.V)}
+	case *Logic:
+		return &logicMask{and: t.And, l: compileMask(t.L), r: compileMask(t.R)}
+	case *Not:
+		return &notMask{child: compileMask(t.X)}
+	case *IsNull:
+		if c, ok := t.X.(*Col); ok {
+			return &isNullMask{col: c.Idx, negate: t.Negate}
+		}
+	case *Cmp:
+		if col, lit, op, ok := colLitCmp(t); ok {
+			if lit.IsNull() {
+				return &constMask{v: kNull}
+			}
+			return &cmpMask{op: op, col: col, lit: lit}
+		}
+	case *Like:
+		if c, ok := t.X.(*Col); ok {
+			return &likeMask{col: c.Idx, pattern: t.Pattern}
+		}
+	}
+	return &genericMask{e: e}
+}
+
+// colLitCmp recognizes column-vs-literal comparisons in either operand
+// order, flipping the operator when the literal is on the left.
+func colLitCmp(c *Cmp) (col int, lit sqltypes.Value, op CmpOp, ok bool) {
+	if cl, o1 := c.L.(*Col); o1 {
+		if ll, o2 := c.R.(*Lit); o2 {
+			return cl.Idx, ll.V, c.Op, true
+		}
+	}
+	if ll, o1 := c.L.(*Lit); o1 {
+		if cl, o2 := c.R.(*Col); o2 {
+			return cl.Idx, ll.V, flipCmp(c.Op), true
+		}
+	}
+	return 0, sqltypes.Null, 0, false
+}
+
+func flipCmp(op CmpOp) CmpOp {
+	switch op {
+	case CmpLt:
+		return CmpGt
+	case CmpLe:
+		return CmpGe
+	case CmpGt:
+		return CmpLt
+	case CmpGe:
+		return CmpLe
+	}
+	return op // =, <> are symmetric
+}
+
+// classify maps a scalar predicate result to its mask value, matching
+// the row path exactly: NULL is unknown, and a non-null value passes iff
+// Value.Bool() — so a non-boolean value classifies as false, just as the
+// row path's Truthy/Bool coercion does.
+func classify(v sqltypes.Value) uint8 {
+	if v.IsNull() {
+		return kNull
+	}
+	if v.Bool() {
+		return kTrue
+	}
+	return kFalse
+}
+
+type constMask struct{ v uint8 }
+
+func (m *constMask) mask(_ *vec.Batch, sel []int, out []uint8) error {
+	for i := range sel {
+		out[i] = m.v
+	}
+	return nil
+}
+
+// logicMask is Kleene AND/OR. The right side is evaluated only for rows
+// the left side did not decide (false for AND, true for OR) — the
+// vectorized equivalent of the row path's short-circuit, so rows whose
+// right operand would error are skipped in exactly the same cases.
+type logicMask struct {
+	and  bool
+	l, r maskEval
+	sub  []int
+	rout []uint8
+}
+
+func (m *logicMask) mask(b *vec.Batch, sel []int, out []uint8) error {
+	if err := m.l.mask(b, sel, out); err != nil {
+		return err
+	}
+	decided := kFalse
+	if !m.and {
+		decided = kTrue
+	}
+	m.sub = m.sub[:0]
+	for i, s := range sel {
+		if out[i] != decided {
+			m.sub = append(m.sub, s)
+		}
+	}
+	if len(m.sub) == 0 {
+		return nil
+	}
+	if cap(m.rout) < len(m.sub) {
+		m.rout = make([]uint8, len(m.sub))
+	}
+	rout := m.rout[:len(m.sub)]
+	if err := m.r.mask(b, m.sub, rout); err != nil {
+		return err
+	}
+	j := 0
+	for i := range sel {
+		if out[i] == decided {
+			continue
+		}
+		rv := rout[j]
+		j++
+		if m.and {
+			out[i] = kleeneAnd(out[i], rv)
+		} else {
+			out[i] = kleeneOr(out[i], rv)
+		}
+	}
+	return nil
+}
+
+func kleeneAnd(a, b uint8) uint8 {
+	if a == kFalse || b == kFalse {
+		return kFalse
+	}
+	if a == kTrue && b == kTrue {
+		return kTrue
+	}
+	return kNull
+}
+
+func kleeneOr(a, b uint8) uint8 {
+	if a == kTrue || b == kTrue {
+		return kTrue
+	}
+	if a == kFalse && b == kFalse {
+		return kFalse
+	}
+	return kNull
+}
+
+type notMask struct{ child maskEval }
+
+func (m *notMask) mask(b *vec.Batch, sel []int, out []uint8) error {
+	if err := m.child.mask(b, sel, out); err != nil {
+		return err
+	}
+	for i := range sel {
+		switch out[i] {
+		case kTrue:
+			out[i] = kFalse
+		case kFalse:
+			out[i] = kTrue
+		}
+	}
+	return nil
+}
+
+type isNullMask struct {
+	col    int
+	negate bool
+}
+
+func (m *isNullMask) mask(b *vec.Batch, sel []int, out []uint8) error {
+	v := b.Cols[m.col]
+	for i, s := range sel {
+		isNull := v.IsNull(s)
+		if !isNull && v.Vals != nil {
+			isNull = v.Vals[s].IsNull()
+		}
+		if isNull != m.negate {
+			out[i] = kTrue
+		} else {
+			out[i] = kFalse
+		}
+	}
+	return nil
+}
+
+// cmpMask is a column-vs-literal comparison with type-specialized
+// kernels for flat int/float/string vectors, a verdict-table kernel for
+// dictionary vectors, and a packed-bytes equality kernel for 2-bit
+// sequence columns. Anything else (cross-kind comparisons, generic
+// vectors) takes the boxed loop, which is still selection-driven.
+type cmpMask struct {
+	op  CmpOp
+	col int
+	lit sqltypes.Value
+
+	packedLit     []byte // encoded seq.Pack of a string literal
+	packedLitBad  bool   // literal not a packable sequence: never equal
+	packedLitInit bool
+
+	verdict []uint8
+}
+
+func (m *cmpMask) mask(b *vec.Batch, sel []int, out []uint8) error {
+	v := b.Cols[m.col]
+	// A lazy column under a comparison is about to be read for every
+	// selected row — decode it once into its typed array so the tight
+	// loops below apply, instead of boxing cell by cell.
+	if err := v.Materialize(); err != nil {
+		return err
+	}
+	switch {
+	case v.Codes != nil:
+		return m.maskDict(v, sel, out)
+	case v.Packed && v.Byts != nil && (m.op == CmpEq || m.op == CmpNe) && m.lit.K == sqltypes.KindString:
+		return m.maskPackedBytes(v, sel, out)
+	case v.Ints != nil && v.Kind == sqltypes.KindInt && m.lit.K == sqltypes.KindInt:
+		lit := m.lit.I
+		for i, s := range sel {
+			if v.IsNull(s) {
+				out[i] = kNull
+				continue
+			}
+			out[i] = m.verdictCmp(compareInt64(v.Ints[s], lit))
+		}
+		return nil
+	case v.Ints != nil && v.Kind == sqltypes.KindInt && m.lit.K == sqltypes.KindFloat:
+		lit := m.lit.F
+		for i, s := range sel {
+			if v.IsNull(s) {
+				out[i] = kNull
+				continue
+			}
+			out[i] = m.verdictCmp(compareFloat64(float64(v.Ints[s]), lit))
+		}
+		return nil
+	case v.Floats != nil && (m.lit.K == sqltypes.KindFloat || m.lit.K == sqltypes.KindInt):
+		lit := m.lit.F
+		if m.lit.K == sqltypes.KindInt {
+			lit = float64(m.lit.I)
+		}
+		for i, s := range sel {
+			if v.IsNull(s) {
+				out[i] = kNull
+				continue
+			}
+			out[i] = m.verdictCmp(compareFloat64(v.Floats[s], lit))
+		}
+		return nil
+	case v.Strs != nil && m.lit.K == sqltypes.KindString:
+		lit := m.lit.S
+		for i, s := range sel {
+			if v.IsNull(s) {
+				out[i] = kNull
+				continue
+			}
+			out[i] = m.verdictCmp(compareString(v.Strs[s], lit))
+		}
+		return nil
+	}
+	// Boxed fallback: correct for every remaining shape (generic
+	// vectors, cross-kind comparisons) via sqltypes.Compare.
+	for i, s := range sel {
+		cv, err := v.Value(s)
+		if err != nil {
+			return err
+		}
+		if cv.IsNull() {
+			out[i] = kNull
+			continue
+		}
+		out[i] = m.verdictCmp(sqltypes.Compare(cv, m.lit))
+	}
+	return nil
+}
+
+// maskDict evaluates the comparison once per dictionary entry, then maps
+// codes through the verdict table. For a packed-sequence dictionary with
+// an equality operator, each entry compares by its packed wire bytes —
+// seq.Pack is deterministic, so byte equality is string equality — and
+// nothing is ever unpacked.
+func (m *cmpMask) maskDict(v *vec.Vector, sel []int, out []uint8) error {
+	nd := len(v.Dict)
+	if cap(m.verdict) < nd {
+		m.verdict = make([]uint8, nd)
+	}
+	verdict := m.verdict[:nd]
+	for d, dv := range v.Dict {
+		switch {
+		case v.Packed && dv.K == sqltypes.KindBytes && (m.op == CmpEq || m.op == CmpNe) && m.lit.K == sqltypes.KindString:
+			m.ensurePackedLit()
+			eq := !m.packedLitBad && bytes.Equal(dv.B, m.packedLit)
+			if m.op == CmpNe {
+				eq = !eq
+			}
+			if eq {
+				verdict[d] = kTrue
+			} else {
+				verdict[d] = kFalse
+			}
+		case v.Packed && dv.K == sqltypes.KindBytes:
+			uv, err := vec.UnpackValue(dv)
+			if err != nil {
+				return err
+			}
+			verdict[d] = m.verdictCmp(sqltypes.Compare(uv, m.lit))
+		default:
+			verdict[d] = m.verdictCmp(sqltypes.Compare(dv, m.lit))
+		}
+	}
+	for i, s := range sel {
+		if v.IsNull(s) {
+			out[i] = kNull
+			continue
+		}
+		c := v.Codes[s]
+		if int(c) >= nd {
+			return errDictCode(c, nd)
+		}
+		out[i] = verdict[c]
+	}
+	return nil
+}
+
+func (m *cmpMask) maskPackedBytes(v *vec.Vector, sel []int, out []uint8) error {
+	m.ensurePackedLit()
+	for i, s := range sel {
+		if v.IsNull(s) {
+			out[i] = kNull
+			continue
+		}
+		eq := !m.packedLitBad && bytes.Equal(v.Byts[s], m.packedLit)
+		if m.op == CmpNe {
+			eq = !eq
+		}
+		if eq {
+			out[i] = kTrue
+		} else {
+			out[i] = kFalse
+		}
+	}
+	return nil
+}
+
+func (m *cmpMask) ensurePackedLit() {
+	if m.packedLitInit {
+		return
+	}
+	m.packedLitInit = true
+	p, err := seq.Pack(m.lit.S)
+	if err != nil {
+		// A literal that is not a valid sequence can never equal any
+		// stored (packable) sequence value.
+		m.packedLitBad = true
+		return
+	}
+	m.packedLit = p.Encode()
+}
+
+func (m *cmpMask) verdictCmp(cmp int) uint8 {
+	var out bool
+	switch m.op {
+	case CmpEq:
+		out = cmp == 0
+	case CmpNe:
+		out = cmp != 0
+	case CmpLt:
+		out = cmp < 0
+	case CmpLe:
+		out = cmp <= 0
+	case CmpGt:
+		out = cmp > 0
+	case CmpGe:
+		out = cmp >= 0
+	}
+	if out {
+		return kTrue
+	}
+	return kFalse
+}
+
+func compareInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func compareFloat64(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func compareString(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// likeMask evaluates LIKE against a string column; dictionary vectors
+// match the pattern once per distinct entry.
+type likeMask struct {
+	col     int
+	pattern string
+	verdict []uint8
+}
+
+func (m *likeMask) mask(b *vec.Batch, sel []int, out []uint8) error {
+	v := b.Cols[m.col]
+	if err := v.Materialize(); err != nil {
+		return err
+	}
+	if v.Codes != nil {
+		nd := len(v.Dict)
+		if cap(m.verdict) < nd {
+			m.verdict = make([]uint8, nd)
+		}
+		verdict := m.verdict[:nd]
+		for d, dv := range v.Dict {
+			if v.Packed && dv.K == sqltypes.KindBytes {
+				uv, err := vec.UnpackValue(dv)
+				if err != nil {
+					return err
+				}
+				dv = uv
+			}
+			if likeMatch(dv.AsString(), m.pattern) {
+				verdict[d] = kTrue
+			} else {
+				verdict[d] = kFalse
+			}
+		}
+		for i, s := range sel {
+			if v.IsNull(s) {
+				out[i] = kNull
+				continue
+			}
+			c := v.Codes[s]
+			if int(c) >= nd {
+				return errDictCode(c, nd)
+			}
+			out[i] = verdict[c]
+		}
+		return nil
+	}
+	if v.Strs != nil {
+		for i, s := range sel {
+			if v.IsNull(s) {
+				out[i] = kNull
+				continue
+			}
+			if likeMatch(v.Strs[s], m.pattern) {
+				out[i] = kTrue
+			} else {
+				out[i] = kFalse
+			}
+		}
+		return nil
+	}
+	for i, s := range sel {
+		cv, err := v.Value(s)
+		if err != nil {
+			return err
+		}
+		if cv.IsNull() {
+			out[i] = kNull
+			continue
+		}
+		if likeMatch(cv.AsString(), m.pattern) {
+			out[i] = kTrue
+		} else {
+			out[i] = kFalse
+		}
+	}
+	return nil
+}
+
+// genericMask is the row-at-a-time fallback: it materializes only the
+// selected rows and reuses one scratch row across calls.
+type genericMask struct {
+	e   Expr
+	row sqltypes.Row
+}
+
+func (m *genericMask) mask(b *vec.Batch, sel []int, out []uint8) error {
+	for i, s := range sel {
+		row, err := b.ReadRow(s, m.row)
+		if err != nil {
+			return err
+		}
+		m.row = row
+		v, err := m.e.Eval(row)
+		if err != nil {
+			return err
+		}
+		out[i] = classify(v)
+	}
+	return nil
+}
+
+func errDictCode(c int32, nd int) error {
+	return &dictCodeError{code: c, entries: nd}
+}
+
+type dictCodeError struct {
+	code    int32
+	entries int
+}
+
+func (e *dictCodeError) Error() string {
+	return "expr: dictionary code out of range"
+}
+
+// Projection is a compiled list of output-column expressions evaluated
+// batch-at-a-time.
+type Projection struct {
+	evals []vecEval
+}
+
+type vecEval interface {
+	eval(b *vec.Batch) (*vec.Vector, error)
+}
+
+// CompileProjection compiles one vector builder per output expression:
+// column references pass the input vector through untouched (keeping its
+// encoding, so a projected dictionary column stays dictionary-encoded),
+// literals become a one-entry dictionary, and everything else evaluates
+// row-at-a-time over selected rows only.
+func CompileProjection(exprs []Expr) *Projection {
+	p := &Projection{evals: make([]vecEval, len(exprs))}
+	for i, e := range exprs {
+		switch t := e.(type) {
+		case *Col:
+			p.evals[i] = &colEval{idx: t.Idx}
+		case *Lit:
+			p.evals[i] = &litEval{v: t.V}
+		default:
+			p.evals[i] = &genericEval{e: e}
+		}
+	}
+	return p
+}
+
+// Eval produces the projected column vectors for a batch. The output
+// vectors are defined for the selected rows; unselected entries are
+// unspecified.
+func (p *Projection) Eval(b *vec.Batch) ([]*vec.Vector, error) {
+	out := make([]*vec.Vector, len(p.evals))
+	for i, ev := range p.evals {
+		v, err := ev.eval(b)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+type colEval struct{ idx int }
+
+func (c *colEval) eval(b *vec.Batch) (*vec.Vector, error) {
+	return b.Cols[c.idx], nil
+}
+
+// litEval produces a constant column as a one-entry dictionary over a
+// shared all-zero code array (read-only, safe to share across batches).
+type litEval struct {
+	v     sqltypes.Value
+	codes []int32
+	nulls []uint64
+}
+
+func (l *litEval) eval(b *vec.Batch) (*vec.Vector, error) {
+	n := b.Rows()
+	if cap(l.codes) < n {
+		l.codes = make([]int32, n)
+	}
+	out := &vec.Vector{Kind: l.v.K, Codes: l.codes[:n], Dict: []sqltypes.Value{l.v}}
+	if l.v.IsNull() {
+		words := (n + 63) / 64
+		if cap(l.nulls) < words {
+			l.nulls = make([]uint64, words)
+			for i := range l.nulls {
+				l.nulls[i] = ^uint64(0)
+			}
+		}
+		out.Nulls = l.nulls[:words]
+	}
+	return out, nil
+}
+
+type genericEval struct {
+	e   Expr
+	row sqltypes.Row
+}
+
+func (g *genericEval) eval(b *vec.Batch) (*vec.Vector, error) {
+	out := &vec.Vector{Kind: sqltypes.KindNull, Vals: make([]sqltypes.Value, b.Rows())}
+	for _, s := range b.Sel {
+		row, err := b.ReadRow(s, g.row)
+		if err != nil {
+			return nil, err
+		}
+		g.row = row
+		v, err := g.e.Eval(row)
+		if err != nil {
+			return nil, err
+		}
+		out.Vals[s] = v
+		if v.IsNull() {
+			out.SetNull(s)
+		}
+	}
+	return out, nil
+}

@@ -92,6 +92,11 @@ func (pl *Planner) planNamedTable(t *sqlparse.NamedTable, conjuncts []sqlparse.E
 		est = scaleEst(est, conjunctsSelectivity(ts, pushed))
 	}
 	partsN := pl.partitionCount(est)
+	// Vectorized scans deliver columnar batches; pushed predicates become
+	// selection-vector filters that evaluate dictionary-encoded columns
+	// once per distinct value. The operators still serve the row interface,
+	// so unmigrated consumers (joins, aggregates) compose unchanged.
+	vectorized := pl.Provider.VectorizedScan(tab)
 	parts := func() ([]exec.Operator, error) {
 		ops, err := pl.Provider.ScanPartitions(tab, partsN)
 		if err != nil {
@@ -99,10 +104,29 @@ func (pl *Planner) planNamedTable(t *sqlparse.NamedTable, conjuncts []sqlparse.E
 		}
 		if pred != nil {
 			for i := range ops {
-				ops[i] = &exec.Filter{Pred: pred, Child: ops[i]}
+				if bo, ok := ops[i].(exec.BatchOperator); ok && vectorized {
+					ops[i] = &exec.VecFilter{Pred: pred, Child: bo}
+				} else {
+					ops[i] = &exec.Filter{Pred: pred, Child: ops[i]}
+				}
 			}
 		}
 		return ops, nil
+	}
+	batchParts := func() ([]exec.BatchOperator, error) {
+		ops, err := parts()
+		if err != nil {
+			return nil, err
+		}
+		bops := make([]exec.BatchOperator, len(ops))
+		for i, op := range ops {
+			bo, ok := op.(exec.BatchOperator)
+			if !ok {
+				return nil, fmt.Errorf("plan: scan partition %d of %s is not batch-capable", i, tab.Name)
+			}
+			bops[i] = bo
+		}
+		return bops, nil
 	}
 
 	scanOp := "Table Scan"
@@ -118,7 +142,7 @@ func (pl *Planner) planNamedTable(t *sqlparse.NamedTable, conjuncts []sqlparse.E
 		detail += fmt.Sprintf(" WHERE:(%s)", pred)
 	}
 	var node *Node
-	scanLeaf := &Node{Op: scanOp, Detail: detail, Cols: cols, Est: est}
+	scanLeaf := &Node{Op: scanOp, Detail: detail, Cols: cols, Est: est, Vec: vectorized}
 	scanLeaf.Build = func() (exec.Operator, error) {
 		ops, err := parts()
 		if err != nil {
@@ -133,7 +157,17 @@ func (pl *Planner) planNamedTable(t *sqlparse.NamedTable, conjuncts []sqlparse.E
 			Children: []*Node{scanLeaf},
 			Cols:     cols,
 			Est:      est,
+			// The batch exchange is unordered; clustered scans keep the
+			// row exchange so the merge-preserved key order survives.
+			Vec: vectorized && !tab.Clustered,
 			Build: func() (exec.Operator, error) {
+				if vectorized && !tab.Clustered {
+					bops, err := batchParts()
+					if err != nil {
+						return nil, err
+					}
+					return &exec.VecGather{Children: bops}, nil
+				}
 				ops, err := parts()
 				if err != nil {
 					return nil, err

@@ -58,6 +58,10 @@ type Provider interface {
 	// budget; may return nil when the engine cannot spill (joins then fail
 	// rather than exceed the budget).
 	SpillStore() exec.SpillStore
+	// VectorizedScan reports whether the table's scan partitions can
+	// deliver columnar batches (exec.BatchIterator), letting the planner
+	// run filters and projections above them as vectorized tight loops.
+	VectorizedScan(t *catalog.Table) bool
 }
 
 // ColMeta describes one output column of a plan node.
@@ -76,7 +80,10 @@ type Node struct {
 	Cols     []ColMeta
 	// Est is the planner's estimated output cardinality (0 = unknown);
 	// EXPLAIN renders it so estimate quality is visible and testable.
-	Est   int64
+	Est int64
+	// Vec marks a node whose Build returns an exec.BatchOperator —
+	// EXPLAIN renders it and vectorized parents compose batch-to-batch.
+	Vec   bool
 	Build func() (exec.Operator, error)
 }
 
@@ -98,6 +105,9 @@ func (n *Node) explain(sb *strings.Builder, depth int) {
 	}
 	if n.Est > 0 {
 		fmt.Fprintf(sb, " (est=%d rows)", n.Est)
+	}
+	if n.Vec {
+		sb.WriteString(" vectorized")
 	}
 	sb.WriteString("\n")
 	for _, c := range n.Children {
@@ -201,44 +211,86 @@ func buildChild(n *Node) (exec.Operator, error) {
 	return n.Build()
 }
 
-// newFilterNode wraps a child with a predicate filter. The filter's
-// selectivity is unknown at this level (estimable predicates were pushed
-// into scans), so the child estimate carries through unreduced.
+// buildBatchChild builds a Vec-marked child and asserts its batch
+// interface.
+func buildBatchChild(n *Node) (exec.BatchOperator, error) {
+	op, err := buildChild(n)
+	if err != nil {
+		return nil, err
+	}
+	bo, ok := op.(exec.BatchOperator)
+	if !ok {
+		return nil, fmt.Errorf("plan: node %q marked vectorized but built %T", n.Op, op)
+	}
+	return bo, nil
+}
+
+// newFilterNode wraps a child with a predicate filter — vectorized
+// (selection-vector updates over columnar batches) above a vectorized
+// child, row-at-a-time otherwise. The filter's selectivity is unknown at
+// this level (estimable predicates were pushed into scans), so the child
+// estimate carries through unreduced.
 func newFilterNode(pred expr.Expr, child *Node) *Node {
-	return &Node{
+	n := &Node{
 		Op:       "Filter",
 		Detail:   fmt.Sprintf("WHERE:(%s)", pred),
 		Children: []*Node{child},
 		Cols:     child.Cols,
 		Est:      child.Est,
-		Build: func() (exec.Operator, error) {
+		Vec:      child.Vec,
+	}
+	if child.Vec {
+		n.Build = func() (exec.Operator, error) {
+			c, err := buildBatchChild(child)
+			if err != nil {
+				return nil, err
+			}
+			return &exec.VecFilter{Pred: pred, Child: c}, nil
+		}
+	} else {
+		n.Build = func() (exec.Operator, error) {
 			c, err := buildChild(child)
 			if err != nil {
 				return nil, err
 			}
 			return &exec.Filter{Pred: pred, Child: c}, nil
-		},
+		}
 	}
+	return n
 }
 
-// newProjectNode wraps a child with computed output expressions.
+// newProjectNode wraps a child with computed output expressions —
+// batch-at-a-time (column references pass vectors through unchanged,
+// preserving dictionary encoding) above a vectorized child.
 func newProjectNode(exprs []expr.Expr, cols []ColMeta, child *Node) *Node {
 	parts := make([]string, len(exprs))
 	for i, e := range exprs {
 		parts[i] = e.String()
 	}
-	return &Node{
+	n := &Node{
 		Op:       "Compute Scalar",
 		Detail:   fmt.Sprintf("DEFINE:[%s]", strings.Join(parts, ", ")),
 		Children: []*Node{child},
 		Cols:     cols,
 		Est:      child.Est,
-		Build: func() (exec.Operator, error) {
+		Vec:      child.Vec,
+	}
+	if child.Vec {
+		n.Build = func() (exec.Operator, error) {
+			c, err := buildBatchChild(child)
+			if err != nil {
+				return nil, err
+			}
+			return &exec.VecProject{Exprs: exprs, Child: c}, nil
+		}
+	} else {
+		n.Build = func() (exec.Operator, error) {
 			c, err := buildChild(child)
 			if err != nil {
 				return nil, err
 			}
 			return &exec.Project{Exprs: exprs, Child: c}, nil
-		},
+		}
 	}
+	return n
 }

@@ -162,6 +162,11 @@ func (f *memSpillFile) Release() error { return nil }
 
 func (p *fakeProvider) SpillStore() exec.SpillStore { return memSpillStore{} }
 
+// The fake's scan partitions are row slices, not page-backed batch
+// sources, so plans stay row-at-a-time (row-to-batch shims would only
+// add overhead here).
+func (p *fakeProvider) VectorizedScan(*catalog.Table) bool { return false }
+
 func planQuery(t *testing.T, pl *Planner, sql string) *Node {
 	t.Helper()
 	stmt, err := sqlparse.Parse(sql)

@@ -193,7 +193,7 @@ func (pl *Planner) PlanSelect(sel *sqlparse.Select) (*Node, error) {
 	node := rel.node
 	if len(sortKeys) > 0 {
 		if sel.Top >= 0 {
-			node = topNNode(sel.Top, sortKeys, node)
+			node = pl.topNNode(sel.Top, sortKeys, rel)
 		} else {
 			node = pl.sortNode(sortKeys, rel)
 		}
@@ -203,13 +203,25 @@ func (pl *Planner) PlanSelect(sel *sqlparse.Select) (*Node, error) {
 			Op: "Top", Detail: fmt.Sprintf("TOP %d", sel.Top),
 			Children: []*Node{child}, Cols: child.Cols,
 			Est: limitEst(sel.Top, child.Est),
-			Build: func() (exec.Operator, error) {
+			Vec: child.Vec,
+		}
+		if child.Vec {
+			top := sel.Top
+			node.Build = func() (exec.Operator, error) {
+				c, err := buildBatchChild(child)
+				if err != nil {
+					return nil, err
+				}
+				return &exec.VecLimit{N: top, Child: c}, nil
+			}
+		} else {
+			node.Build = func() (exec.Operator, error) {
 				c, err := buildChild(child)
 				if err != nil {
 					return nil, err
 				}
 				return &exec.Limit{N: sel.Top, Child: c}, nil
-			},
+			}
 		}
 	}
 	return newProjectNode(outExprs, outCols, node), nil
@@ -313,6 +325,27 @@ func (pl *Planner) planAggregate(sel *sqlparse.Select, rel *relation,
 		subst[key] = len(groupExprs) + j
 	}
 
+	// The aggregate touches only its grouping and argument columns, so
+	// input rows served through a batch-to-row shim can leave every other
+	// column unmaterialized — on lazy columnar scans those cells are never
+	// decoded at all (COUNT(*) over a filtered scan decodes nothing).
+	aggNeeds := make([]bool, len(rel.cols))
+	for _, g := range groupExprs {
+		expr.MarkCols(g, aggNeeds)
+	}
+	for _, spec := range aggSpecs {
+		for _, a := range spec.Args {
+			expr.MarkCols(a, aggNeeds)
+		}
+	}
+	pruneCols := func(ops ...exec.Operator) {
+		for _, op := range ops {
+			if cp, ok := op.(exec.ColumnPruner); ok {
+				cp.PruneColumns(aggNeeds)
+			}
+		}
+	}
+
 	outCols := make([]ColMeta, 0, len(groupExprs)+len(aggSpecs))
 	for _, g := range sel.GroupBy {
 		name := ""
@@ -344,6 +377,7 @@ func (pl *Planner) planAggregate(sel *sqlparse.Select, rel *relation,
 				if err != nil {
 					return nil, err
 				}
+				pruneCols(c)
 				return &exec.StreamAggregate{GroupBy: groupExprs, Aggs: aggSpecs, Child: c}, nil
 			},
 		}
@@ -379,6 +413,7 @@ func (pl *Planner) planAggregate(sel *sqlparse.Select, rel *relation,
 				if err != nil {
 					return nil, err
 				}
+				pruneCols(children...)
 				return &exec.SpillableAggregate{
 					GroupBy:      groupExprs,
 					Aggs:         aggSpecs,
@@ -404,6 +439,7 @@ func (pl *Planner) planAggregate(sel *sqlparse.Select, rel *relation,
 			if err != nil {
 				return nil, err
 			}
+			pruneCols(c)
 			return &exec.SpillableAggregate{
 				GroupBy:      groupExprs,
 				Aggs:         aggSpecs,
@@ -486,6 +522,7 @@ func filterRelation(rel *relation, pred expr.Expr) *relation {
 	out := &relation{node: node, cols: rel.cols, ordered: rel.ordered, est: rel.est, stats: rel.stats}
 	if rel.parts != nil {
 		inner := rel.parts
+		vec := rel.node.Vec
 		out.partsN = rel.partsN
 		out.parts = func() ([]exec.Operator, error) {
 			children, err := inner()
@@ -493,7 +530,11 @@ func filterRelation(rel *relation, pred expr.Expr) *relation {
 				return nil, err
 			}
 			for i := range children {
-				children[i] = &exec.Filter{Pred: pred, Child: children[i]}
+				if bo, ok := children[i].(exec.BatchOperator); ok && vec {
+					children[i] = &exec.VecFilter{Pred: pred, Child: bo}
+				} else {
+					children[i] = &exec.Filter{Pred: pred, Child: children[i]}
+				}
 			}
 			return children, nil
 		}
@@ -640,19 +681,79 @@ func (pl *Planner) buildParallelSort(keys []exec.SortKey, rel *relation) (*exec.
 	return &exec.MergeSorted{Keys: keys, Children: sorts}, nil
 }
 
-func topNNode(n int64, keys []exec.SortKey, child *Node) *Node {
-	return &Node{
+// topNNode plans TOP n ORDER BY. Over an unordered partitionable input
+// the TopN is pushed below the exchange: each partition keeps its own
+// top n, so the gather merges DOP·n candidate rows instead of the whole
+// input, and the final TopN reduces those to n. Ordered inputs (merge
+// gathers off clustered scans) keep the serial TopN above the exchange
+// so key-order tie-breaking is preserved.
+func (pl *Planner) topNNode(n int64, keys []exec.SortKey, rel *relation) *Node {
+	child := rel.node
+	if rel.parts != nil && rel.partsN > 1 && rel.ordered == nil && n > 0 {
+		parts := rel.parts
+		below := child.Children
+		if len(below) == 0 {
+			below = []*Node{child}
+		}
+		return &Node{
+			Op:     "Top N Sort",
+			Detail: fmt.Sprintf("TOP %d ORDER BY:[%s] (merge partials)", n, describeSortKeys(keys)),
+			Children: []*Node{{
+				Op:     "Parallelism (Gather Streams)",
+				Detail: fmt.Sprintf("DOP %d", rel.partsN),
+				Children: []*Node{{
+					Op:       "Top N Sort (per-partition)",
+					Detail:   fmt.Sprintf("TOP %d ORDER BY:[%s]", n, describeSortKeys(keys)),
+					Children: below,
+					Cols:     child.Cols,
+					Est:      limitEst(n, child.Est),
+					Vec:      child.Vec,
+				}},
+				Cols: child.Cols,
+			}},
+			Cols: child.Cols,
+			Est:  limitEst(n, child.Est),
+			Build: func() (exec.Operator, error) {
+				ops, err := parts()
+				if err != nil {
+					return nil, err
+				}
+				tops := make([]exec.Operator, len(ops))
+				for i, op := range ops {
+					if bo, ok := op.(exec.BatchOperator); ok && child.Vec {
+						tops[i] = &exec.VecTopN{N: n, Keys: keys, Child: bo}
+					} else {
+						tops[i] = &exec.TopN{N: n, Keys: keys, Child: op}
+					}
+				}
+				g := &exec.Gather{Children: tops}
+				return &exec.TopN{N: n, Keys: keys, Child: g}, nil
+			},
+		}
+	}
+	node := &Node{
 		Op:       "Top N Sort",
 		Detail:   fmt.Sprintf("TOP %d ORDER BY:[%s]", n, describeSortKeys(keys)),
 		Children: []*Node{child},
 		Cols:     child.Cols,
 		Est:      limitEst(n, child.Est),
-		Build: func() (exec.Operator, error) {
+	}
+	if child.Vec {
+		node.Build = func() (exec.Operator, error) {
+			c, err := buildBatchChild(child)
+			if err != nil {
+				return nil, err
+			}
+			return &exec.VecTopN{N: n, Keys: keys, Child: c}, nil
+		}
+	} else {
+		node.Build = func() (exec.Operator, error) {
 			c, err := buildChild(child)
 			if err != nil {
 				return nil, err
 			}
 			return &exec.TopN{N: n, Keys: keys, Child: c}, nil
-		},
+		}
 	}
+	return node
 }

@@ -14,20 +14,66 @@ type frameKey struct {
 	page PageID
 }
 
-// frame is one buffer-pool slot.
-type frame struct {
-	key   frameKey
-	data  [PageSize]byte
-	pins  int
-	dirty bool
-	used  bool // clock reference bit
+// pinMask extracts the pin count from a frame's packed state word.
+const pinMask = (uint64(1) << 32) - 1
 
-	// loading is non-nil while a cache miss is filling data from disk.
-	// Concurrent getters of the same page pin the frame, drop the shard
-	// lock, and wait for the channel to close; loadErr (written before the
-	// close, so the close publishes it) reports how the fill ended.
-	loading chan struct{}
-	loadErr error
+// fillLatch is the per-frame miss latch: concurrent getters of an
+// in-flight page wait on done; err is written before the close, so the
+// close publishes it.
+type fillLatch struct {
+	done chan struct{}
+	err  error
+}
+
+// frame is one buffer-pool slot.
+//
+// state packs generation<<32 | pins. The generation is even while the
+// frame's identity (key) is stable and odd while a recycle is in flight;
+// it increases by two per recycle, so a successful CAS on an unchanged
+// state word proves no recycle intervened. That is the whole warm-hit
+// protocol: load state (even generation), load key (match), CAS pins+1 —
+// all without the shard lock. The evictor begins a recycle with a CAS
+// from (even, 0 pins) to (odd, 0), which any concurrent pin invalidates,
+// and ends it with a store of (even+2, pins).
+type frame struct {
+	state atomic.Uint64
+	key   atomic.Pointer[frameKey]
+	latch atomic.Pointer[fillLatch]
+	dirty atomic.Bool
+	used  atomic.Bool // clock reference bit
+	data  [PageSize]byte
+}
+
+// tryPin takes a pin iff the frame currently maps key. Safe without any
+// lock: the CAS succeeds only if the state word — including the
+// recycle generation — is unchanged since the key was validated.
+func (fr *frame) tryPin(key frameKey) bool {
+	for {
+		s := fr.state.Load()
+		if (s>>32)&1 == 1 {
+			return false // recycle in flight
+		}
+		k := fr.key.Load()
+		if k == nil || *k != key {
+			return false
+		}
+		if fr.state.CompareAndSwap(s, s+1) {
+			return true
+		}
+	}
+}
+
+// unpin releases one pin.
+func (fr *frame) unpin() {
+	for {
+		s := fr.state.Load()
+		if s&pinMask == 0 {
+			panic("storage: Unpin of unpinned frame")
+		}
+		if fr.state.CompareAndSwap(s, s-1) {
+			return
+		}
+	}
 }
 
 // poolShard is one lock domain of the buffer pool: its own frame map,
@@ -35,12 +81,47 @@ type frame struct {
 // eviction pressure moves budget between shards (see stealBudget), with
 // the invariant len(clock) <= budget per shard and sum(budget) == pool
 // capacity, so the pool never materializes more than capacity frames.
+// snap is a copy-on-write snapshot of frames, republished after every
+// map mutation under mu — the lock-free hit path reads only the
+// snapshot, so misses and evictions never block warm hits.
 type poolShard struct {
 	mu     sync.Mutex
 	frames map[frameKey]*frame
+	snap   atomic.Pointer[map[frameKey]*frame]
 	clock  []*frame
 	hand   int
 	budget int
+}
+
+// publishLocked republishes the frame-map snapshot. Called with mu held
+// after every mutation of frames.
+func (sh *poolShard) publishLocked() {
+	m := make(map[frameKey]*frame, len(sh.frames))
+	for k, v := range sh.frames {
+		m[k] = v
+	}
+	sh.snap.Store(&m)
+}
+
+// installLocked binds an allocLocked frame to key with one pin held,
+// completing the frame's recycle (generation back to even). latch is
+// non-nil while a disk fill is pending; dirty marks freshly allocated
+// pages. Called with mu held.
+func (sh *poolShard) installLocked(fr *frame, key frameKey, dirty bool, latch *fillLatch) {
+	gen := fr.state.Load() >> 32
+	if gen&1 == 1 {
+		gen++
+	}
+	fr.dirty.Store(dirty)
+	fr.used.Store(true)
+	fr.latch.Store(latch)
+	k := key
+	fr.key.Store(&k)
+	sh.frames[key] = fr
+	sh.publishLocked()
+	// The store makes the frame pinnable; every identity field above is
+	// ordered before it.
+	fr.state.Store(gen<<32 | 1)
 }
 
 // BufferPool caches pages with pin/unpin semantics and clock eviction.
@@ -50,11 +131,13 @@ type poolShard struct {
 // buffer pool", Section 5.3.3).
 //
 // The pool is sharded: pages hash (by file and page id) onto
-// power-of-two many shards, each with its own mutex, so parallel scans
-// touching different pages never contend on a single lock. Cache-miss
-// disk reads happen outside the shard lock behind a per-frame fill
-// latch: readers of the same in-flight page wait on the latch, readers
-// of other pages in the same shard proceed.
+// power-of-two many shards, each with its own mutex. Warm hits take no
+// lock at all: they look the page up in the shard's copy-on-write map
+// snapshot and pin with a single CAS on the frame's generation-stamped
+// state word, so parallel scans over a warm pool scale without touching
+// a mutex. Misses, evictions and flushes serialize on the shard lock as
+// before; cache-miss disk reads happen outside it behind a per-frame
+// fill latch.
 type BufferPool struct {
 	shards   []poolShard
 	mask     uint64
@@ -129,6 +212,7 @@ func NewBufferPoolSharded(capacity, shards int) *BufferPool {
 		if i < extra {
 			sh.budget++
 		}
+		sh.publishLocked()
 	}
 	return bp
 }
@@ -162,38 +246,29 @@ func (bp *BufferPool) shard(key frameKey) *poolShard {
 // Get pins the page and returns its in-memory image. The caller must call
 // Unpin (with dirty=true if it modified the image) when done.
 //
-// A miss reads from disk outside the shard lock: the frame is published
-// in the map with a fill latch first, so concurrent getters of the same
-// page block on the latch (not on the shard), and getters of other
-// pages proceed through the shard concurrently.
+// Warm hits complete entirely lock-free (snapshot lookup + tryPin). A
+// miss reads from disk outside the shard lock: the frame is published
+// with a fill latch first, so concurrent getters of the same page block
+// on the latch (not on the shard), and getters of other pages proceed.
 func (bp *BufferPool) Get(f *PagedFile, id PageID) (*frame, error) {
 	key := frameKey{f, id}
 	sh := bp.shard(key)
+	if m := sh.snap.Load(); m != nil {
+		if fr, ok := (*m)[key]; ok && fr.tryPin(key) {
+			return bp.pinned(fr)
+		}
+	}
 	sh.mu.Lock()
 	for {
 		if fr, ok := sh.frames[key]; ok {
-			fr.pins++
-			fr.used = true
-			latch := fr.loading
-			sh.mu.Unlock()
-			if latch == nil {
-				bp.hits.Add(1)
-				return fr, nil
-			}
-			// Waiting on another getter's fill pays the I/O latency, so
-			// it counts as a miss, keeping the reported hit rate honest
-			// about how many accesses were served from memory.
-			bp.misses.Add(1)
-			<-latch
-			// The pin taken above keeps the frame from being recycled, so
-			// loadErr still belongs to the fill we waited for.
-			if err := fr.loadErr; err != nil {
-				sh.mu.Lock()
-				fr.pins--
+			// Under mu the mapping is stable (recycles hold mu), so the
+			// pin cannot fail.
+			if !fr.tryPin(key) {
 				sh.mu.Unlock()
-				return nil, err
+				panic("storage: mapped frame rejected pin under shard lock")
 			}
-			return fr, nil
+			sh.mu.Unlock()
+			return bp.pinned(fr)
 		}
 		fr := sh.allocLocked(bp)
 		if fr == nil {
@@ -205,32 +280,55 @@ func (bp *BufferPool) Get(f *PagedFile, id PageID) (*frame, error) {
 			continue // re-check: the page may have been cached meanwhile
 		}
 		bp.misses.Add(1)
-		fr.key = key
-		fr.pins = 1
-		fr.used = true
-		fr.dirty = false
-		latch := make(chan struct{})
-		fr.loading = latch
-		fr.loadErr = nil
-		sh.frames[key] = fr
+		latch := &fillLatch{done: make(chan struct{})}
+		sh.installLocked(fr, key, false, latch)
 		sh.mu.Unlock()
 
 		err := f.ReadPage(id, fr.data[:]) // the actual I/O, outside the lock
-		sh.mu.Lock()
-		fr.loading = nil
-		fr.loadErr = err
 		if err != nil {
-			fr.pins--
+			// Publish the error, then unmap. The stale latch stays on the
+			// frame until its next install: a racing lock-free pin that
+			// slips in before the key is cleared finds the latch, observes
+			// the error, and unpins — it can never mistake the frame for a
+			// clean hit.
+			latch.err = err
+			sh.mu.Lock()
 			delete(sh.frames, key)
-			fr.key = frameKey{}
-		}
-		sh.mu.Unlock()
-		close(latch)
-		if err != nil {
+			sh.publishLocked()
+			fr.key.Store(nil)
+			sh.mu.Unlock()
+			fr.unpin()
+			close(latch.done)
 			return nil, err
 		}
+		fr.latch.Store(nil)
+		close(latch.done)
 		return fr, nil
 	}
+}
+
+// pinned finishes a successful pin: account a hit, or wait out a pending
+// fill.
+func (bp *BufferPool) pinned(fr *frame) (*frame, error) {
+	latch := fr.latch.Load()
+	if latch == nil {
+		bp.hits.Add(1)
+		fr.used.Store(true)
+		return fr, nil
+	}
+	// Waiting on another getter's fill pays the I/O latency, so it
+	// counts as a miss, keeping the reported hit rate honest about how
+	// many accesses were served from memory.
+	bp.misses.Add(1)
+	<-latch.done
+	// The pin keeps the frame from being recycled, so latch.err still
+	// belongs to the fill we waited for.
+	if latch.err != nil {
+		fr.unpin()
+		return nil, latch.err
+	}
+	fr.used.Store(true)
+	return fr, nil
 }
 
 // NewPage pins a frame for a freshly allocated page without reading from
@@ -253,12 +351,8 @@ func (bp *BufferPool) NewPage(f *PagedFile, id PageID) (*frame, error) {
 			sh.mu.Lock()
 			continue
 		}
-		fr.key = key
-		fr.pins = 1
-		fr.used = true
-		fr.dirty = true
-		clear(fr.data[:])
-		sh.frames[key] = fr
+		clear(fr.data[:]) // before install: no reader can pin yet
+		sh.installLocked(fr, key, true, nil)
 		sh.mu.Unlock()
 		return fr, nil
 	}
@@ -266,8 +360,9 @@ func (bp *BufferPool) NewPage(f *PagedFile, id PageID) (*frame, error) {
 
 // allocLocked finds a reusable frame in the shard: a fresh frame while
 // the shard is under budget, else an unpinned clean page evicted via the
-// clock algorithm. Returns nil when every frame is pinned or dirty.
-// Called with sh.mu held.
+// clock algorithm. Returns nil when every frame is pinned or dirty. A
+// returned recycled frame is in the odd-generation state (unpinnable)
+// until installLocked. Called with sh.mu held.
 func (sh *poolShard) allocLocked(bp *BufferPool) *frame {
 	if len(sh.clock) < sh.budget {
 		fr := &frame{}
@@ -278,21 +373,38 @@ func (sh *poolShard) allocLocked(bp *BufferPool) *frame {
 }
 
 // evictLocked runs the clock sweep, returning an evicted frame (still
-// tracked in the shard's clock) or nil.
+// tracked in the shard's clock, generation odd) or nil.
 func (sh *poolShard) evictLocked(bp *BufferPool) *frame {
 	for sweep := 0; sweep < 2*len(sh.clock); sweep++ {
 		fr := sh.clock[sh.hand]
 		sh.hand = (sh.hand + 1) % len(sh.clock)
-		if fr.pins > 0 || fr.dirty {
+		s := fr.state.Load()
+		if s&pinMask != 0 || fr.dirty.Load() {
 			continue
 		}
-		if fr.used {
-			fr.used = false
+		if fr.used.Load() {
+			fr.used.Store(false)
 			continue
 		}
-		if fr.key != (frameKey{}) {
-			delete(sh.frames, fr.key)
-			fr.key = frameKey{}
+		// Begin the recycle: odd generation with zero pins. Any
+		// concurrent lock-free pin changes the state word and fails the
+		// CAS.
+		if !fr.state.CompareAndSwap(s, (s>>32+1)<<32) {
+			continue
+		}
+		// A pin taken and released between the dirty check and the CAS
+		// leaves the state word unchanged but may have dirtied the frame
+		// (Unpin orders the dirty store before the pin release, and that
+		// release is ordered before our successful CAS). Re-check now
+		// that the odd generation blocks further pins.
+		if fr.dirty.Load() {
+			fr.state.Store((s>>32 + 2) << 32) // abort: back to even, mapping intact
+			continue
+		}
+		if k := fr.key.Load(); k != nil {
+			fr.key.Store(nil)
+			delete(sh.frames, *k)
+			sh.publishLocked()
 			bp.evictions.Add(1)
 		}
 		return fr
@@ -331,7 +443,7 @@ func (bp *BufferPool) stealBudget(home *poolShard) error {
 	if sib := bp.maxScoreShard(home, func(sh *poolShard) int {
 		free := 0
 		for _, fr := range sh.clock {
-			if fr.pins == 0 && !fr.dirty {
+			if fr.state.Load()&pinMask == 0 && !fr.dirty.Load() {
 				free++
 			}
 		}
@@ -418,20 +530,14 @@ func (sh *poolShard) removeFromClockLocked(fr *frame) {
 	}
 }
 
-// Unpin releases a pinned frame.
+// Unpin releases a pinned frame. Lock-free: the dirty bit is published
+// before the pin drops, and the evictor re-checks dirty after taking the
+// frame, so the write can never be lost to a concurrent eviction.
 func (bp *BufferPool) Unpin(fr *frame, dirty bool) {
-	// fr.key cannot change while the caller holds a pin, so reading it
-	// before taking the shard lock is safe.
-	sh := bp.shard(fr.key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if fr.pins <= 0 {
-		panic("storage: Unpin of unpinned frame")
-	}
-	fr.pins--
 	if dirty {
-		fr.dirty = true
+		fr.dirty.Store(true)
 	}
+	fr.unpin()
 }
 
 // Data exposes the page image of a pinned frame.
@@ -444,34 +550,37 @@ func (fr *frame) Data() []byte { return fr.data[:] }
 // pages of f during the flush (checkpoints run with the engine's
 // writer lock held).
 func (bp *BufferPool) FlushFile(f *PagedFile) error {
-	var toFlush []*frame
+	type flushEntry struct {
+		fr   *frame
+		page PageID
+	}
+	var toFlush []flushEntry
 	for i := range bp.shards {
 		sh := &bp.shards[i]
 		sh.mu.Lock()
-		for _, fr := range sh.frames {
-			if fr.key.file == f && fr.dirty {
-				fr.pins++ // hold while writing
-				toFlush = append(toFlush, fr)
+		for k, fr := range sh.frames {
+			if k.file == f && fr.dirty.Load() {
+				// Mapped frames cannot be recycled while we hold the shard
+				// lock, so a plain atomic increment pins safely.
+				fr.state.Add(1)
+				toFlush = append(toFlush, flushEntry{fr, k.page})
 			}
 		}
 		sh.mu.Unlock()
 	}
 	sort.Slice(toFlush, func(i, j int) bool {
-		return toFlush[i].key.page < toFlush[j].key.page
+		return toFlush[i].page < toFlush[j].page
 	})
 	var firstErr error
-	for _, fr := range toFlush {
+	for _, e := range toFlush {
 		var err error
 		if firstErr == nil {
-			err = f.WritePage(fr.key.page, fr.data[:])
+			err = f.WritePage(e.page, e.fr.data[:])
 		}
-		sh := bp.shard(fr.key)
-		sh.mu.Lock()
-		fr.pins--
 		if err == nil && firstErr == nil {
-			fr.dirty = false
+			e.fr.dirty.Store(false)
 		}
-		sh.mu.Unlock()
+		e.fr.unpin()
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -485,16 +594,31 @@ func (bp *BufferPool) DropFile(f *PagedFile) {
 	for i := range bp.shards {
 		sh := &bp.shards[i]
 		sh.mu.Lock()
+		changed := false
 		for k, fr := range sh.frames {
-			if k.file == f {
-				if fr.pins > 0 {
+			if k.file != f {
+				continue
+			}
+			// Recycle the frame; pins>0 means the caller broke the
+			// exclusivity contract (as before).
+			for {
+				s := fr.state.Load()
+				if s&pinMask != 0 {
 					sh.mu.Unlock()
 					panic("storage: DropFile with pinned pages")
 				}
-				fr.dirty = false
-				fr.key = frameKey{}
-				delete(sh.frames, k)
+				if fr.state.CompareAndSwap(s, (s>>32+1)<<32) {
+					fr.dirty.Store(false)
+					fr.key.Store(nil)
+					delete(sh.frames, k)
+					fr.state.Store((s>>32 + 2) << 32)
+					changed = true
+					break
+				}
 			}
+		}
+		if changed {
+			sh.publishLocked()
 		}
 		sh.mu.Unlock()
 	}

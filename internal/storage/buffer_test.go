@@ -49,10 +49,10 @@ func checkPoolInvariants(t *testing.T, bp *BufferPool) {
 			t.Errorf("shard %d holds %d frames over budget %d", i, len(sh.clock), sh.budget)
 		}
 		for _, fr := range sh.clock {
-			if fr.pins != 0 {
-				t.Errorf("shard %d leaked a pin on page %v", i, fr.key.page)
+			if fr.state.Load()&pinMask != 0 {
+				t.Errorf("shard %d leaked a pin on page %v", i, fr.key.Load())
 			}
-			if fr.loading != nil {
+			if fr.key.Load() != nil && fr.latch.Load() != nil {
 				t.Errorf("shard %d left a frame mid-load", i)
 			}
 		}

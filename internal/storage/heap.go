@@ -17,7 +17,7 @@ import (
 //
 // Data pages (ids >= 1):
 //
-//	type   byte  (1 = rowpage, 2 = page-compressed)
+//	type   byte  (1 = rowpage, 2 = page-compressed, 3 = columnar)
 //	comp   byte
 //	rows   uint16
 //	used   uint16  payload length
@@ -331,6 +331,17 @@ func (h *Heap) buildTailPageLocked() ([]byte, int, error) {
 			payload = comp
 			ptype = pageTypeCompressed
 		}
+		// The columnar format wins on low-NDV columns (dictionary/RLE
+		// codes) and additionally feeds the vectorized scanner without a
+		// row detour; take it when it is the smallest of the three.
+		colImg, err := EncodeColumnarPage(h.kinds, h.tailRows, len(payload))
+		if err != nil {
+			return nil, 0, err
+		}
+		if colImg != nil && len(colImg) < len(payload) {
+			payload = colImg
+			ptype = pageTypeColumnar
+		}
 	}
 	if len(payload) > heapCapacity {
 		return nil, 0, errPageOverflow
@@ -363,6 +374,8 @@ func (h *Heap) decodePage(page []byte, dst []sqltypes.Row) ([]sqltypes.Row, erro
 		return dst, nil
 	case pageTypeCompressed:
 		return DecompressPageRows(h.kinds, payload, dst)
+	case pageTypeColumnar:
+		return DecodeColumnarRows(h.kinds, payload, dst)
 	}
 	return nil, fmt.Errorf("storage: unknown heap page type %d", page[0])
 }

@@ -22,8 +22,7 @@ func (h *Heap) NewIterator(loPage, hiPage int64, includeTail bool) *HeapIterator
 	it := &HeapIterator{h: h, page: loPage, hiPage: hiPage, tailDone: !includeTail}
 	if includeTail {
 		h.mu.RLock()
-		it.tail = make([]sqltypes.Row, len(h.tailRows))
-		copy(it.tail, h.tailRows)
+		it.tail = snapshotTail(h.tailRows)
 		h.mu.RUnlock()
 	}
 	return it
@@ -68,6 +67,19 @@ func (it *HeapIterator) Next() (sqltypes.Row, bool, error) {
 // iterator contract.
 func (it *HeapIterator) Close() error { return nil }
 
+// snapshotTail copies the tail rows into fresh backing arrays. Consumers
+// may overwrite cells of the rows they receive (the query layer unpacks
+// SEQUENCE cells in place), so handing out the heap's own Row slices
+// would corrupt the shared tail for every later scan. Cell contents
+// (string/byte payloads) are never mutated and stay shared.
+func snapshotTail(tail []sqltypes.Row) []sqltypes.Row {
+	out := make([]sqltypes.Row, len(tail))
+	for i, r := range tail {
+		out[i] = append(sqltypes.Row(nil), r...)
+	}
+	return out
+}
+
 // HeapVersionIterator is a HeapIterator that also reports each row's
 // global row index — the coordinate the MVCC layer stamps versions with.
 // The partition that owns the table tail ("extend" mode) re-reads the
@@ -97,8 +109,7 @@ func (h *Heap) NewVersionIterator(loPage, hiPage int64, extend bool) *HeapVersio
 	it := &HeapVersionIterator{h: h, page: loPage, hiPage: hiPage, cum: h.pageCum}
 	if extend {
 		it.hiPage = int64(len(h.pageRows))
-		it.tail = make([]sqltypes.Row, len(h.tailRows))
-		copy(it.tail, h.tailRows)
+		it.tail = snapshotTail(h.tailRows)
 		it.tailAt = h.rowCount - int64(len(h.tailRows))
 		it.tailOn = true
 	}
