@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment: all, table1, table2, wrap, query1, consensus, plans, ablations, join, sortagg, stats, txn, vector")
+	run := flag.String("run", "all", "experiment: all, table1, table2, wrap, query1, consensus, plans, ablations, join, sortagg, stats, txn, vector, fault")
 	dgeReads := flag.Int("dge-reads", 400_000, "DGE lane size (level-1 reads)")
 	reseqReads := flag.Int("reseq-reads", 150_000, "re-sequencing lane size")
 	seed := flag.Int64("seed", 42, "generator seed")
@@ -37,6 +37,8 @@ func main() {
 	txnCount := flag.Int("txn-txns", 0, "transaction benchmark: commits per writer (0 = default)")
 	vectorOut := flag.String("vector-out", "BENCH_vector.json", "output path for the vectorized-scan benchmark JSON")
 	vectorRows := flag.Int("vector-rows", 0, "vectorized-scan benchmark table size (0 = default)")
+	faultOut := flag.String("fault-out", "BENCH_fault.json", "output path for the checksum-overhead benchmark JSON")
+	faultRows := flag.Int("fault-rows", 0, "checksum-overhead benchmark table size (0 = default)")
 	flag.Parse()
 
 	workDir := *work
@@ -332,6 +334,28 @@ func main() {
 		fmt.Printf("wrote %s\n\n", *vectorOut)
 		fmt.Println("vectorized filter-scan plan:")
 		fmt.Println(res.PlanVectorized)
+	}
+	if want("fault") {
+		fmt.Println("---- page-checksum overhead: warm (pool hits) vs cold (verified misses) vectorized scan ----")
+		cfg := bench.DefaultFaultBenchConfig()
+		if *faultRows > 0 {
+			cfg.Rows = *faultRows
+		}
+		res, err := bench.FaultExperiment(filepath.Join(workDir, "fault"), cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%d rows, DOP 1, best of %d (GOMAXPROCS %d)\n", res.Rows, res.Iters, res.GOMAXPROCS)
+		for _, r := range res.Runs {
+			fmt.Printf("  checksums=%-5v: warm %8.2f ms   cold %8.2f ms   pages_verified=%d matches=%d\n",
+				r.Checksums, r.WarmMS, r.ColdMS, r.PagesVerified, r.Matches)
+		}
+		fmt.Printf("warm overhead %.2f%% (budget < 3%%); cold (every page CRC-verified) %.2f%%\n",
+			res.WarmOverheadPct, res.ColdOverheadPct)
+		if err := res.WriteJSON(*faultOut); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n\n", *faultOut)
 	}
 	fmt.Println(strings.Repeat("=", 60))
 	fmt.Println("done")

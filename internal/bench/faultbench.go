@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+)
+
+// FaultBenchConfig sizes the checksum-overhead experiment: the same
+// sealed reads table scanned through the warm vectorized path (pool hits
+// skip verification entirely) and the cold path (every pool miss
+// verifies its page's CRC32C).
+type FaultBenchConfig struct {
+	Rows  int
+	Flows int // distinct flowcell ids
+	Iters int // timed repetitions; best is reported
+}
+
+// DefaultFaultBenchConfig matches the vectorized-scan benchmark's table
+// so the two reports are comparable.
+func DefaultFaultBenchConfig() FaultBenchConfig {
+	// Best-of-N over interleaved runs: N is high because the overhead
+	// being measured is ~0 and must be separable from scheduler noise
+	// even on a single-core CI worker.
+	return FaultBenchConfig{Rows: 300_000, Flows: 8, Iters: 25}
+}
+
+// FaultBenchRun is one checksums-{on,off} configuration of the scan.
+type FaultBenchRun struct {
+	Checksums bool    `json:"checksums"`
+	WarmMS    float64 `json:"warm_ms"` // best warm scan (pool hits only)
+	ColdMS    float64 `json:"cold_ms"` // first scan after reopen (all misses)
+	// PagesVerified counts CRC verifications during the cold scan; zero
+	// with checksums off (and zero on every warm scan either way).
+	PagesVerified int64 `json:"pages_verified"`
+	Matches       int64 `json:"matches"`
+}
+
+// FaultBenchResult is the full experiment.
+type FaultBenchResult struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	Rows       int `json:"rows"`
+	Iters      int `json:"iters"`
+	// WarmOverheadPct is the headline number: extra warm-scan time paid
+	// for page checksums. Warm hits never touch the verifier, so this
+	// must stay under 3%.
+	WarmOverheadPct float64 `json:"warm_overhead_pct"`
+	// ColdOverheadPct is the verification cost when every page is read
+	// from disk and CRC-checked — the real price of integrity, paid once
+	// per pool miss.
+	ColdOverheadPct float64         `json:"cold_overhead_pct"`
+	Runs            []FaultBenchRun `json:"runs"`
+}
+
+// FaultExperiment loads identical sealed tables with checksums on and
+// off, then times the same vectorized filter scan warm (buffer-pool
+// hits) and cold (reopen, every page a verified miss).
+func FaultExperiment(workDir string, cfg FaultBenchConfig) (*FaultBenchResult, error) {
+	res := &FaultBenchResult{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Rows:       cfg.Rows,
+		Iters:      cfg.Iters,
+	}
+	query := fmt.Sprintf("SELECT COUNT(*) FROM reads WHERE flow = 'flow_%d'", cfg.Flows/2)
+
+	// Build both sealed tables first, then measure with the two databases
+	// open side by side, alternating timed runs — clock drift, GC pauses
+	// and cache effects land on both configurations instead of biasing
+	// whichever ran second.
+	type side struct {
+		db  *core.Database
+		run FaultBenchRun
+	}
+	sides := []*side{{run: FaultBenchRun{Checksums: true}}, {run: FaultBenchRun{Checksums: false}}}
+	for _, sd := range sides {
+		dir := filepath.Join(workDir, fmt.Sprintf("checksums_%v", sd.run.Checksums))
+		opts := core.Options{DOP: 1, DisablePageChecksums: !sd.run.Checksums}
+		db, err := core.Open(dir, opts)
+		if err != nil {
+			return nil, err
+		}
+		vcfg := VectorBenchConfig{Rows: cfg.Rows, Flows: cfg.Flows}
+		if err := loadVectorTable(db, vcfg, "PAGE"); err != nil {
+			db.Close()
+			return nil, err
+		}
+		if err := db.Close(); err != nil {
+			return nil, err
+		}
+		// Reopen with a fresh pool: the first scan is the cold
+		// measurement — every page is a miss, CRC-verified when
+		// checksums are on. It also warms the pool for the warm phase.
+		db, err = core.Open(dir, opts)
+		if err != nil {
+			return nil, err
+		}
+		before := db.ExecStats()
+		t0 := time.Now()
+		r, err := db.Query(query)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		sd.run.ColdMS = float64(time.Since(t0).Nanoseconds()) / 1e6
+		sd.run.Matches = r.Rows[0][0].I
+		sd.run.PagesVerified = db.ExecStats().Sub(before).Integrity.PagesVerified
+		sd.db = db
+		defer db.Close()
+	}
+	if sides[0].run.Matches != sides[1].run.Matches {
+		return nil, fmt.Errorf("bench: checksums on found %d matches, off found %d",
+			sides[0].run.Matches, sides[1].run.Matches)
+	}
+
+	// Warm phase: pure buffer-pool hits, which skip verification by
+	// design. Alternate the two configurations within each iteration and
+	// keep the best of each.
+	// Each sample times a burst of queries so one sample is long enough
+	// to amortize timer and scheduler noise; the side order flips every
+	// iteration to cancel periodic interference. The burst is sized from
+	// a calibration query so small smoke-test tables (single-digit-ms
+	// scans) get the same ~50ms sample length as the full-size run.
+	t0 := time.Now()
+	for _, sd := range sides {
+		if _, err := sd.db.Query(query); err != nil {
+			return nil, err
+		}
+	}
+	perQuery := time.Since(t0) / time.Duration(len(sides))
+	burst := 3
+	if perQuery > 0 {
+		if b := int(50*time.Millisecond/perQuery) + 1; b > burst {
+			burst = b
+		}
+	}
+	if burst > 64 {
+		burst = 64
+	}
+	runtime.GC()
+	best := []time.Duration{1<<63 - 1, 1<<63 - 1}
+	for i := 0; i < cfg.Iters; i++ {
+		for o := 0; o < len(sides); o++ {
+			j := o
+			if i%2 == 1 {
+				j = len(sides) - 1 - o
+			}
+			sd := sides[j]
+			t0 := time.Now()
+			for b := 0; b < burst; b++ {
+				if _, err := sd.db.Query(query); err != nil {
+					return nil, err
+				}
+			}
+			if d := time.Since(t0); d < best[j] {
+				best[j] = d
+			}
+		}
+	}
+	for j, sd := range sides {
+		sd.run.WarmMS = float64(best[j].Nanoseconds()) / 1e6 / float64(burst)
+		res.Runs = append(res.Runs, sd.run)
+	}
+	on, off := &res.Runs[0], &res.Runs[1]
+	res.WarmOverheadPct = 100 * (on.WarmMS - off.WarmMS) / off.WarmMS
+	res.ColdOverheadPct = 100 * (on.ColdMS - off.ColdMS) / off.ColdMS
+	if res.WarmOverheadPct >= 3 {
+		return nil, fmt.Errorf("bench: page checksums cost %.2f%% on the warm vectorized scan (budget 3%%) — verification leaked into the pool-hit path",
+			res.WarmOverheadPct)
+	}
+	if on.PagesVerified == 0 {
+		return nil, fmt.Errorf("bench: cold scan with checksums on verified no pages — the miss-path verifier is not wired")
+	}
+	if off.PagesVerified != 0 {
+		return nil, fmt.Errorf("bench: checksums-off run verified %d pages", off.PagesVerified)
+	}
+	return res, nil
+}
+
+// WriteJSON writes the result as indented JSON.
+func (r *FaultBenchResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/storage"
 )
 
@@ -24,6 +25,7 @@ type BTree struct {
 	file *storage.PagedFile
 	pool *storage.BufferPool
 	path string
+	inj  *fault.Injector
 
 	root         int64
 	count        int64 // live keys (in-memory; durable at checkpoint)
@@ -32,11 +34,17 @@ type BTree struct {
 
 // Open opens or creates a B+-tree at path.
 func Open(path string, pool *storage.BufferPool) (*BTree, error) {
-	f, err := storage.OpenPagedFile(path)
+	return OpenFault(path, pool, nil)
+}
+
+// OpenFault is Open with fault-injection routing for the tree's file I/O
+// (site "btree"), including the shadow file written at checkpoint.
+func OpenFault(path string, pool *storage.BufferPool, inj *fault.Injector) (*BTree, error) {
+	f, err := storage.OpenPagedFileFault(path, inj, "btree")
 	if err != nil {
 		return nil, err
 	}
-	t := &BTree{file: f, pool: pool, path: path}
+	t := &BTree{file: f, pool: pool, path: path, inj: inj}
 	if f.NumPages() == 0 {
 		if err := t.initEmpty(); err != nil {
 			f.Close()
@@ -384,17 +392,17 @@ func (t *BTree) Checkpoint() error {
 	// below sees them... they are already visible via the pool; the scan
 	// uses the pool, so no flush is needed. Build the shadow directly.
 	tmpPath := t.path + ".ckpt"
-	if err := os.Remove(tmpPath); err != nil && !os.IsNotExist(err) {
+	if err := fault.Remove(t.inj, tmpPath); err != nil && !os.IsNotExist(err) {
 		return err
 	}
-	shadow, err := storage.OpenPagedFile(tmpPath)
+	shadow, err := storage.OpenPagedFileFault(tmpPath, t.inj, "btree")
 	if err != nil {
 		return err
 	}
 	bl, err := newBulkLoader(shadow)
 	if err != nil {
 		shadow.Close()
-		os.Remove(tmpPath)
+		fault.Remove(t.inj, tmpPath)
 		return err
 	}
 	err = t.scanAllLocked(func(key, val []byte) error {
@@ -410,7 +418,7 @@ func (t *BTree) Checkpoint() error {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmpPath)
+		fault.Remove(t.inj, tmpPath)
 		return err
 	}
 	// Swap: drop cached pages, close the old file, rename, reopen.
@@ -418,10 +426,10 @@ func (t *BTree) Checkpoint() error {
 	if err := t.file.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmpPath, t.path); err != nil {
+	if err := fault.Rename(t.inj, tmpPath, t.path); err != nil {
 		return err
 	}
-	f, err := storage.OpenPagedFile(t.path)
+	f, err := storage.OpenPagedFileFault(t.path, t.inj, "btree")
 	if err != nil {
 		return err
 	}

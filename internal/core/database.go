@@ -22,6 +22,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/exec"
 	"repro/internal/expr"
+	"repro/internal/fault"
 	"repro/internal/plan"
 	"repro/internal/sqltypes"
 	"repro/internal/stats"
@@ -78,6 +79,16 @@ type Options struct {
 	// DisableVectorized forces every plan back to row-at-a-time
 	// execution (used by A/B experiments and as an escape hatch).
 	DisableVectorized bool
+	// FaultInjector routes the database's storage I/O (heap and btree
+	// pages, WAL, spill files) through fault.Injector failpoints, and
+	// enables simulated power loss: all files buffer through the
+	// injector's FS shim and a crash discards unsynced writes. nil (the
+	// default) means direct OS I/O. Test/torture use only.
+	FaultInjector *fault.Injector
+	// DisablePageChecksums writes heap/columnar pages in the legacy
+	// (version-0, unchecksummed) format and skips verification — for the
+	// checksum-overhead benchmark and format-compatibility tests.
+	DisablePageChecksums bool
 }
 
 // Database is an open engine instance rooted at a directory.
@@ -127,6 +138,10 @@ type Database struct {
 	tstats     *stats.Store
 	execStats  exec.ExecStats
 	scanStats  storage.VecScanStats
+
+	inj         *fault.Injector            // fault-injection registry (nil in production)
+	integ       *storage.IntegrityCounters // shared page-checksum counters
+	noChecksums bool
 }
 
 // tableData is the open storage behind one catalog table.
@@ -191,7 +206,7 @@ func Open(dir string, opts Options) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	w, err := wal.Open(filepath.Join(dir, "db.wal"))
+	w, err := wal.OpenFault(filepath.Join(dir, "db.wal"), opts.FaultInjector)
 	if err != nil {
 		return nil, err
 	}
@@ -220,9 +235,13 @@ func Open(dir string, opts Options) (*Database, error) {
 		noVec:      opts.DisableVectorized,
 		tstats:     tstats,
 		tm:         newTxnManager(),
+
+		inj:         opts.FaultInjector,
+		integ:       &storage.IntegrityCounters{},
+		noChecksums: opts.DisablePageChecksums,
 	}
 	db.defaultSess = db.NewSession()
-	db.spill = storage.NewSpillManager(filepath.Join(dir, "tmp"), db.pool)
+	db.spill = storage.NewSpillManagerFault(filepath.Join(dir, "tmp"), db.pool, db.inj)
 	db.planner = db.newPlanner(db.dop)
 	db.registerEngineFunctions()
 	for _, name := range cat.List() {
@@ -313,21 +332,23 @@ func (db *Database) newPlanner(dop int) *plan.Planner {
 // pool counters plus every operator family's spill activity (join
 // partitions, sort runs, aggregate partitions), captured at one instant.
 type ExecStatsSnapshot struct {
-	Pool storage.PoolStats
-	Join exec.JoinStatsSnapshot
-	Sort exec.SortStatsSnapshot
-	Agg  exec.AggStatsSnapshot
-	Scan storage.VecScanSnapshot
+	Pool      storage.PoolStats
+	Join      exec.JoinStatsSnapshot
+	Sort      exec.SortStatsSnapshot
+	Agg       exec.AggStatsSnapshot
+	Scan      storage.VecScanSnapshot
+	Integrity storage.IntegrityStats
 }
 
 // Sub returns the counter deltas since an earlier snapshot.
 func (s ExecStatsSnapshot) Sub(earlier ExecStatsSnapshot) ExecStatsSnapshot {
 	return ExecStatsSnapshot{
-		Pool: s.Pool.Sub(earlier.Pool),
-		Join: s.Join.Sub(earlier.Join),
-		Sort: s.Sort.Sub(earlier.Sort),
-		Agg:  s.Agg.Sub(earlier.Agg),
-		Scan: s.Scan.Sub(earlier.Scan),
+		Pool:      s.Pool.Sub(earlier.Pool),
+		Join:      s.Join.Sub(earlier.Join),
+		Sort:      s.Sort.Sub(earlier.Sort),
+		Agg:       s.Agg.Sub(earlier.Agg),
+		Scan:      s.Scan.Sub(earlier.Scan),
+		Integrity: s.Integrity.Sub(earlier.Integrity),
 	}
 }
 
@@ -339,8 +360,52 @@ func (db *Database) ExecStats() ExecStatsSnapshot {
 	op := db.execStats.Snapshot()
 	return ExecStatsSnapshot{
 		Pool: db.pool.Stats(), Join: op.Join, Sort: op.Sort, Agg: op.Agg,
-		Scan: db.scanStats.Snapshot(),
+		Scan: db.scanStats.Snapshot(), Integrity: db.integ.Snapshot(),
 	}
+}
+
+// TableIntegrity is one table's result from VerifyIntegrity.
+type TableIntegrity struct {
+	Table string
+	// PagesChecked counts sealed data pages whose CRC32C was verified;
+	// PagesSkipped counts legacy (pre-checksum) pages, which carry none.
+	// Clustered (btree) tables carry no page checksums yet and report all
+	// pages as skipped.
+	PagesChecked int64
+	PagesSkipped int64
+	// Failures holds one message per corrupt or unreadable page.
+	Failures []string
+}
+
+// VerifyIntegrity reads every table's sealed pages from disk and checks
+// their checksums, bypassing the buffer pool — the scrub behind the
+// `genodb -verify` flag. It reports per-table results; corruption does
+// not poison the database (the pages of other tables are independent).
+func (db *Database) VerifyIntegrity() ([]TableIntegrity, error) {
+	if err := db.healthErr(); err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []TableIntegrity
+	for _, name := range db.cat.List() {
+		td, err := db.table(name)
+		if err != nil {
+			return nil, err
+		}
+		ti := TableIntegrity{Table: name}
+		if td.heap != nil {
+			checked, skipped, failures := td.heap.VerifyChecksums()
+			ti.PagesChecked, ti.PagesSkipped = checked, skipped
+			for _, f := range failures {
+				ti.Failures = append(ti.Failures, f.Error())
+			}
+		} else {
+			ti.PagesSkipped = td.tree.SizeBytes() / storage.PageSize
+		}
+		out = append(out, ti)
+	}
+	return out, nil
 }
 
 // SetDOP overrides the degree of parallelism (used by the scaling
@@ -381,14 +446,15 @@ func (db *Database) openTableStorage(def *catalog.Table) error {
 		walCodec: storage.RowCodec{Kinds: def.StorageKinds(), Mode: storage.CompressRow},
 	}
 	if def.Clustered {
-		tree, err := btree.Open(db.tablePath(def), db.pool)
+		tree, err := btree.OpenFault(db.tablePath(def), db.pool, db.inj)
 		if err != nil {
 			return err
 		}
 		td.tree = tree
 		td.insertSeq = tree.Count()
 	} else {
-		h, err := storage.OpenHeapWidths(db.tablePath(def), def.StorageKinds(), def.StorageWidths(), def.Compression, db.pool)
+		h, err := storage.OpenHeapEnv(db.tablePath(def), def.StorageKinds(), def.StorageWidths(), def.Compression, db.pool,
+			storage.HeapEnv{Injector: db.inj, Integrity: db.integ, DisableChecksums: db.noChecksums})
 		if err != nil {
 			return err
 		}
@@ -480,6 +546,23 @@ func (db *Database) checkpointLocked() error {
 	if db.tm.explicitOpen() {
 		return fmt.Errorf("core: CHECKPOINT is not allowed inside a transaction")
 	}
+	if err := db.inj.Point("checkpoint.begin"); err != nil {
+		return err
+	}
+	// Once any heap has been physically compacted, its rows have moved
+	// but the version metadata is only rebased at the very end: a failure
+	// in between leaves no consistent in-memory image, so it must poison
+	// the database (reopening replays the WAL into a clean state). Before
+	// the first compaction, a checkpoint failure is just an error — disk
+	// and memory are both unchanged.
+	compacted := false
+	fail := func(err error) error {
+		if compacted {
+			err = fmt.Errorf("core: checkpoint failed after heap compaction moved rows: %w", err)
+			db.poison(err)
+		}
+		return err
+	}
 	// Quiescent point: db.mu is held exclusively and no explicit
 	// transaction is open, so every version span is resolved. Compact
 	// rolled-back rows out of the heaps before making them durable — the
@@ -487,15 +570,22 @@ func (db *Database) checkpointLocked() error {
 	// recovery replay committed transactions by plain re-append.
 	for _, td := range db.tables {
 		if td.heap != nil && td.versions.deadCount() > 0 {
+			compacted = true
 			if err := db.compactHeapLocked(td); err != nil {
-				return err
+				return fail(fmt.Errorf("core: compacting %s: %w", td.def.Name, err))
 			}
 		}
+	}
+	if err := db.inj.Point("checkpoint.compacted"); err != nil {
+		return fail(err)
 	}
 	// WAL first: every logged effect must be durable before data files
 	// advance past it.
 	if err := db.wal.Flush(); err != nil {
-		return err
+		return fail(err)
+	}
+	if err := db.inj.Point("checkpoint.wal-flushed"); err != nil {
+		return fail(err)
 	}
 	for _, td := range db.tables {
 		var err error
@@ -505,11 +595,14 @@ func (db *Database) checkpointLocked() error {
 			err = td.tree.Checkpoint()
 		}
 		if err != nil {
-			return err
+			return fail(err)
 		}
 	}
+	if err := db.inj.Point("checkpoint.tables-done"); err != nil {
+		return fail(err)
+	}
 	if err := db.wal.Truncate(); err != nil {
-		return err
+		return fail(err)
 	}
 	// All surviving rows are committed and durable; version metadata and
 	// insert sequences restart from the compacted counts.

@@ -165,6 +165,15 @@ func (db *Database) rollbackTxn(t *Txn) error {
 		if len(w.keys) == 0 {
 			continue
 		}
+		if err := db.inj.Point("txn.undo"); err != nil {
+			// Storage failed before any key could be deleted; keep every
+			// entry as a dead mask so no key silently resurfaces.
+			w.td.versions.markKeysDead(w.keys)
+			if undoErr == nil {
+				undoErr = fmt.Errorf("undo %s keys: %w", w.td.def.Name, err)
+			}
+			continue
+		}
 		w.td.writeMu.Lock()
 		failed := false
 		for _, k := range w.keys {

@@ -1,0 +1,393 @@
+// Package fault is a deterministic fault-injection layer for the storage
+// engine. Storage hot spots (page writes, WAL appends and fsyncs, spill
+// writes, checkpoint steps) consult an Injector at named failpoints; rules
+// select the Nth matching point and inject an I/O error, a short (torn)
+// write, or a simulated power loss.
+//
+// Power loss is simulated without killing the process: files opened
+// through the injector are backed by an in-memory shim that buffers every
+// write and only marks bytes durable at Sync. When a crash rule fires, the
+// durable image of every file — everything up to its last successful fsync
+// — is written back to the real filesystem and all further I/O on the shim
+// fails with ErrCrashed. Reopening the directory without the injector then
+// sees exactly what a machine would after losing power at that point.
+//
+// The injector is deterministic: points are numbered in hit order, so a
+// harness can sweep "crash at point k" for every k of a fixed workload and
+// replay any failure exactly.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Injected error classes. Rules return them wrapped with the failing
+// point's site and path; match with errors.Is.
+var (
+	// ErrInjectedIO is a simulated EIO.
+	ErrInjectedIO = errors.New("fault: injected I/O error")
+	// ErrNoSpace is a simulated ENOSPC.
+	ErrNoSpace = errors.New("fault: injected no space left on device")
+	// ErrCrashed reports that a simulated power loss already happened;
+	// every I/O after the crash point fails with it.
+	ErrCrashed = errors.New("fault: simulated crash (power loss)")
+)
+
+// Op classifies a failpoint.
+type Op uint8
+
+// Failpoint operation kinds.
+const (
+	// OpAny matches every operation in a rule.
+	OpAny Op = iota
+	// OpWrite is a file write (page write, WAL batch write).
+	OpWrite
+	// OpRead is a file read.
+	OpRead
+	// OpSync is an fsync.
+	OpSync
+	// OpTruncate is a file truncation.
+	OpTruncate
+	// OpPoint is an engine code point (WAL append, checkpoint step).
+	OpPoint
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	case OpSync:
+		return "sync"
+	case OpTruncate:
+		return "truncate"
+	case OpPoint:
+		return "point"
+	}
+	return "any"
+}
+
+// Kind is what a fired rule injects.
+type Kind uint8
+
+// Injection kinds.
+const (
+	// KindErrIO fails the operation with ErrInjectedIO; no bytes reach
+	// the file.
+	KindErrIO Kind = iota + 1
+	// KindErrNoSpace fails the operation with ErrNoSpace.
+	KindErrNoSpace
+	// KindTorn applies only TornFrac of a write's bytes, then fails with
+	// ErrInjectedIO — a short write that leaves a torn page or log tail.
+	KindTorn
+	// KindCrash simulates power loss: with TornFrac == 0 every file keeps
+	// only its last-synced image (clean pull-the-plug); with TornFrac > 0
+	// buffered-but-unsynced writes survive too, and the write at the
+	// crash point itself is applied only partially (the OS flushed its
+	// cache up to the middle of a write, then died).
+	KindCrash
+)
+
+// Rule selects failpoints and the fault to inject. Zero fields match
+// everything: an empty Rule with Nth=k crashes nothing (Kind required) —
+// a typical crash-sweep rule is &Rule{Nth: k, Kind: KindCrash}.
+type Rule struct {
+	// Site matches by substring against the point's site label
+	// ("heap", "wal", "spill", "btree", "checkpoint.*"); "" matches all.
+	Site string
+	// Path matches by substring against the file path; "" matches all.
+	Path string
+	// Op restricts the operation kind; OpAny matches all.
+	Op Op
+	// Nth fires the rule on the Nth matching hit only (1-based);
+	// 0 fires on every matching hit.
+	Nth int64
+	// Kind is the fault to inject.
+	Kind Kind
+	// TornFrac is the fraction of a write's bytes that reach the file
+	// for KindTorn and torn KindCrash (clamped to [0,1)).
+	TornFrac float64
+
+	hits int64
+}
+
+func (r *Rule) matches(site, path string, op Op) bool {
+	if r.Site != "" && !strings.Contains(site, r.Site) {
+		return false
+	}
+	if r.Path != "" && !strings.Contains(path, r.Path) {
+		return false
+	}
+	if r.Op != OpAny && r.Op != op {
+		return false
+	}
+	return true
+}
+
+// Injector is a failpoint registry plus the shim-file table that backs
+// crash simulation. A nil *Injector is valid everywhere and injects
+// nothing. Arm starts failpoint evaluation; points hit before Arm (or
+// after Disarm) pass through but still route I/O through the shim, so a
+// workload can set up cleanly and then enter the fault window.
+type Injector struct {
+	mu      sync.Mutex
+	rules   []*Rule
+	armed   bool
+	seq     int64 // armed points evaluated so far
+	fired   int64 // rules fired
+	crashed bool
+	torn    float64 // TornFrac of the crash rule that fired
+	crashOp Op      // operation the crash fired on
+	files   map[string]*shimFile
+
+	persist sync.Once
+	// persistErr records a failed crash write-back; surfaced by Crashed
+	// callers via PersistErr.
+	persistErr error
+}
+
+// New returns an injector with the given rules. The injector starts
+// disarmed; call Arm once the workload's setup phase is durable.
+func New(rules ...*Rule) *Injector {
+	return &Injector{rules: rules, files: map[string]*shimFile{}}
+}
+
+// Arm enables failpoint evaluation and resets the point counter.
+func (in *Injector) Arm() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.armed = true
+	in.seq = 0
+	in.mu.Unlock()
+}
+
+// Disarm stops failpoint evaluation (shim routing continues).
+func (in *Injector) Disarm() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.armed = false
+	in.mu.Unlock()
+}
+
+// Points returns how many armed failpoints have been evaluated.
+func (in *Injector) Points() int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.seq
+}
+
+// Fired returns how many rules have fired.
+func (in *Injector) Fired() int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}
+
+// Crashed reports whether a KindCrash rule has fired.
+func (in *Injector) Crashed() bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// PersistErr returns the error of a failed crash write-back (nil when the
+// simulated power loss persisted cleanly).
+func (in *Injector) PersistErr() error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.persistErr
+}
+
+// Point evaluates a code failpoint (no file attached): checkpoint steps,
+// WAL appends. Returns nil to proceed or the injected error.
+func (in *Injector) Point(site string) error {
+	if in == nil {
+		return nil
+	}
+	_, err := in.hit(site, "", OpPoint, 0)
+	if errors.Is(err, ErrCrashed) {
+		in.persistCrash()
+	}
+	return err
+}
+
+// hit evaluates one failpoint. It returns (limit, err): limit < 0 means
+// the whole operation proceeds; limit >= 0 means only the first limit
+// bytes of a write are applied before err is returned. Callers that hold
+// no shim lock and receive ErrCrashed must call persistCrash after
+// applying their partial effect.
+func (in *Injector) hit(site, path string, op Op, size int) (int, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return 0, fmt.Errorf("%s %s %s: %w", site, op, path, ErrCrashed)
+	}
+	if !in.armed {
+		return -1, nil
+	}
+	in.seq++
+	for _, r := range in.rules {
+		if !r.matches(site, path, op) {
+			continue
+		}
+		r.hits++
+		if r.Nth != 0 && r.hits != r.Nth {
+			continue
+		}
+		in.fired++
+		wrap := func(base error) error {
+			return fmt.Errorf("%s %s %s (point %d): %w", site, op, path, in.seq, base)
+		}
+		switch r.Kind {
+		case KindErrIO:
+			return 0, wrap(ErrInjectedIO)
+		case KindErrNoSpace:
+			return 0, wrap(ErrNoSpace)
+		case KindTorn:
+			return tornBytes(size, r.TornFrac), wrap(ErrInjectedIO)
+		case KindCrash:
+			in.crashed = true
+			in.torn = r.TornFrac
+			in.crashOp = op
+			limit := 0
+			if r.TornFrac > 0 && op == OpWrite {
+				limit = tornBytes(size, r.TornFrac)
+			}
+			return limit, wrap(ErrCrashed)
+		}
+	}
+	return -1, nil
+}
+
+func tornBytes(size int, frac float64) int {
+	if frac <= 0 {
+		return 0
+	}
+	if frac >= 1 {
+		frac = 0.99
+	}
+	n := int(float64(size) * frac)
+	if n >= size && size > 0 {
+		n = size - 1
+	}
+	return n
+}
+
+// persistCrash writes every shim file's surviving image back to the real
+// filesystem — the state the machine would reboot with. Idempotent; safe
+// to call from any failpoint caller after ErrCrashed.
+func (in *Injector) persistCrash() {
+	if in == nil {
+		return
+	}
+	in.persist.Do(func() {
+		in.mu.Lock()
+		torn := in.torn > 0
+		files := make([]*shimFile, 0, len(in.files))
+		for _, f := range in.files {
+			files = append(files, f)
+		}
+		in.mu.Unlock()
+		var firstErr error
+		for _, f := range files {
+			if err := f.persist(torn); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		in.mu.Lock()
+		in.persistErr = firstErr
+		in.mu.Unlock()
+	})
+}
+
+// WriteBack flushes every shim file's full buffered image to the real
+// filesystem — the state after a clean shutdown with all OS caches
+// flushed. Harnesses call it when a run finishes WITHOUT crashing so an
+// uninjected reopen of the directory sees the run's final state. After a
+// crash it is an error: the crash image already on disk is the truth.
+func (in *Injector) WriteBack() error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	if in.crashed {
+		in.mu.Unlock()
+		return fmt.Errorf("write back: %w", ErrCrashed)
+	}
+	files := make([]*shimFile, 0, len(in.files))
+	for _, f := range in.files {
+		files = append(files, f)
+	}
+	in.mu.Unlock()
+	var firstErr error
+	for _, f := range files {
+		if err := f.persist(true); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Remove deletes a file: the shim entry (if any) and the real file. With
+// a nil injector it is plain os.Remove.
+func Remove(in *Injector, path string) error {
+	if in == nil {
+		return osRemove(path)
+	}
+	in.mu.Lock()
+	if in.crashed {
+		in.mu.Unlock()
+		return fmt.Errorf("remove %s: %w", path, ErrCrashed)
+	}
+	delete(in.files, cleanPath(path))
+	in.mu.Unlock()
+	return osRemove(path)
+}
+
+// Rename moves a file, shim entry included — the durable-by-convention
+// swap step of shadow checkpoints. With a nil injector it is os.Rename.
+func Rename(in *Injector, oldpath, newpath string) error {
+	if in == nil {
+		return osRename(oldpath, newpath)
+	}
+	in.mu.Lock()
+	if in.crashed {
+		in.mu.Unlock()
+		return fmt.Errorf("rename %s -> %s: %w", oldpath, newpath, ErrCrashed)
+	}
+	oldKey, newKey := cleanPath(oldpath), cleanPath(newpath)
+	if f, ok := in.files[oldKey]; ok {
+		delete(in.files, oldKey)
+		f.mu.Lock()
+		f.path = newpath
+		// A rename is treated as atomic and immediately durable (the
+		// engine only renames fully-synced shadow files): the moved
+		// file's current image is its crash-survivable image.
+		f.synced = append([]byte(nil), f.mem...)
+		f.pending = false
+		f.mu.Unlock()
+		in.files[newKey] = f
+	}
+	in.mu.Unlock()
+	return osRename(oldpath, newpath)
+}

@@ -1,0 +1,265 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestNilInjectorPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	f, err := OpenFile(nil, "test", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("got %q", buf)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var nilInj *Injector
+	if nilInj.Crashed() || nilInj.Point("x") != nil || nilInj.Points() != 0 {
+		t.Fatal("nil injector must be inert")
+	}
+}
+
+func TestInjectEIOAndENOSPC(t *testing.T) {
+	in := New(
+		&Rule{Site: "wal", Op: OpSync, Nth: 2, Kind: Kind(KindErrIO)},
+		&Rule{Site: "spill", Op: OpWrite, Kind: KindErrNoSpace},
+	)
+	dir := t.TempDir()
+	wal, err := OpenFile(in, "wal", filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spill, err := OpenFile(in, "spill", filepath.Join(dir, "spill"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Arm()
+	if err := wal.Sync(); err != nil {
+		t.Fatalf("first sync should pass: %v", err)
+	}
+	if err := wal.Sync(); !errors.Is(err, ErrInjectedIO) {
+		t.Fatalf("second sync: want ErrInjectedIO, got %v", err)
+	}
+	if err := wal.Sync(); err != nil {
+		t.Fatalf("third sync should pass (Nth=2 fires once): %v", err)
+	}
+	if _, err := spill.WriteAt([]byte("x"), 0); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("spill write: want ErrNoSpace, got %v", err)
+	}
+	if in.Fired() != 2 {
+		t.Fatalf("fired = %d, want 2", in.Fired())
+	}
+}
+
+func TestTornWrite(t *testing.T) {
+	in := New(&Rule{Op: OpWrite, Nth: 1, Kind: KindTorn, TornFrac: 0.5})
+	dir := t.TempDir()
+	f, err := OpenFile(in, "heap", filepath.Join(dir, "h"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Arm()
+	n, err := f.WriteAt(bytes.Repeat([]byte{0xAB}, 100), 0)
+	if !errors.Is(err, ErrInjectedIO) {
+		t.Fatalf("want ErrInjectedIO, got %v", err)
+	}
+	if n != 50 {
+		t.Fatalf("torn write applied %d bytes, want 50", n)
+	}
+	if sz, _ := f.Size(); sz != 50 {
+		t.Fatalf("size = %d, want 50", sz)
+	}
+}
+
+// TestCrashDiscardsUnsynced is the core power-loss contract: synced bytes
+// survive, buffered bytes vanish, and all later I/O fails with ErrCrashed.
+func TestCrashDiscardsUnsynced(t *testing.T) {
+	in := New(&Rule{Op: OpSync, Nth: 2, Kind: KindCrash})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	f, err := OpenFile(in, "heap", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Arm()
+	if _, err := f.WriteAt([]byte("durable"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("lost bytes"), 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	if !in.Crashed() {
+		t.Fatal("injector should report crashed")
+	}
+	if err := in.PersistErr(); err != nil {
+		t.Fatalf("persist failed: %v", err)
+	}
+	if _, err := f.WriteAt([]byte("z"), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: want ErrCrashed, got %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "durable" {
+		t.Fatalf("on-disk content after crash = %q, want %q", got, "durable")
+	}
+}
+
+// TestTornCrashKeepsBufferedPrefix checks torn power loss: buffered
+// writes survive, and the write at the crash point is applied partially.
+func TestTornCrashKeepsBufferedPrefix(t *testing.T) {
+	in := New(&Rule{Op: OpWrite, Nth: 2, Kind: KindCrash, TornFrac: 0.5})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	f, err := OpenFile(in, "wal", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Arm()
+	if _, err := f.WriteAt([]byte("unsynced"), 0); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.WriteAt([]byte("TORNTORN"), 8)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("crash write applied %d bytes, want 4", n)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "unsyncedTORN" {
+		t.Fatalf("on-disk content = %q, want %q", got, "unsyncedTORN")
+	}
+}
+
+func TestReopenResumesBufferedState(t *testing.T) {
+	in := New()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	f, err := OpenFile(in, "heap", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("buffered"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := OpenFile(in, "heap", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if _, err := g.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "buffered" {
+		t.Fatalf("reopen lost buffered state: %q", buf)
+	}
+}
+
+func TestRenameTransfersShim(t *testing.T) {
+	in := New()
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old")
+	newPath := filepath.Join(dir, "new")
+	f, err := OpenFile(in, "btree", oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("shadow"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Rename(in, oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+	g, err := OpenFile(in, "btree", newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 6)
+	if _, err := g.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "shadow" {
+		t.Fatalf("rename lost content: %q", buf)
+	}
+	// Crash now: the renamed file must persist at its new path.
+	in.Arm()
+	crash := New(&Rule{Nth: 1, Kind: KindCrash})
+	_ = crash // rename-then-crash persists via the original injector:
+	in.mu.Lock()
+	in.crashed = true
+	in.mu.Unlock()
+	in.persistCrash()
+	got, err := os.ReadFile(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "shadow" {
+		t.Fatalf("persisted content at new path = %q", got)
+	}
+}
+
+func TestCrashPointSweepIsDeterministic(t *testing.T) {
+	run := func(k int64) (int64, bool) {
+		in := New(&Rule{Nth: k, Kind: KindCrash})
+		dir := t.TempDir()
+		f, _ := OpenFile(in, "heap", filepath.Join(dir, "f"))
+		in.Arm()
+		for i := 0; i < 5; i++ {
+			if _, err := f.WriteAt([]byte{1}, int64(i)); err != nil {
+				return in.Points(), true
+			}
+			if err := f.Sync(); err != nil {
+				return in.Points(), true
+			}
+		}
+		return in.Points(), false
+	}
+	total, crashed := run(1 << 30) // no crash: count points
+	if crashed || total != 10 {
+		t.Fatalf("baseline run: points=%d crashed=%v, want 10/false", total, crashed)
+	}
+	for k := int64(1); k <= total; k++ {
+		at, crashed := run(k)
+		if !crashed || at != k {
+			t.Fatalf("k=%d: crashed=%v at point %d", k, crashed, at)
+		}
+	}
+}

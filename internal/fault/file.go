@@ -1,0 +1,246 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// File is the I/O surface the storage layer uses. With a nil injector,
+// OpenFile returns a thin wrapper over *os.File; with an injector, a
+// memory-buffered shim that models the OS page cache: writes are buffered,
+// Sync marks the current image durable, and a simulated crash discards
+// whatever was never synced.
+type File interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+	Size() (int64, error)
+}
+
+// OpenFile opens (creating if absent) the file at path for read/write.
+// site labels the failpoints this file's I/O evaluates ("heap", "wal",
+// "spill", "btree"). Reopening a path already tracked by the injector
+// resumes its buffered state — the file a crash-free process would see.
+func OpenFile(in *Injector, site, path string) (File, error) {
+	if in == nil {
+		f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		return (*osFile)(f), nil
+	}
+	return in.openShim(site, path)
+}
+
+// osFile adapts *os.File to File.
+type osFile os.File
+
+func (o *osFile) ReadAt(p []byte, off int64) (int, error)  { return (*os.File)(o).ReadAt(p, off) }
+func (o *osFile) WriteAt(p []byte, off int64) (int, error) { return (*os.File)(o).WriteAt(p, off) }
+func (o *osFile) Sync() error                              { return (*os.File)(o).Sync() }
+func (o *osFile) Truncate(size int64) error                { return (*os.File)(o).Truncate(size) }
+func (o *osFile) Close() error                             { return (*os.File)(o).Close() }
+func (o *osFile) Size() (int64, error) {
+	st, err := (*os.File)(o).Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+func cleanPath(path string) string { return filepath.Clean(path) }
+
+func osRemove(path string) error { return os.Remove(path) }
+
+func osRename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// shimFile buffers a file in memory. mem is the logical content every
+// read sees; synced is the image as of the last successful Sync — the
+// only bytes guaranteed to survive a simulated power loss.
+type shimFile struct {
+	in   *Injector
+	site string
+
+	// mu guards the fields below. Lock order: never take in.mu while
+	// holding a shim's mu (hit() and persistCrash() take in.mu first).
+	mu      sync.Mutex
+	path    string
+	mem     []byte
+	synced  []byte
+	pending bool // writes or truncates since the last Sync
+	closed  bool
+}
+
+func (in *Injector) openShim(site, path string) (*shimFile, error) {
+	key := cleanPath(path)
+	in.mu.Lock()
+	if in.crashed {
+		in.mu.Unlock()
+		return nil, fmt.Errorf("open %s: %w", path, ErrCrashed)
+	}
+	if f, ok := in.files[key]; ok {
+		in.mu.Unlock()
+		f.mu.Lock()
+		f.closed = false
+		f.mu.Unlock()
+		return f, nil
+	}
+	in.mu.Unlock()
+	// Ensure the real file exists (so Remove/persist have a target) and
+	// capture its current content as the durable baseline.
+	rf, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	content, err := io.ReadAll(rf)
+	rf.Close()
+	if err != nil {
+		return nil, err
+	}
+	f := &shimFile{
+		in:     in,
+		site:   site,
+		path:   path,
+		mem:    content,
+		synced: append([]byte(nil), content...),
+	}
+	in.mu.Lock()
+	if in.crashed {
+		in.mu.Unlock()
+		return nil, fmt.Errorf("open %s: %w", path, ErrCrashed)
+	}
+	if prev, ok := in.files[key]; ok {
+		in.mu.Unlock()
+		return prev, nil
+	}
+	in.files[key] = f
+	in.mu.Unlock()
+	return f, nil
+}
+
+func (f *shimFile) ReadAt(p []byte, off int64) (int, error) {
+	if _, err := f.in.hit(f.site, f.path, OpRead, len(p)); err != nil {
+		if errors.Is(err, ErrCrashed) {
+			f.in.persistCrash()
+		}
+		return 0, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if off >= int64(len(f.mem)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.mem[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *shimFile) WriteAt(p []byte, off int64) (int, error) {
+	limit, err := f.in.hit(f.site, f.path, OpWrite, len(p))
+	if limit < 0 || limit > len(p) {
+		limit = len(p)
+	}
+	if limit > 0 {
+		f.mu.Lock()
+		end := off + int64(limit)
+		if int64(len(f.mem)) < end {
+			grown := make([]byte, end)
+			copy(grown, f.mem)
+			f.mem = grown
+		}
+		copy(f.mem[off:end], p[:limit])
+		f.pending = true
+		f.mu.Unlock()
+	}
+	if err != nil {
+		if errors.Is(err, ErrCrashed) {
+			f.in.persistCrash()
+		}
+		return limit, err
+	}
+	return limit, nil
+}
+
+func (f *shimFile) Sync() error {
+	if _, err := f.in.hit(f.site, f.path, OpSync, 0); err != nil {
+		if errors.Is(err, ErrCrashed) {
+			f.in.persistCrash()
+		}
+		return err
+	}
+	f.mu.Lock()
+	f.synced = append(f.synced[:0], f.mem...)
+	f.pending = false
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *shimFile) Truncate(size int64) error {
+	if _, err := f.in.hit(f.site, f.path, OpTruncate, 0); err != nil {
+		if errors.Is(err, ErrCrashed) {
+			f.in.persistCrash()
+		}
+		return err
+	}
+	f.mu.Lock()
+	if size <= int64(len(f.mem)) {
+		f.mem = f.mem[:size]
+	} else {
+		grown := make([]byte, size)
+		copy(grown, f.mem)
+		f.mem = grown
+	}
+	f.pending = true
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *shimFile) Close() error {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *shimFile) Size() (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int64(len(f.mem)), nil
+}
+
+// persist writes the file's crash-surviving image over the real file.
+// torn=false keeps only the last-synced image (clean power loss);
+// torn=true keeps the buffered image too — the OS had flushed its cache
+// up to (and partially into) the write the crash fired on.
+func (f *shimFile) persist(torn bool) error {
+	f.mu.Lock()
+	img := f.synced
+	if torn {
+		img = f.mem
+	}
+	img = append([]byte(nil), img...)
+	path := f.path
+	f.mu.Unlock()
+	rf, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+	if err := rf.Truncate(int64(len(img))); err != nil {
+		return err
+	}
+	if len(img) > 0 {
+		if _, err := rf.WriteAt(img, 0); err != nil {
+			return err
+		}
+	}
+	return rf.Sync()
+}

@@ -285,6 +285,11 @@ func (bp *BufferPool) Get(f *PagedFile, id PageID) (*frame, error) {
 		sh.mu.Unlock()
 
 		err := f.ReadPage(id, fr.data[:]) // the actual I/O, outside the lock
+		if err == nil {
+			// Checksum-verify the page image on its way into the pool.
+			// Warm hits skip this: a frame is verified once per fill.
+			err = f.verifyPage(id, fr.data[:])
+		}
 		if err != nil {
 			// Publish the error, then unmap. The stale latch stays on the
 			// frame until its next install: a racing lock-free pin that

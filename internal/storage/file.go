@@ -12,9 +12,10 @@ package storage
 
 import (
 	"fmt"
-	"os"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/fault"
 )
 
 // PageSize is the fixed page size, matching SQL Server's 8 KB pages.
@@ -27,10 +28,15 @@ type PageID int64
 // safe for concurrent use.
 type PagedFile struct {
 	mu    sync.Mutex
-	f     *os.File
+	f     fault.File
 	pages int64
 	path  string
 	id    uint64 // process-unique, used to hash pages onto pool shards
+	inj   *fault.Injector
+	// verify, when set, checks a page image read from disk (CRC
+	// verification on buffer-pool misses). Set once at open time, before
+	// the file is shared.
+	verify func(PageID, []byte) error
 }
 
 // pagedFileSeq hands out process-unique PagedFile ids.
@@ -39,20 +45,39 @@ var pagedFileSeq atomic.Uint64
 // OpenPagedFile opens (creating if necessary) a paged file. The file size
 // must be a multiple of PageSize.
 func OpenPagedFile(path string) (*PagedFile, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenPagedFileFault(path, nil, "file")
+}
+
+// OpenPagedFileFault is OpenPagedFile with fault-injection routing: the
+// file's reads, writes, syncs and truncates evaluate failpoints labelled
+// with site, and a simulated crash discards its unsynced writes.
+func OpenPagedFileFault(path string, inj *fault.Injector, site string) (*PagedFile, error) {
+	f, err := fault.OpenFile(inj, site, path)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open %s: %w", path, err)
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	if st.Size()%PageSize != 0 {
+	if size%PageSize != 0 {
 		f.Close()
-		return nil, fmt.Errorf("storage: %s size %d not a multiple of page size", path, st.Size())
+		return nil, fmt.Errorf("storage: %s size %d not a multiple of page size", path, size)
 	}
-	return &PagedFile{f: f, pages: st.Size() / PageSize, path: path, id: pagedFileSeq.Add(1)}, nil
+	return &PagedFile{f: f, pages: size / PageSize, path: path, id: pagedFileSeq.Add(1), inj: inj}, nil
+}
+
+// SetPageVerifier installs fn to check every page image this file reads
+// from disk. Must be called at open time, before the file is shared.
+func (p *PagedFile) SetPageVerifier(fn func(PageID, []byte) error) { p.verify = fn }
+
+// verifyPage runs the installed page verifier, if any.
+func (p *PagedFile) verifyPage(id PageID, data []byte) error {
+	if p.verify == nil {
+		return nil
+	}
+	return p.verify(id, data)
 }
 
 // NumPages returns the current number of allocated pages.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/sqltypes"
 )
 
@@ -48,6 +49,9 @@ type Heap struct {
 	pageCum     []int64 // pageCum[i] = rows in sealed pages [0, i); len = len(pageRows)+1
 	durableRows int64   // as recorded on the meta page
 
+	checksums bool               // stamp CRC32C on sealed pages
+	integ     *IntegrityCounters // shared verification counters (may be nil)
+
 	// In-memory tail.
 	tailRows  []sqltypes.Row // retained for CompressPage mode and truncation
 	tailBytes []byte         // row-format encoding (modes none/row)
@@ -66,17 +70,52 @@ func OpenHeap(path string, kinds []sqltypes.Kind, comp Compression, pool *Buffer
 // OpenHeapWidths is OpenHeap with explicit fixed integer widths for the
 // uncompressed row format (see RowCodec.Widths).
 func OpenHeapWidths(path string, kinds []sqltypes.Kind, widths []uint8, comp Compression, pool *BufferPool) (*Heap, error) {
-	f, err := OpenPagedFile(path)
+	return OpenHeapEnv(path, kinds, widths, comp, pool, HeapEnv{})
+}
+
+// HeapEnv carries cross-cutting wiring into a heap: fault injection,
+// shared integrity counters, and the checksum switch. The zero value
+// means no injection, no shared counters, checksums on.
+type HeapEnv struct {
+	// Injector routes the heap's file I/O through failpoints; nil means
+	// direct OS I/O.
+	Injector *fault.Injector
+	// Integrity receives verification counts; nil allocates a private set.
+	Integrity *IntegrityCounters
+	// DisableChecksums writes legacy (version-0) pages and skips all
+	// verification — for format-compatibility tests and A/B benchmarks.
+	DisableChecksums bool
+}
+
+// OpenHeapEnv is OpenHeapWidths with fault-injection and integrity wiring.
+func OpenHeapEnv(path string, kinds []sqltypes.Kind, widths []uint8, comp Compression, pool *BufferPool, env HeapEnv) (*Heap, error) {
+	f, err := OpenPagedFileFault(path, env.Injector, "heap")
 	if err != nil {
 		return nil, err
 	}
+	integ := env.Integrity
+	if integ == nil {
+		integ = &IntegrityCounters{}
+	}
 	h := &Heap{
-		file:    f,
-		pool:    pool,
-		kinds:   append([]sqltypes.Kind(nil), kinds...),
-		comp:    comp,
-		codec:   RowCodec{Kinds: kinds, Mode: rowMode(comp), Widths: widths},
-		pageCum: []int64{0},
+		file:      f,
+		pool:      pool,
+		kinds:     append([]sqltypes.Kind(nil), kinds...),
+		comp:      comp,
+		codec:     RowCodec{Kinds: kinds, Mode: rowMode(comp), Widths: widths},
+		pageCum:   []int64{0},
+		checksums: !env.DisableChecksums,
+		integ:     integ,
+	}
+	if h.checksums {
+		// Verify data pages on every read that comes from disk (the
+		// buffer pool calls this on misses; warm hits never re-verify).
+		f.SetPageVerifier(func(id PageID, data []byte) error {
+			if id == 0 {
+				return nil // meta page has its own magic, no checksum
+			}
+			return h.verifyDataPage(id, data)
+		})
 	}
 	if f.NumPages() == 0 {
 		if _, err := f.Allocate(); err != nil {
@@ -352,7 +391,54 @@ func (h *Heap) buildTailPageLocked() ([]byte, int, error) {
 	binary.LittleEndian.PutUint16(page[2:], uint16(len(h.tailRows)))
 	binary.LittleEndian.PutUint16(page[4:], uint16(len(payload)))
 	copy(page[heapHeaderSize:], payload)
+	if h.checksums {
+		stampPageChecksum(page)
+	}
 	return page, len(h.tailRows), nil
+}
+
+// verifyDataPage checks a sealed data page's CRC32C (version-1 pages;
+// legacy version-0 pages pass unverified) and maintains the integrity
+// counters. Returns a *CorruptPageError on mismatch.
+func (h *Heap) verifyDataPage(id PageID, data []byte) error {
+	checked, err := checkPageChecksum(h.file.Path(), id, data)
+	if checked {
+		h.integ.verified.Add(1)
+	}
+	if err != nil {
+		h.integ.failed.Add(1)
+	}
+	return err
+}
+
+// VerifyChecksums reads every sealed data page from disk and checks its
+// checksum. It returns the number of pages checked, the number skipped
+// (legacy version-0 pages, which carry no checksum), and one error per
+// bad page (checksum mismatches and read failures). The buffer pool is
+// bypassed so the scan validates the actual on-disk bytes.
+func (h *Heap) VerifyChecksums() (checked, skipped int64, failures []error) {
+	h.mu.RLock()
+	sealed := int64(len(h.pageRows))
+	h.mu.RUnlock()
+	var buf [PageSize]byte
+	for p := int64(1); p <= sealed; p++ {
+		if err := h.file.ReadPage(PageID(p), buf[:]); err != nil {
+			failures = append(failures, err)
+			continue
+		}
+		wasChecked, err := checkPageChecksum(h.file.Path(), PageID(p), buf[:])
+		if !wasChecked {
+			skipped++
+			continue
+		}
+		checked++
+		h.integ.verified.Add(1)
+		if err != nil {
+			h.integ.failed.Add(1)
+			failures = append(failures, err)
+		}
+	}
+	return checked, skipped, failures
 }
 
 // decodePage extracts all rows from a data page image.

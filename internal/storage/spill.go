@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/sqltypes"
 )
 
@@ -41,13 +42,20 @@ const (
 type SpillManager struct {
 	dir   string
 	pool  *BufferPool
+	inj   *fault.Injector
 	seq   atomic.Uint64
 	sweep sync.Once
 }
 
 // NewSpillManager returns a manager rooted at dir (created on first use).
 func NewSpillManager(dir string, pool *BufferPool) *SpillManager {
-	return &SpillManager{dir: dir, pool: pool}
+	return NewSpillManagerFault(dir, pool, nil)
+}
+
+// NewSpillManagerFault is NewSpillManager with fault-injection routing
+// for spill-file I/O (site "spill").
+func NewSpillManagerFault(dir string, pool *BufferPool, inj *fault.Injector) *SpillManager {
+	return &SpillManager{dir: dir, pool: pool, inj: inj}
 }
 
 // Create opens a fresh spill file. The first Create sweeps spill files a
@@ -66,11 +74,11 @@ func (m *SpillManager) Create() (*SpillFile, error) {
 	})
 	path := filepath.Join(m.dir, fmt.Sprintf("spill-%d.tmp", m.seq.Add(1)))
 	os.Remove(path) // never inherit stale pages
-	f, err := OpenPagedFile(path)
+	f, err := OpenPagedFileFault(path, m.inj, "spill")
 	if err != nil {
 		return nil, err
 	}
-	return &SpillFile{file: f, pool: m.pool}, nil
+	return &SpillFile{file: f, pool: m.pool, inj: m.inj}, nil
 }
 
 // CreateRun opens a spill file tuned for sorted runs: the external merge
@@ -97,6 +105,7 @@ type SpillFile struct {
 	mu       sync.Mutex
 	file     *PagedFile
 	pool     *BufferPool
+	inj      *fault.Injector
 	tail     []byte
 	pages    int64 // sealed data pages
 	rows     int64
@@ -170,10 +179,10 @@ func (s *SpillFile) sealTailLocked() error {
 	copy(page[spillHeaderSize:], s.tail)
 	id, err := s.file.Allocate()
 	if err != nil {
-		return err
+		return fmt.Errorf("storage: spilling query temp state to %s: %w", s.file.Path(), err)
 	}
 	if err := s.file.WritePage(id, page[:]); err != nil {
-		return err
+		return fmt.Errorf("storage: spilling query temp state to %s: %w", s.file.Path(), err)
 	}
 	s.pages++
 	s.tail = s.tail[:0]
@@ -245,7 +254,7 @@ func (s *SpillFile) Release() error {
 	s.released = true
 	s.pool.DropFile(s.file)
 	err := s.file.Close()
-	if rmErr := os.Remove(s.file.Path()); err == nil {
+	if rmErr := fault.Remove(s.inj, s.file.Path()); err == nil {
 		err = rmErr
 	}
 	return err

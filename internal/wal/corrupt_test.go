@@ -1,0 +1,238 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeSampleLog writes sampleRecords to a fresh current-format log and
+// returns its path plus the per-record byte offsets (header start) in the
+// file, so tests can target specific records for corruption.
+func writeSampleLog(t *testing.T) (string, []int64) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "seq.wal")
+	w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offs []int64
+	off := int64(walMagicLen)
+	for _, r := range sampleRecords() {
+		offs = append(offs, off)
+		off += walHeaderLen + int64(len(encodeRecord(r)))
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, offs
+}
+
+// TestMidLogCorruptionIsNotTornTail is the core discrimination: damage to
+// a record with intact records after it must surface ErrCorruptLog, not
+// silently drop the committed tail the way a torn-tail stop would.
+func TestMidLogCorruptionIsNotTornTail(t *testing.T) {
+	path, offs := writeSampleLog(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of the second record (records 3..6 stay intact).
+	data[offs[1]+walHeaderLen] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := Open(path)
+	if err != nil {
+		t.Fatal(err) // open must still succeed; the damage surfaces at Replay
+	}
+	defer w.Close()
+	err = w.Replay(func(Record) error { return nil })
+	if !errors.Is(err, ErrCorruptLog) {
+		t.Fatalf("mid-log corruption replay err = %v, want ErrCorruptLog", err)
+	}
+}
+
+// TestOutOfSequenceRecordIsCorrupt: an intact record whose sequence number
+// skips ahead means records were lost — corruption even with nothing else
+// damaged.
+func TestOutOfSequenceRecordIsCorrupt(t *testing.T) {
+	path, offs := writeSampleLog(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite record 2's sequence from 2 to 9 and fix up its CRC so the
+	// record itself stays intact.
+	o := offs[1]
+	n := int64(binary.LittleEndian.Uint32(data[o:]))
+	binary.LittleEndian.PutUint64(data[o+8:], 9)
+	payload := data[o+walHeaderLen : o+walHeaderLen+n]
+	binary.LittleEndian.PutUint32(data[o+4:], recordCRC(data[o+8:o+16], payload))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	err = w.Replay(func(Record) error { return nil })
+	if !errors.Is(err, ErrCorruptLog) {
+		t.Fatalf("out-of-sequence replay err = %v, want ErrCorruptLog", err)
+	}
+}
+
+// TestCorruptFinalRecordIsTornTail: the same damage applied to the LAST
+// record has nothing intact after it, so it is indistinguishable from a
+// crash mid-append and replay must stop cleanly.
+func TestCorruptFinalRecordIsTornTail(t *testing.T) {
+	path, offs := writeSampleLog(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := offs[len(offs)-1]
+	data[last+walHeaderLen] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	n := 0
+	if err := w.Replay(func(Record) error { n++; return nil }); err != nil {
+		t.Fatalf("corrupt-final replay err = %v, want clean stop", err)
+	}
+	if want := len(offs) - 1; n != want {
+		t.Errorf("replayed %d records, want %d", n, want)
+	}
+}
+
+// TestTruncateRestartsSequence: after Truncate the next generation starts
+// at sequence 1 again and replays cleanly.
+func TestTruncateRestartsSequence(t *testing.T) {
+	w, _ := openTestWAL(t)
+	defer w.Close()
+	for _, r := range sampleRecords() {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Type: RecCommit, Txn: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	if err := w.Replay(func(r Record) error { got = append(got, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Txn != 7 {
+		t.Errorf("post-truncate replay = %+v", got)
+	}
+}
+
+// writeLegacyLog hand-crafts a pre-sequence-number log: no magic, 8-byte
+// headers (u32 length, u32 CRC over payload only).
+func writeLegacyLog(t *testing.T, recs []Record) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "legacy.wal")
+	var data []byte
+	for _, r := range recs {
+		payload := encodeRecord(r)
+		var hdr [legacyHeaderLen]byte
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+		data = append(data, hdr[:]...)
+		data = append(data, payload...)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLegacyLogReplaysAndUpgrades: a pre-sequence log from an older build
+// must replay with the old semantics, refuse new appends until truncated,
+// and become a current-format log after Truncate.
+func TestLegacyLogReplaysAndUpgrades(t *testing.T) {
+	recs := sampleRecords()
+	path := writeLegacyLog(t, recs)
+	w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	n := 0
+	if err := w.Replay(func(Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(recs) {
+		t.Fatalf("legacy replay saw %d of %d records", n, len(recs))
+	}
+	// Appending into a legacy file would mix formats; it must be refused.
+	if err := w.Append(Record{Type: RecCommit, Txn: 1}); err == nil {
+		t.Fatal("append to legacy log succeeded, want refusal")
+	}
+	// Truncate (what the engine does after its recovery checkpoint)
+	// upgrades the file to the current format.
+	if err := w.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Type: RecCommit, Txn: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	n = 0
+	if err := w.Replay(func(Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("post-upgrade replay saw %d records, want 1", n)
+	}
+	// The upgraded file leads with the magic.
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) < walMagicLen || string(buf[:walMagicLen]) != walMagic {
+		t.Error("upgraded log does not start with current-format magic")
+	}
+}
+
+// TestLegacyTornTailStillClean: damage in a legacy log keeps the old
+// torn-tail-only behavior (no sequence numbers to discriminate with).
+func TestLegacyTornTailStillClean(t *testing.T) {
+	recs := sampleRecords()
+	path := writeLegacyLog(t, recs)
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+	w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	n := 0
+	if err := w.Replay(func(Record) error { n++; return nil }); err != nil {
+		t.Fatalf("legacy corrupt-tail replay err = %v, want clean stop", err)
+	}
+	if n != len(recs)-1 {
+		t.Errorf("legacy replay saw %d records, want %d", n, len(recs)-1)
+	}
+}
