@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment: all, table1, table2, wrap, query1, consensus, plans, ablations, join, sortagg, stats, txn, vector, fault")
+	run := flag.String("run", "all", "experiment: all, table1, table2, wrap, query1, consensus, plans, ablations, join, sortagg, stats, txn, vector, fault, index")
 	dgeReads := flag.Int("dge-reads", 400_000, "DGE lane size (level-1 reads)")
 	reseqReads := flag.Int("reseq-reads", 150_000, "re-sequencing lane size")
 	seed := flag.Int64("seed", 42, "generator seed")
@@ -39,6 +39,8 @@ func main() {
 	vectorRows := flag.Int("vector-rows", 0, "vectorized-scan benchmark table size (0 = default)")
 	faultOut := flag.String("fault-out", "BENCH_fault.json", "output path for the checksum-overhead benchmark JSON")
 	faultRows := flag.Int("fault-rows", 0, "checksum-overhead benchmark table size (0 = default)")
+	indexOut := flag.String("index-out", "BENCH_index.json", "output path for the secondary-index benchmark JSON")
+	indexRows := flag.Int("index-rows", 0, "secondary-index benchmark table size (0 = default)")
 	flag.Parse()
 
 	workDir := *work
@@ -356,6 +358,31 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("wrote %s\n\n", *faultOut)
+	}
+	if want("index") {
+		fmt.Println("---- secondary index & zone maps: point/range probes vs DOP-4 heap scan ----")
+		cfg := bench.DefaultIndexBenchConfig()
+		if *indexRows > 0 {
+			cfg.Rows = *indexRows
+		}
+		res, err := bench.IndexExperiment(filepath.Join(workDir, "index"), cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%d rows, DOP 4, best of %d (GOMAXPROCS %d); CREATE INDEX build: %.1f ms\n",
+			res.Rows, res.Iters, res.GOMAXPROCS, res.BuildMS)
+		for _, q := range res.Queries {
+			fmt.Printf("  %-15s: heap %9.3f ms   indexed %9.3f ms  (%.1fx)  matches=%d  [%s]\n",
+				q.Name, q.HeapMS, q.IndexMS, q.Speedup, q.Matches, q.Path)
+		}
+		fmt.Printf("point lookup speedup %.1fx (floor 10x); zone maps skipped %.1f%% of pages (%d/%d kept, floor 50%%)\n",
+			res.PointSpeedup, res.ZoneSkipPct, res.ZonePagesKept, res.ZonePagesTotal)
+		if err := res.WriteJSON(*indexOut); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n\n", *indexOut)
+		fmt.Println("point-lookup plan (indexed side):")
+		fmt.Println(res.PointPlan)
 	}
 	fmt.Println(strings.Repeat("=", 60))
 	fmt.Println("done")

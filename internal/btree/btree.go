@@ -189,6 +189,9 @@ func (t *BTree) insertLeaf(n node, key, val []byte) (split bool, sepKey []byte, 
 		return false, nil, 0, replaced, nil
 	}
 	// Split.
+	if err := t.inj.Point("btree.split"); err != nil {
+		return false, nil, 0, false, err
+	}
 	entries := n.decodeEntries()
 	entries = insertPair(entries, pos, entryPair{key: append([]byte(nil), key...), val: append([]byte(nil), val...)})
 	leftEntries, rightEntries := splitByBytes(entries, true)
@@ -223,6 +226,9 @@ func (t *BTree) insertInternal(n node, sepKey []byte, child int64) (split bool, 
 	if len(entry)+2 <= n.freeSpace() {
 		n.appendEntry(pos, entry)
 		return false, nil, 0, nil
+	}
+	if err := t.inj.Point("btree.split"); err != nil {
+		return false, nil, 0, err
 	}
 	entries := n.decodeEntries()
 	var childImg [8]byte

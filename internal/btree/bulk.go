@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/storage"
 )
 
@@ -15,7 +16,8 @@ const bulkFillLimit = storage.PageSize - 512
 // bulkLoader builds a tree bottom-up from sorted input, writing pages
 // sequentially to a fresh file. Page 0 is reserved for the meta page.
 type bulkLoader struct {
-	f *storage.PagedFile
+	f   *storage.PagedFile
+	inj *fault.Injector
 
 	pending   []byte // current leaf image being filled
 	pendingID storage.PageID
@@ -31,14 +33,27 @@ type childRef struct {
 }
 
 func newBulkLoader(f *storage.PagedFile) (*bulkLoader, error) {
+	return newBulkLoaderFault(f, nil)
+}
+
+// newBulkLoaderFault evaluates the "btree.bulkload" failpoint before every
+// page write, so torture tests can kill a build at any page boundary.
+func newBulkLoaderFault(f *storage.PagedFile, inj *fault.Injector) (*bulkLoader, error) {
 	if f.NumPages() != 0 {
 		return nil, fmt.Errorf("btree: bulk load into non-empty file")
 	}
 	if _, err := f.Allocate(); err != nil { // page 0: meta
 		return nil, err
 	}
-	bl := &bulkLoader{f: f}
+	bl := &bulkLoader{f: f, inj: inj}
 	return bl, bl.startLeaf()
+}
+
+func (bl *bulkLoader) writePage(id storage.PageID, page []byte) error {
+	if err := bl.inj.Point("btree.bulkload"); err != nil {
+		return err
+	}
+	return bl.f.WritePage(id, page)
 }
 
 func (bl *bulkLoader) startLeaf() error {
@@ -90,7 +105,7 @@ func (bl *bulkLoader) finishLeaf(hasNext bool) error {
 	} else {
 		bl.pendingN.setAux(0)
 	}
-	if err := bl.f.WritePage(bl.pendingID, bl.pending); err != nil {
+	if err := bl.writePage(bl.pendingID, bl.pending); err != nil {
 		return err
 	}
 	if hasNext {
@@ -130,7 +145,7 @@ func (bl *bulkLoader) Finish(count int64) error {
 				n.appendEntry(n.count(), entry)
 				i++
 			}
-			if err := bl.f.WritePage(id, page); err != nil {
+			if err := bl.writePage(id, page); err != nil {
 				return err
 			}
 		}
@@ -140,14 +155,21 @@ func (bl *bulkLoader) Finish(count int64) error {
 	copy(meta[0:4], btreeMagic)
 	binary.LittleEndian.PutUint64(meta[8:], uint64(level[0].pid))
 	binary.LittleEndian.PutUint64(meta[16:], uint64(count))
-	return bl.f.WritePage(0, meta[:])
+	return bl.writePage(0, meta[:])
 }
 
 // BulkLoad builds a fresh tree at path from sorted key/value pairs
 // delivered by next (returning ok=false at the end). Existing trees at the
 // path are replaced. The pairs must be strictly ascending by key.
 func BulkLoad(path string, pool *storage.BufferPool, next func() (key, val []byte, ok bool, err error)) (*BTree, error) {
-	f, err := storage.OpenPagedFile(path)
+	return BulkLoadFault(path, pool, nil, next)
+}
+
+// BulkLoadFault is BulkLoad with fault-injection routing (site "btree",
+// failpoint "btree.bulkload" before every page write), so index builds can
+// be crash-tortured like any other write path.
+func BulkLoadFault(path string, pool *storage.BufferPool, inj *fault.Injector, next func() (key, val []byte, ok bool, err error)) (*BTree, error) {
+	f, err := storage.OpenPagedFileFault(path, inj, "btree")
 	if err != nil {
 		return nil, err
 	}
@@ -155,7 +177,7 @@ func BulkLoad(path string, pool *storage.BufferPool, next func() (key, val []byt
 		f.Close()
 		return nil, fmt.Errorf("btree: BulkLoad target %s already exists", path)
 	}
-	bl, err := newBulkLoader(f)
+	bl, err := newBulkLoaderFault(f, inj)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -187,5 +209,5 @@ func BulkLoad(path string, pool *storage.BufferPool, next func() (key, val []byt
 	if err := f.Close(); err != nil {
 		return nil, err
 	}
-	return Open(path, pool)
+	return OpenFault(path, pool, inj)
 }

@@ -93,6 +93,13 @@ type Column struct {
 	NotNull bool       `json:"not_null,omitempty"`
 }
 
+// Index is a secondary index over a heap table: a B+-tree keyed by the
+// indexed column values with the heap row position as a key suffix.
+type Index struct {
+	Name    string `json:"name"`
+	Columns []int  `json:"columns"` // column indexes, in key order
+}
+
 // Table is a table definition plus physical options.
 type Table struct {
 	ID          uint32              `json:"id"`
@@ -101,6 +108,17 @@ type Table struct {
 	PrimaryKey  []int               `json:"primary_key,omitempty"` // column indexes
 	Clustered   bool                `json:"clustered,omitempty"`   // PK is a clustered B+-tree
 	Compression storage.Compression `json:"compression,omitempty"`
+	Indexes     []Index             `json:"indexes,omitempty"` // secondary (heap tables only)
+}
+
+// IndexByName returns the named secondary index (case-insensitive), or nil.
+func (t *Table) IndexByName(name string) *Index {
+	for i := range t.Indexes {
+		if strings.EqualFold(t.Indexes[i].Name, name) {
+			return &t.Indexes[i]
+		}
+	}
+	return nil
 }
 
 // ColumnIndex returns the index of the named column (case-insensitive), or
@@ -409,6 +427,49 @@ func (c *Catalog) Drop(name string) error {
 	}
 	delete(c.tables, key)
 	return c.save()
+}
+
+// AddIndex records a secondary index on a table and persists the catalog.
+// This is the commit point of an index build: once the catalog names the
+// index, recovery keeps its file; before, the file is an orphan and is
+// deleted at open.
+func (c *Catalog) AddIndex(table string, idx Index) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[strings.ToLower(table)]
+	if !ok {
+		return fmt.Errorf("catalog: table %s does not exist", table)
+	}
+	if t.IndexByName(idx.Name) != nil {
+		return fmt.Errorf("catalog: index %s already exists on %s", idx.Name, table)
+	}
+	if len(idx.Columns) == 0 {
+		return fmt.Errorf("catalog: index %s has no columns", idx.Name)
+	}
+	for _, ci := range idx.Columns {
+		if ci < 0 || ci >= len(t.Columns) {
+			return fmt.Errorf("catalog: index %s column index %d out of range", idx.Name, ci)
+		}
+	}
+	t.Indexes = append(t.Indexes, idx)
+	return c.save()
+}
+
+// DropIndex removes a secondary index definition and persists the catalog.
+func (c *Catalog) DropIndex(table, name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[strings.ToLower(table)]
+	if !ok {
+		return fmt.Errorf("catalog: table %s does not exist", table)
+	}
+	for i := range t.Indexes {
+		if strings.EqualFold(t.Indexes[i].Name, name) {
+			t.Indexes = append(t.Indexes[:i], t.Indexes[i+1:]...)
+			return c.save()
+		}
+	}
+	return fmt.Errorf("catalog: index %s does not exist on %s", name, table)
 }
 
 // Get returns a table definition, or nil.

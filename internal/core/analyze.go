@@ -106,6 +106,14 @@ func (db *Database) analyzeTable(def *catalog.Table, snap *Snapshot) (*stats.Tab
 	if td == nil {
 		return nil, fmt.Errorf("core: no storage for table %s", def.Name)
 	}
+	// ANALYZE also completes the heap's zone maps: pages sealed by an
+	// earlier process lack in-memory min/max entries until someone decodes
+	// them, and ANALYZE is about to read every page anyway.
+	if td.heap != nil {
+		if err := td.heap.FillZoneMaps(); err != nil {
+			return nil, err
+		}
+	}
 	modCount := td.modCount.Load()
 	parts := db.dop
 	if parts < 1 {

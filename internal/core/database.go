@@ -166,6 +166,12 @@ type tableData struct {
 	// and the planner treats stats as stale once the live counter drifts
 	// too far from the recorded one.
 	modCount atomic.Int64
+	// indexes are the open secondary indexes (heap tables only).
+	indexes []*indexData
+	// compactGen counts heap compactions; CREATE INDEX uses it to detect
+	// rows moving between its shared and exclusive lock phases. Guarded by
+	// db.mu (compaction runs under the exclusive lock).
+	compactGen int64
 }
 
 // Open opens (creating if needed) a database directory and runs crash
@@ -460,6 +466,9 @@ func (db *Database) openTableStorage(def *catalog.Table) error {
 		}
 		td.heap = h
 		td.insertSeq = h.RowCount()
+		if err := db.openIndexes(td); err != nil {
+			return err
+		}
 	}
 	td.modCount.Store(td.insertSeq)
 	td.versions = newTableVersions(td.insertSeq)
@@ -517,6 +526,11 @@ func (db *Database) Close() error {
 		var err error
 		if td.heap != nil {
 			err = td.heap.Close()
+			for _, ix := range td.indexes {
+				if cerr := ix.tree.Close(); cerr != nil && err == nil {
+					err = cerr
+				}
+			}
 		} else if td.tree != nil {
 			err = td.tree.Close()
 		}
@@ -591,6 +605,18 @@ func (db *Database) checkpointLocked() error {
 		var err error
 		if td.heap != nil {
 			err = td.heap.Checkpoint()
+			// Sealing the tail collected zone maps for the new pages; fill
+			// in any pages persisted by an earlier process while we hold
+			// the exclusive lock anyway.
+			if err == nil {
+				err = td.heap.FillZoneMaps()
+			}
+			for _, ix := range td.indexes {
+				if err != nil {
+					break
+				}
+				err = ix.tree.Checkpoint()
+			}
 		} else {
 			err = td.tree.Checkpoint()
 		}
@@ -657,6 +683,15 @@ func (db *Database) compactHeapLocked(td *tableData) error {
 		}
 	}
 	td.insertSeq = td.heap.RowCount()
+	// Rows moved: every secondary index's baked positions are stale.
+	// Rebuild them from the compacted heap (shadow-swapped, so a crash
+	// mid-rebuild leaves the old consistent file).
+	for _, ix := range td.indexes {
+		if err := db.rebuildIndexLocked(td, ix); err != nil {
+			return err
+		}
+	}
+	td.compactGen++
 	return nil
 }
 
@@ -681,9 +716,28 @@ func (db *Database) recover() error {
 	// logged index minus the non-committed inserts logged before it —
 	// exactly the compaction a crash-free checkpoint would have applied.
 	skipped := map[uint32]int64{}
+	staleIdx := map[*indexData]bool{}
 	statsReplayed := false
 	err := db.wal.Replay(func(rec wal.Record) error {
 		switch rec.Type {
+		case wal.RecDDL:
+			// An index built mid-log baked the heap positions of its build
+			// time into its entries. If any aborted insert for the table
+			// preceded the build, replay compacts those rows away and every
+			// position shifts — the file is stale and must be rebuilt.
+			var p ddlPayload
+			if err := json.Unmarshal(rec.Data, &p); err != nil || p.Op != "create_index" {
+				return nil
+			}
+			td := db.tables[rec.Table]
+			if td == nil || skipped[rec.Table] == 0 {
+				return nil // dropped table, or positions agree with replay
+			}
+			for _, ix := range td.indexes {
+				if strings.EqualFold(ix.name, p.Index) {
+					staleIdx[ix] = true
+				}
+			}
 		case wal.RecInsert:
 			td := db.tables[rec.Table]
 			if td == nil {
@@ -731,6 +785,19 @@ func (db *Database) recover() error {
 		td.modCount.Store(td.insertSeq)
 		td.versions.resetAtCheckpoint(td.insertSeq)
 	}
+	// Secondary indexes: rebuild the ones replay invalidated. After replay
+	// every surviving heap row is committed and carries exactly one entry,
+	// so a count mismatch is a second, independent staleness signal (e.g.
+	// an index file lost mid-swap).
+	for _, td := range db.tables {
+		for _, ix := range td.indexes {
+			if staleIdx[ix] || ix.tree.Count() != td.heap.RowCount() {
+				if err := db.rebuildIndexLocked(td, ix); err != nil {
+					return err
+				}
+			}
+		}
+	}
 	// Converge: make everything durable and empty the log.
 	return db.checkpointLocked()
 }
@@ -745,10 +812,24 @@ func (db *Database) redoInsert(td *tableData, rec wal.Record, skipped int64) err
 	}
 	if td.heap != nil {
 		pos := rec.RowIndex - skipped
-		if pos < td.heap.RowCount() {
-			return nil // already durable
+		if pos >= td.heap.RowCount() {
+			if err := td.heap.Append(row); err != nil {
+				return err
+			}
 		}
-		return td.heap.Append(row)
+		// Index entries are upserted even for already-durable heap rows: a
+		// crash between the heap checkpoint and the index checkpoints
+		// leaves rows whose entries never reached the index files.
+		for _, ix := range td.indexes {
+			key, err := indexEntryKey(ix.cols, row, pos)
+			if err != nil {
+				return err
+			}
+			if _, err := ix.tree.Insert(key, nil); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	key, err := td.pkKey(row)
 	if err != nil {

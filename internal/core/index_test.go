@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/sqltypes"
+)
+
+// drainOp runs a serial operator to completion.
+func drainOp(t *testing.T, db *Database, op exec.Operator) []sqltypes.Row {
+	t.Helper()
+	snap := db.tm.readSnapshot()
+	defer db.tm.releaseSnapshot(snap)
+	rows, err := exec.Run(db.execContext(snap), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestCreateIndexBuildAndScan: bulk build over existing rows, maintenance
+// of later inserts, and point/range IndexScan correctness across reopen.
+func TestCreateIndexBuildAndScan(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{DOP: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, `CREATE TABLE g (id INT, pos INT, tag VARCHAR(16))`)
+	for i := 0; i < 5000; i++ {
+		mustExec(t, db, fmt.Sprintf(`INSERT INTO g VALUES (%d, %d, 'tag%d')`, i, (i*7919)%5000, i%10))
+	}
+	mustExec(t, db, `CREATE INDEX idx_pos ON g(pos)`)
+
+	// Rows inserted AFTER the build must be maintained transactionally.
+	mustExec(t, db, `INSERT INTO g VALUES (5000, 123, 'late')`)
+
+	def := db.Catalog().Get("g")
+	if def.IndexByName("idx_pos") == nil {
+		t.Fatal("catalog lost the index")
+	}
+	lo, hi := sqltypes.NewInt(100), sqltypes.NewInt(200)
+	db.mu.RLock()
+	op, err := db.IndexScan(def, "idx_pos", &lo, &hi, true, false)
+	db.mu.RUnlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drainOp(t, db, op)
+	want := 0
+	for i := 0; i < 5000; i++ {
+		if p := (i * 7919) % 5000; p >= 100 && p < 200 {
+			want++
+		}
+	}
+	want++ // the late row at pos=123
+	if len(rows) != want {
+		t.Fatalf("index range scan returned %d rows, want %d", len(rows), want)
+	}
+	// Index order: ascending pos.
+	for i := 1; i < len(rows); i++ {
+		if sqltypes.Compare(rows[i-1][1], rows[i][1]) > 0 {
+			t.Fatalf("index scan out of order at %d: %v > %v", i, rows[i-1][1], rows[i][1])
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the index file and catalog entry survive; scans still agree.
+	db, err = Open(dir, Options{DOP: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	def = db.Catalog().Get("g")
+	db.mu.RLock()
+	op, err = db.IndexScan(def, "idx_pos", &lo, &hi, true, false)
+	db.mu.RUnlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(drainOp(t, db, op)); got != want {
+		t.Fatalf("after reopen: %d rows, want %d", got, want)
+	}
+	// DROP INDEX removes catalog entry and file.
+	mustExec(t, db, `DROP INDEX idx_pos ON g`)
+	if db.Catalog().Get("g").IndexByName("idx_pos") != nil {
+		t.Fatal("catalog kept the dropped index")
+	}
+	db.mu.RLock()
+	_, err = db.IndexScan(def, "idx_pos", &lo, &hi, true, false)
+	db.mu.RUnlock()
+	if err == nil {
+		t.Fatal("IndexScan over a dropped index succeeded")
+	}
+}
+
+// TestIndexRollbackUndo: entries of rolled-back inserts never surface, and
+// an aborted transaction does not wedge later index scans.
+func TestIndexRollbackUndo(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{DOP: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustExec(t, db, `CREATE TABLE r (v INT)`)
+	for i := 0; i < 100; i++ {
+		mustExec(t, db, fmt.Sprintf(`INSERT INTO r VALUES (%d)`, i))
+	}
+	mustExec(t, db, `CREATE INDEX idx_v ON r(v)`)
+	s := db.NewSession()
+	if err := s.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(`INSERT INTO r VALUES (42)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := sqltypes.NewInt(42), sqltypes.NewInt(42)
+	def := db.Catalog().Get("r")
+	db.mu.RLock()
+	op, err := db.IndexScan(def, "idx_v", &lo, &hi, true, true)
+	db.mu.RUnlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(drainOp(t, db, op)); got != 1 {
+		t.Fatalf("point lookup after rollback: %d rows, want 1", got)
+	}
+}

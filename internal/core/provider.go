@@ -282,6 +282,17 @@ func (v *visibleBatchIterator) Close() error {
 	return berr
 }
 
+// HeapPageStats prices a zone-map-pruned scan: how many sealed pages
+// survive the filters, and the total. (0, 0) means "no information" (not
+// an open heap table) and the planner falls back to cardinality costing.
+func (db *Database) HeapPageStats(t *catalog.Table, filters []storage.ZoneFilter) (kept, total int64) {
+	td := db.tables[t.ID]
+	if td == nil || td.heap == nil {
+		return 0, 0
+	}
+	return td.heap.ZonePrunedPages(filters)
+}
+
 // ScanPartitions returns `parts` operators that together scan the table
 // once: heap tables partition by sealed-page ranges (the tail rides with
 // the last partition); clustered tables partition by key range. Each
@@ -289,6 +300,14 @@ func (v *visibleBatchIterator) Close() error {
 // factory runs under — scans read a consistent version of the table
 // while writers keep appending.
 func (db *Database) ScanPartitions(t *catalog.Table, parts int) ([]exec.Operator, error) {
+	return db.ScanPartitionsPruned(t, parts, nil)
+}
+
+// ScanPartitionsPruned is ScanPartitions with zone-map filters: sealed
+// heap pages whose min/max ranges provably cannot satisfy every filter
+// are skipped without a buffer-pool read. Filters are ignored for
+// clustered tables.
+func (db *Database) ScanPartitionsPruned(t *catalog.Table, parts int, filters []storage.ZoneFilter) ([]exec.Operator, error) {
 	td := db.tables[t.ID]
 	if td == nil {
 		return nil, fmt.Errorf("core: no storage for table %s", t.Name)
@@ -327,14 +346,14 @@ func (db *Database) ScanPartitions(t *catalog.Table, parts int) ([]exec.Operator
 					// covered, and the visibility filter hides whatever
 					// the snapshot should not see.
 					ranges := tdc.versions.visibleRanges(snap)
-					it := tdc.heap.NewVersionIterator(lo, hi, includeTail)
+					it := tdc.heap.NewVersionIterator(lo, hi, includeTail).SetZoneFilters(filters, &db.scanStats)
 					rows := db.wrapIterator(def, &visibleHeapIterator{it: it, ranges: ranges})
 					if !vectorized {
 						return rows, nil
 					}
 					return &visibleBatchIterator{
 						rows:    rows,
-						bi:      tdc.heap.NewBatchIterator(lo, hi, includeTail, &db.scanStats),
+						bi:      tdc.heap.NewBatchIterator(lo, hi, includeTail, &db.scanStats).SetZoneFilters(filters),
 						ranges:  ranges,
 						seqCols: seqCols,
 					}, nil

@@ -132,6 +132,17 @@ func (s *Session) ExecStmt(stmt sqlparse.Statement) (*Result, error) {
 			return nil, err
 		}
 		return db.runDropTable(t)
+	case *sqlparse.CreateIndex:
+		// Takes its own locks: the parallel entry build runs under the
+		// shared lock, only the catch-up + commit phase is exclusive.
+		return db.runCreateIndex(s, t)
+	case *sqlparse.DropIndex:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if err := s.refuseDDLInTxn(); err != nil {
+			return nil, err
+		}
+		return db.runDropIndex(t)
 	case *sqlparse.BeginTxn:
 		return &Result{}, s.beginLocked()
 	case *sqlparse.CommitTxn:
@@ -442,6 +453,12 @@ func (db *Database) runDropTable(dt *sqlparse.DropTable) (*Result, error) {
 	if td != nil {
 		if td.heap != nil {
 			td.heap.Close()
+			for _, ix := range td.indexes {
+				ix.tree.Close()
+				if err := removeFile(ix.path); err != nil {
+					return nil, err
+				}
+			}
 		} else if td.tree != nil {
 			td.tree.Close()
 		}

@@ -26,10 +26,17 @@ type Txn struct {
 
 // txnWrites is one transaction's write set against one table.
 type txnWrites struct {
-	td    *tableData
-	spans []*verSpan // heap version spans owned by this txn
-	keys  [][]byte   // clustered keys inserted by this txn
-	rows  int64
+	td      *tableData
+	spans   []*verSpan  // heap version spans owned by this txn
+	keys    [][]byte    // clustered keys inserted by this txn
+	idxUndo []indexUndo // secondary-index entries to delete on rollback
+	rows    int64
+}
+
+// indexUndo is one secondary-index entry inserted by a transaction.
+type indexUndo struct {
+	ix  *indexData
+	key []byte
 }
 
 // newTxn starts a transaction with a fresh snapshot.
@@ -162,6 +169,16 @@ func (db *Database) rollbackTxn(t *Txn) error {
 	var undoErr error
 	for _, w := range t.writes {
 		w.td.versions.abortSpans(w.spans)
+		if len(w.idxUndo) > 0 {
+			// Best effort: a failed delete leaves an entry at a dead heap
+			// position, which scans never surface (visibility filters by
+			// position) and the next compaction rebuild removes.
+			w.td.writeMu.Lock()
+			for _, u := range w.idxUndo {
+				_, _ = u.ix.tree.Delete(u.key)
+			}
+			w.td.writeMu.Unlock()
+		}
 		if len(w.keys) == 0 {
 			continue
 		}
@@ -290,6 +307,20 @@ func (db *Database) insertRow(t *Txn, td *tableData, row sqltypes.Row) error {
 		// position is burned and storage state is unknown. Poison.
 		db.poison(fmt.Errorf("core: heap append %s: %w", td.def.Name, err))
 		return err
+	}
+	// Maintain secondary indexes under the same write latch. A failure
+	// here would leave a committed-to-be row missing from an index —
+	// silent wrong results — so it poisons like a failed heap append.
+	for _, ix := range td.indexes {
+		key, err := indexEntryKey(ix.cols, stored, rowIdx)
+		if err == nil {
+			_, err = ix.tree.Insert(key, nil)
+		}
+		if err != nil {
+			db.poison(fmt.Errorf("core: index %s maintenance on %s: %w", ix.name, td.def.Name, err))
+			return err
+		}
+		w.idxUndo = append(w.idxUndo, indexUndo{ix: ix, key: key})
 	}
 	return nil
 }

@@ -102,6 +102,29 @@ func TestPartitionedJoinBloomEquivalence(t *testing.T) {
 		if drops < checks/2 {
 			t.Fatalf("budget %d: drops=%d of checks=%d, expected a majority", budget, drops, checks)
 		}
+		// The per-partition attribution must account for every drop, and —
+		// with keys spread over [0, 2000) — across more than one partition.
+		snap := st.Join.Snapshot()
+		var perPart int64
+		spread := 0
+		for i, n := range snap.BloomDropsByPart {
+			perPart += n
+			if n > 0 {
+				spread++
+			}
+			if n != st.Join.BloomDropsByPart[i].Load() {
+				t.Fatalf("budget %d: snapshot partition %d diverges from live counter", budget, i)
+			}
+		}
+		if perPart != drops {
+			t.Fatalf("budget %d: per-partition drops sum to %d, total is %d", budget, perPart, drops)
+		}
+		if spread < 2 {
+			t.Fatalf("budget %d: drops landed in %d partition(s), expected a spread", budget, spread)
+		}
+		if delta := snap.Sub(JoinStatsSnapshot{}); !reflect.DeepEqual(delta, snap) {
+			t.Fatalf("budget %d: Sub(zero) changed the snapshot", budget)
+		}
 	}
 }
 

@@ -38,6 +38,11 @@ type JoinStats struct {
 	SpillRecursions   atomic.Int64 // spilled partitions re-joined from disk
 	BloomChecks       atomic.Int64 // probe rows tested against a build Bloom filter
 	BloomDrops        atomic.Int64 // probe rows dropped by the Bloom filter
+	// BloomDropsByPart resolves the drops per hash partition (the filter
+	// runs below the exchange, so these show which partitions the early
+	// drops spared — spilled partitions in particular). Joins widened past
+	// DefaultJoinPartitions fold counts modulo the array size.
+	BloomDropsByPart [DefaultJoinPartitions]atomic.Int64
 }
 
 // JoinStatsSnapshot is a point-in-time copy of JoinStats.
@@ -50,11 +55,12 @@ type JoinStatsSnapshot struct {
 	SpillRecursions   int64
 	BloomChecks       int64
 	BloomDrops        int64
+	BloomDropsByPart  [DefaultJoinPartitions]int64
 }
 
 // Snapshot reads the counters; safe to call during queries.
 func (s *JoinStats) Snapshot() JoinStatsSnapshot {
-	return JoinStatsSnapshot{
+	out := JoinStatsSnapshot{
 		BuildRows:         s.BuildRows.Load(),
 		ProbeRows:         s.ProbeRows.Load(),
 		SpilledPartitions: s.SpilledPartitions.Load(),
@@ -64,11 +70,15 @@ func (s *JoinStats) Snapshot() JoinStatsSnapshot {
 		BloomChecks:       s.BloomChecks.Load(),
 		BloomDrops:        s.BloomDrops.Load(),
 	}
+	for i := range s.BloomDropsByPart {
+		out.BloomDropsByPart[i] = s.BloomDropsByPart[i].Load()
+	}
+	return out
 }
 
 // Sub returns the counter deltas since an earlier snapshot.
 func (s JoinStatsSnapshot) Sub(earlier JoinStatsSnapshot) JoinStatsSnapshot {
-	return JoinStatsSnapshot{
+	out := JoinStatsSnapshot{
 		BuildRows:         s.BuildRows - earlier.BuildRows,
 		ProbeRows:         s.ProbeRows - earlier.ProbeRows,
 		SpilledPartitions: s.SpilledPartitions - earlier.SpilledPartitions,
@@ -78,6 +88,10 @@ func (s JoinStatsSnapshot) Sub(earlier JoinStatsSnapshot) JoinStatsSnapshot {
 		BloomChecks:       s.BloomChecks - earlier.BloomChecks,
 		BloomDrops:        s.BloomDrops - earlier.BloomDrops,
 	}
+	for i := range s.BloomDropsByPart {
+		out.BloomDropsByPart[i] = s.BloomDropsByPart[i] - earlier.BloomDropsByPart[i]
+	}
+	return out
 }
 
 // DefaultJoinPartitions is the fan-out when the caller does not set one
@@ -654,11 +668,15 @@ func (w *phjProbe) Next() (sqltypes.Row, bool, error) {
 		}
 		j.stats.ProbeRows.Add(1)
 		// The Bloom check runs before any routing: a dropped row is never
-		// partitioned and — the expensive case — never spilled.
+		// partitioned and — the expensive case — never spilled. Dropped
+		// rows still attribute to the partition they would have routed to,
+		// so monitoring can see which partitions the filter spared.
 		if j.bloom != nil {
 			j.stats.BloomChecks.Add(1)
 			if !j.bloom.MayContain(bloomKeyHash(w.keyBuf)) {
 				j.stats.BloomDrops.Add(1)
+				pt := int(partitionHash(w.keyBuf, j.Level) % uint64(p))
+				j.stats.BloomDropsByPart[pt%DefaultJoinPartitions].Add(1)
 				continue
 			}
 		}

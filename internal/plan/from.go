@@ -10,6 +10,7 @@ import (
 	"repro/internal/sqlparse"
 	"repro/internal/sqltypes"
 	"repro/internal/stats"
+	"repro/internal/storage"
 )
 
 // planFrom plans a FROM item. conjuncts are WHERE terms available for
@@ -83,22 +84,62 @@ func (pl *Planner) planNamedTable(t *sqlparse.NamedTable, conjuncts []sqlparse.E
 
 	// Post-filter cardinality: the raw row count scaled by the estimated
 	// selectivity of the pushed predicates (histograms/NDV/MCVs once
-	// ANALYZE ran, System R defaults otherwise). The partition count
-	// follows the post-filter estimate, so a selective point query no
-	// longer spins up DOP exchange workers to produce a handful of rows.
+	// ANALYZE ran, System R defaults otherwise).
 	ts := pl.Provider.Stats(tab)
-	est := pl.Provider.RowCountEstimate(tab)
+	rawEst := pl.Provider.RowCountEstimate(tab)
+	est := rawEst
 	if len(pushed) > 0 {
 		est = scaleEst(est, conjunctsSelectivity(ts, pushed))
 	}
-	partsN := pl.partitionCount(est)
+
+	// Access-path selection (see access.go): sargable bounds from the
+	// pushed conjuncts yield zone filters and index candidates, priced by
+	// estimated page I/O against the full scan.
+	var zoneFilters []storage.ZoneFilter
+	var idxCand *indexChoice
+	if !tab.Clustered {
+		ranges := sargableRanges(sc, tab, ts, pushed)
+		zoneFilters = zoneFiltersFrom(ranges)
+		idxCand = pickIndex(tab, ranges)
+	}
+	keptPages, totalPages := int64(0), int64(0)
+	if len(zoneFilters) > 0 {
+		keptPages, totalPages = pl.Provider.HeapPageStats(tab, zoneFilters)
+	}
+	useIndex := false
+	if idxCand != nil {
+		idxRows := scaleEst(rawEst, idxCand.rng.sel)
+		useIndex = indexScanCost(idxRows) < heapScanCost(rawEst, keptPages, totalPages)
+	}
+	switch pl.ForcePath {
+	case "full":
+		useIndex, zoneFilters = false, nil
+		keptPages, totalPages = 0, 0
+	case "zonemap":
+		useIndex = false
+	case "index":
+		useIndex = idxCand != nil
+	}
+	if useIndex {
+		return pl.indexScanNode(tab, qual, cols, idxCand, pred, est, ts), remaining, nil
+	}
+
+	// Heap/clustered scan. The partition count follows the pages the scan
+	// actually reads — the raw table size shrunk by zone pruning — NOT the
+	// post-filter output estimate: a selective unindexed predicate still
+	// reads every page, and those reads are what parallelism amortizes.
+	scanBasis := rawEst
+	if totalPages > 0 && keptPages < totalPages {
+		scanBasis = rawEst * keptPages / totalPages
+	}
+	partsN := pl.partitionCount(scanBasis)
 	// Vectorized scans deliver columnar batches; pushed predicates become
 	// selection-vector filters that evaluate dictionary-encoded columns
 	// once per distinct value. The operators still serve the row interface,
 	// so unmigrated consumers (joins, aggregates) compose unchanged.
 	vectorized := pl.Provider.VectorizedScan(tab)
 	parts := func() ([]exec.Operator, error) {
-		ops, err := pl.Provider.ScanPartitions(tab, partsN)
+		ops, err := pl.Provider.ScanPartitionsPruned(tab, partsN, zoneFilters)
 		if err != nil {
 			return nil, err
 		}
@@ -140,6 +181,14 @@ func (pl *Planner) planNamedTable(t *sqlparse.NamedTable, conjuncts []sqlparse.E
 	detail := fmt.Sprintf("[%s]", tab.Name)
 	if pred != nil {
 		detail += fmt.Sprintf(" WHERE:(%s)", pred)
+	}
+	// Annotate the access path whenever a choice was live: zone pruning
+	// with its exact page arithmetic, or an explicit "full scan" marker
+	// when an applicable index lost the cost race.
+	if totalPages > 0 && keptPages < totalPages {
+		detail += fmt.Sprintf(" zonemap-pruned(%d/%d pages)", keptPages, totalPages)
+	} else if idxCand != nil {
+		detail += " full scan"
 	}
 	var node *Node
 	scanLeaf := &Node{Op: scanOp, Detail: detail, Cols: cols, Est: est, Vec: vectorized}
@@ -359,6 +408,8 @@ func (pl *Planner) planJoin(j *sqlparse.JoinRef, conjuncts []sqlparse.Expr) (*re
 		rel = &mj.relation
 		// tryMergeJoin consumed the pushable conjuncts itself.
 		remaining = mj.leftoverConjuncts
+	} else if omj := pl.orderedMergeJoin(left, right, leftKeyIdents, rightKeyIdents, leftKeys, rightKeys, combined); omj != nil {
+		rel = omj
 	} else if left.est >= pl.ParallelThreshold || right.est >= pl.ParallelThreshold {
 		// Either input is past the parallel threshold: Grace-style
 		// partitioned hash join, building on the smaller estimated side,
@@ -403,6 +454,49 @@ func (pl *Planner) planJoin(j *sqlparse.JoinRef, conjuncts []sqlparse.Expr) (*re
 		rel = filterRelation(rel, pred)
 	}
 	return rel, remaining, nil
+}
+
+// orderedMergeJoin exploits interesting orders: when both serial inputs
+// already stream in join-key order — index scans, whose key order the
+// relation advertises, or clustered scans — a merge join consumes them
+// directly: no hash table, no sort, and the key order survives for
+// consumers above. Both sides may hold duplicate keys (the operator
+// buffers right groups and replays them), and NULL keys never join on
+// either the hash or the merge path, so results are identical.
+func (pl *Planner) orderedMergeJoin(left, right *relation,
+	leftKeyIdents, rightKeyIdents []*sqlparse.Ident,
+	leftKeys, rightKeys []expr.Expr, combined []ColMeta) *relation {
+
+	if len(leftKeyIdents) != 1 || left.parts != nil || right.parts != nil {
+		return nil
+	}
+	if !orderedOnIdent(left, leftKeyIdents[0]) || !orderedOnIdent(right, rightKeyIdents[0]) {
+		return nil
+	}
+	est := joinOutputEstimate(left, right, leftKeyIdents, rightKeyIdents)
+	leftNode, rightNode := left.node, right.node
+	node := &Node{
+		Op:       "Merge Join (Inner Join)",
+		Detail:   fmt.Sprintf("MERGE:[%s]=[%s] (interesting order)", describeExprs(leftKeys), describeExprs(rightKeys)),
+		Children: []*Node{leftNode, rightNode},
+		Cols:     combined,
+		Est:      est,
+		Build: func() (exec.Operator, error) {
+			l, err := buildChild(leftNode)
+			if err != nil {
+				return nil, err
+			}
+			r, err := buildChild(rightNode)
+			if err != nil {
+				return nil, err
+			}
+			return &exec.MergeJoin{
+				LeftKeys: leftKeys, RightKeys: rightKeys,
+				Left: l, Right: r,
+			}, nil
+		},
+	}
+	return &relation{node: node, cols: combined, ordered: left.ordered[:1], est: est}
 }
 
 // joinOutputEstimate estimates an equi-join's output cardinality from

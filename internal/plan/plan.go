@@ -15,6 +15,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/sqltypes"
 	"repro/internal/stats"
+	"repro/internal/storage"
 )
 
 // TVF is a table-valued function — the pull-model extension of the paper's
@@ -40,6 +41,22 @@ type Provider interface {
 	// scan the whole table exactly once (heap page ranges, or a single
 	// full scan when parts == 1).
 	ScanPartitions(t *catalog.Table, parts int) ([]exec.Operator, error)
+	// ScanPartitionsPruned is ScanPartitions with zone-map filters: sealed
+	// heap pages whose min/max summaries provably cannot satisfy every
+	// filter are skipped without a read. Filters are advisory (engines
+	// without zone maps may ignore them) and strictly conservative, so a
+	// pruned scan returns exactly the rows the full scan would.
+	ScanPartitionsPruned(t *catalog.Table, parts int, filters []storage.ZoneFilter) ([]exec.Operator, error)
+	// HeapPageStats prices a zone-map-pruned heap scan: how many sealed
+	// pages survive the filters, and the total page count. (0, 0) means
+	// "no information" and the planner falls back to cardinality-based
+	// page costing.
+	HeapPageStats(t *catalog.Table, filters []storage.ZoneFilter) (kept, total int64)
+	// IndexScan returns a serial operator scanning a named secondary
+	// index over [lo, hi] bounds on its first key column (nil = open,
+	// loInc/hiInc select inclusive bounds), emitting heap rows in
+	// index-key order.
+	IndexScan(t *catalog.Table, idxName string, lo, hi *sqltypes.Value, loInc, hiInc bool) (exec.Operator, error)
 	// OrderedScanRange returns an operator scanning a clustered table in
 	// primary-key order restricted to [lo, hi) on the first key column;
 	// nil bounds are unbounded.
@@ -141,6 +158,12 @@ type Planner struct {
 	// planner auto-disables it per join when statistics estimate that
 	// nearly every probe row matches.
 	EnableJoinBloom bool
+	// ForcePath overrides base-table access-path costing for testing:
+	// "full" (heap scan, no zone filters, no index), "zonemap" (heap scan
+	// with zone filters) or "index" (index scan whenever one applies).
+	// Empty selects by estimated page I/O. A forced path that does not
+	// apply (no sargable index, no filters) degrades to the full scan.
+	ForcePath string
 }
 
 // Default join knobs: a 64 MB build budget keeps even DOP-wide joins

@@ -14,6 +14,7 @@ import (
 	"repro/internal/sqlparse"
 	"repro/internal/sqltypes"
 	"repro/internal/stats"
+	"repro/internal/storage"
 )
 
 // fakeProvider serves two in-memory tables: a heap "t" and a clustered
@@ -27,6 +28,12 @@ type fakeProvider struct {
 	// slice stands in for a much larger table.
 	tstats    map[string]*stats.TableStats
 	rowCounts map[string]int64
+	// pageStats, when set, answers HeapPageStats; nil = (0, 0) ("no
+	// information", the planner's cardinality fallback).
+	pageStats func(t *catalog.Table, filters []storage.ZoneFilter) (kept, total int64)
+	// prunedCalls counts ScanPartitionsPruned invocations that carried
+	// zone filters (observability for access-path tests).
+	prunedCalls int
 }
 
 func newFakeProvider() *fakeProvider {
@@ -104,6 +111,52 @@ func (p *fakeProvider) ScanPartitions(t *catalog.Table, parts int) ([]exec.Opera
 	}
 	return ops, nil
 }
+func (p *fakeProvider) ScanPartitionsPruned(t *catalog.Table, parts int, filters []storage.ZoneFilter) ([]exec.Operator, error) {
+	if len(filters) > 0 {
+		p.prunedCalls++
+	}
+	return p.ScanPartitions(t, parts)
+}
+func (p *fakeProvider) HeapPageStats(t *catalog.Table, filters []storage.ZoneFilter) (int64, int64) {
+	if p.pageStats == nil {
+		return 0, 0
+	}
+	return p.pageStats(t, filters)
+}
+
+// IndexScan serves rows whose first-index-column value falls in the
+// bounds, sorted by that column — the same contract as the engine's
+// B-tree-backed scan (NULLs never match a bound).
+func (p *fakeProvider) IndexScan(t *catalog.Table, name string, lo, hi *sqltypes.Value, loInc, hiInc bool) (exec.Operator, error) {
+	ix := t.IndexByName(name)
+	if ix == nil {
+		return nil, fmt.Errorf("fake: no index %q on %s", name, t.Name)
+	}
+	col := ix.Columns[0]
+	var out []sqltypes.Row
+	for _, r := range p.rows[strings.ToLower(t.Name)] {
+		v := r[col]
+		if v.IsNull() {
+			continue
+		}
+		if lo != nil {
+			if c := sqltypes.Compare(v, *lo); c < 0 || (c == 0 && !loInc) {
+				continue
+			}
+		}
+		if hi != nil {
+			if c := sqltypes.Compare(v, *hi); c > 0 || (c == 0 && !hiInc) {
+				continue
+			}
+		}
+		out = append(out, r)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return sqltypes.Compare(out[i][col], out[j][col]) < 0
+	})
+	return exec.NewValues(out), nil
+}
+
 func (p *fakeProvider) OrderedScanRange(t *catalog.Table, lo, hi *sqltypes.Value) (exec.Operator, error) {
 	var out []sqltypes.Row
 	for _, r := range p.rows[strings.ToLower(t.Name)] {
@@ -427,31 +480,168 @@ func uniformIntStats(tableID uint32, table, col string, rows, max int64) *stats.
 	return ts
 }
 
-// TestPlanPostFilterPartitionCount is the regression test for routing the
-// post-filter estimate into the partition-count decision: a selective
-// point query over a large table must not spin up DOP scan partitions.
+// TestPlanPostFilterPartitionCount: scan parallelism follows the pages a
+// scan actually reads, not the post-filter output estimate. A selective
+// point query over a large indexed table avoids DOP exchange workers by
+// taking the index (serial); the same predicate without a usable index
+// keeps the parallel scan, because it still reads every page.
 func TestPlanPostFilterPartitionCount(t *testing.T) {
 	p := newFakeProvider()
 	p.rowCounts["t"] = 100_000
+	p.tables["t"].Indexes = []catalog.Index{{Name: "idx_a", Columns: []int{0}}}
 	pl := NewPlanner(p, 4) // default threshold 2048
 
-	// Without statistics the default equality selectivity (0.1) still
-	// leaves 10k estimated rows: parallel scan.
+	// Without statistics the default equality selectivity (0.1) leaves
+	// 10k estimated index rows — costlier than the ~1.6k-page full scan,
+	// so the parallel heap scan stays.
 	node := planQuery(t, pl, "SELECT s FROM t WHERE a = 1")
 	if !strings.Contains(node.Explain(), "Parallelism (Gather Streams)") {
-		t.Fatalf("pre-stats point query should stay parallel at est 10k:\n%s", node.Explain())
+		t.Fatalf("pre-stats point query should stay a parallel scan:\n%s", node.Explain())
 	}
 
-	// With NDV statistics the estimate collapses to ~2 rows: serial scan.
+	// With NDV statistics the estimate collapses to ~2 rows: the index
+	// point lookup wins and runs serial.
 	p.tstats["t"] = uniformIntStats(1, "t", "a", 100_000, 50_000)
 	node = planQuery(t, pl, "SELECT s FROM t WHERE a = 1")
-	if text := node.Explain(); strings.Contains(text, "Parallelism") {
-		t.Fatalf("post-filter estimate should make the point query serial:\n%s", text)
+	text := node.Explain()
+	if !strings.Contains(text, "Index Scan") || strings.Contains(text, "Parallelism") {
+		t.Fatalf("post-stats point query should be a serial index scan:\n%s", text)
 	}
 	// The unfiltered scan stays parallel.
 	node = planQuery(t, pl, "SELECT s FROM t")
 	if !strings.Contains(node.Explain(), "Parallelism (Gather Streams)") {
 		t.Fatalf("unfiltered scan lost parallelism:\n%s", node.Explain())
+	}
+}
+
+// TestPlanAccessPathCostRegression is the satellite-1 regression: the
+// same selective predicate picks the index on a large table but stays on
+// the full scan for a tiny one, because page I/O — not output rows — is
+// the cost basis.
+func TestPlanAccessPathCostRegression(t *testing.T) {
+	large := newFakeProvider()
+	large.rowCounts["t"] = 100_000
+	large.tables["t"].Indexes = []catalog.Index{{Name: "idx_a", Columns: []int{0}}}
+	large.tstats["t"] = uniformIntStats(1, "t", "a", 100_000, 50_000)
+	pl := NewPlanner(large, 4)
+	text := planQuery(t, pl, "SELECT s FROM t WHERE a = 1").Explain()
+	if !strings.Contains(text, "Index Scan") || !strings.Contains(text, "idx_a") {
+		t.Fatalf("selective predicate on large table should take the index:\n%s", text)
+	}
+
+	tiny := newFakeProvider() // 10 rows
+	tiny.tables["t"].Indexes = []catalog.Index{{Name: "idx_a", Columns: []int{0}}}
+	tiny.tstats["t"] = uniformIntStats(1, "t", "a", 10, 10)
+	pl = NewPlanner(tiny, 4)
+	text = planQuery(t, pl, "SELECT s FROM t WHERE a = 1").Explain()
+	if strings.Contains(text, "Index Scan") {
+		t.Fatalf("tiny table should stay on the full scan:\n%s", text)
+	}
+	if !strings.Contains(text, "full scan") {
+		t.Fatalf("losing index candidate should annotate the full scan:\n%s", text)
+	}
+	// The chosen plans execute to the same rows.
+	if rows := runPlan(t, planQuery(t, pl, "SELECT s FROM t WHERE a = 1")); len(rows) != 1 {
+		t.Fatalf("full-scan rows = %v", rows)
+	}
+	pl.ForcePath = "index"
+	if rows := runPlan(t, planQuery(t, pl, "SELECT s FROM t WHERE a = 1")); len(rows) != 1 {
+		t.Fatalf("forced index rows = %v", rows)
+	}
+}
+
+// TestPlanZoneMapPruning: zone-map page statistics show up in the scan
+// annotation, shrink the parallelism basis, and route the filters into
+// ScanPartitionsPruned.
+func TestPlanZoneMapPruning(t *testing.T) {
+	p := newFakeProvider()
+	p.rowCounts["t"] = 100_000
+	p.pageStats = func(_ *catalog.Table, filters []storage.ZoneFilter) (int64, int64) {
+		if len(filters) > 0 {
+			return 100, 1600 // the range predicate prunes ieq 94% of pages
+		}
+		return 1600, 1600
+	}
+	pl := NewPlanner(p, 4)
+	node := planQuery(t, pl, "SELECT s FROM t WHERE a >= 7 AND a <= 8")
+	text := node.Explain()
+	if !strings.Contains(text, "zonemap-pruned(100/1600 pages)") {
+		t.Fatalf("zone pruning not annotated:\n%s", text)
+	}
+	// 100k rows * 100/1600 pages = 6250 scan basis -> parallel but narrow
+	// (6250/2048 = 3 partitions, not the full DOP... still parallel).
+	if !strings.Contains(text, "Parallelism (Gather Streams)") {
+		t.Fatalf("pruned scan of 6k rows should stay parallel:\n%s", text)
+	}
+	runPlan(t, node)
+	if p.prunedCalls == 0 {
+		t.Fatal("zone filters never reached ScanPartitionsPruned")
+	}
+}
+
+// TestPlanExplainAccessPathFlip: EXPLAIN flips from full scan to index
+// scan as the predicate tightens from a wide range to a point.
+func TestPlanExplainAccessPathFlip(t *testing.T) {
+	p := newFakeProvider()
+	p.rowCounts["t"] = 100_000
+	p.tables["t"].Indexes = []catalog.Index{{Name: "idx_a", Columns: []int{0}}}
+	p.tstats["t"] = uniformIntStats(1, "t", "a", 100_000, 50_000)
+	pl := NewPlanner(p, 4)
+
+	wide := planQuery(t, pl, "SELECT s FROM t WHERE a >= 0").Explain()
+	if strings.Contains(wide, "Index Scan") || !strings.Contains(wide, "Table Scan") {
+		t.Fatalf("wide range should full-scan:\n%s", wide)
+	}
+	point := planQuery(t, pl, "SELECT s FROM t WHERE a = 123").Explain()
+	if !strings.Contains(point, "Index Scan") || !strings.Contains(point, "idx_a (123..123)") {
+		t.Fatalf("point predicate should flip to the index with bounds shown:\n%s", point)
+	}
+	narrow := planQuery(t, pl, "SELECT s FROM t WHERE a > 100 AND a <= 140").Explain()
+	if !strings.Contains(narrow, "Index Scan") || !strings.Contains(narrow, "(100..140)") {
+		t.Fatalf("narrow range should flip to the index:\n%s", narrow)
+	}
+}
+
+// TestPlanIndexOrderFeedsConsumers: index-provided order elides ORDER BY
+// sorts, streams ROW_NUMBER, and feeds a merge join when both sides
+// arrive index-ordered.
+func TestPlanIndexOrderFeedsConsumers(t *testing.T) {
+	p := newFakeProvider()
+	p.rowCounts["t"] = 100_000
+	p.tables["t"].Indexes = []catalog.Index{{Name: "idx_a", Columns: []int{0}}}
+	p.tstats["t"] = uniformIntStats(1, "t", "a", 100_000, 50_000)
+	pl := NewPlanner(p, 4)
+
+	// ORDER BY on the index column above an index scan: no Sort node.
+	node := planQuery(t, pl, "SELECT a FROM t WHERE a = 3 ORDER BY a")
+	if text := node.Explain(); strings.Contains(text, "Sort") || !strings.Contains(text, "Index Scan") {
+		t.Fatalf("index order should elide the sort:\n%s", text)
+	}
+	if rows := runPlan(t, node); len(rows) != 1 || rows[0][0].I != 3 {
+		t.Fatalf("sort-elided rows = %v", rows)
+	}
+
+	// ROW_NUMBER over the index order streams without buffering.
+	node = planQuery(t, pl, "SELECT a, ROW_NUMBER() OVER (ORDER BY a) FROM t WHERE a >= 7 AND a <= 8")
+	if text := node.Explain(); !strings.Contains(text, "(input ordered)") {
+		t.Fatalf("ROW_NUMBER should ride the index order:\n%s", text)
+	}
+	rows := runPlan(t, node)
+	if len(rows) != 2 || rows[0][1].I != 1 || rows[1][1].I != 2 {
+		t.Fatalf("windowed rows = %v", rows)
+	}
+
+	// Both sides index-ordered on the join key: merge join, no hash.
+	p.rowCounts["u"] = 100_000
+	p.tables["u"].Indexes = []catalog.Index{{Name: "idx_b", Columns: []int{0}}}
+	p.tstats["u"] = uniformIntStats(4, "u", "b", 100_000, 50_000)
+	node = planQuery(t, pl, "SELECT s, v FROM t JOIN u ON a = b WHERE a >= 1 AND a <= 3 AND b >= 1 AND b <= 3")
+	text := node.Explain()
+	if !strings.Contains(text, "Merge Join") || !strings.Contains(text, "interesting order") {
+		t.Fatalf("index-ordered join sides should merge join:\n%s", text)
+	}
+	if rows := runPlan(t, node); len(rows) != 3 {
+		t.Fatalf("merge join rows = %v", rows)
 	}
 }
 

@@ -567,9 +567,17 @@ func (pl *Planner) windowRelation(rel *relation, keys []exec.SortKey, grouped bo
 		return &relation{node: node, cols: cols, est: rel.est}
 	}
 	child := rel.node
+	// Interesting order: when the input already streams in the window
+	// order (index or clustered scans), the numbering is a pure pass-
+	// through counter — no sort, no buffering.
+	inputSorted := !grouped && sortKeysCoveredBy(rel, keys)
+	detail := fmt.Sprintf("ORDER BY:[%s]", describeSortKeys(keys))
+	if inputSorted {
+		detail += " (input ordered)"
+	}
 	node := &Node{
 		Op:       "Sequence Project (ROW_NUMBER)",
-		Detail:   fmt.Sprintf("ORDER BY:[%s]", describeSortKeys(keys)),
+		Detail:   detail,
 		Children: []*Node{child},
 		Cols:     cols,
 		Est:      rel.est,
@@ -583,6 +591,7 @@ func (pl *Planner) windowRelation(rel *relation, keys []exec.SortKey, grouped bo
 				Child:        c,
 				MemoryBudget: pl.SortMemoryBudget,
 				Spill:        pl.Provider.SpillStore(),
+				InputSorted:  inputSorted,
 			}, nil
 		},
 	}
@@ -607,6 +616,12 @@ func describeSortKeys(keys []exec.SortKey) string {
 func (pl *Planner) sortNode(keys []exec.SortKey, rel *relation) *Node {
 	if rel.parts != nil && rel.partsN > 1 {
 		return pl.parallelSortNode(keys, rel)
+	}
+	// Interesting order: a serial input already streaming in the requested
+	// order (index scan, clustered scan, ordered merge join) needs no sort
+	// at all.
+	if sortKeysCoveredBy(rel, keys) {
+		return rel.node
 	}
 	child := rel.node
 	return &Node{

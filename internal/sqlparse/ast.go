@@ -30,6 +30,24 @@ type DropTable struct{ Name string }
 
 func (*DropTable) stmt() {}
 
+// CreateIndex is CREATE INDEX name ON table(col[, ...]): a secondary
+// index over heap columns, built bottom-up and maintained by inserts.
+type CreateIndex struct {
+	Name  string
+	Table string
+	Cols  []string
+}
+
+func (*CreateIndex) stmt() {}
+
+// DropIndex is DROP INDEX name ON table.
+type DropIndex struct {
+	Name  string
+	Table string
+}
+
+func (*DropIndex) stmt() {}
+
 // Insert is INSERT INTO ... VALUES or INSERT INTO ... SELECT.
 type Insert struct {
 	Table string

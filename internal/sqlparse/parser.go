@@ -144,9 +144,27 @@ func (p *parser) statement() (Statement, error) {
 	case p.isKw("select"):
 		return p.selectStmt()
 	case p.isKw("create"):
+		// "index" is contextual (not reserved): branch on the next token.
+		if t := p.peek2(); t.kind == tkIdent && strings.EqualFold(t.text, "index") {
+			return p.createIndex()
+		}
 		return p.createTable()
 	case p.isKw("drop"):
 		p.advance()
+		if p.acceptKw("index") {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("on"); err != nil {
+				return nil, err
+			}
+			tbl, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &DropIndex{Name: name, Table: tbl}, nil
+		}
 		if err := p.expectKw("table"); err != nil {
 			return nil, err
 		}
@@ -192,6 +210,41 @@ func (p *parser) statement() (Statement, error) {
 		return a, nil
 	}
 	return nil, p.errHere("expected a statement")
+}
+
+// createIndex parses CREATE INDEX name ON table(col[, ...]).
+func (p *parser) createIndex() (Statement, error) {
+	p.advance() // CREATE
+	p.advance() // INDEX
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("on"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	ci := &CreateIndex{Name: name, Table: tbl}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ci.Cols = append(ci.Cols, col)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return ci, nil
 }
 
 func (p *parser) createTable() (Statement, error) {

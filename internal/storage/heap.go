@@ -48,6 +48,10 @@ type Heap struct {
 	pageRows    []int   // rows per sealed data page (index 0 = page 1)
 	pageCum     []int64 // pageCum[i] = rows in sealed pages [0, i); len = len(pageRows)+1
 	durableRows int64   // as recorded on the meta page
+	// zones holds per-page min/max summaries, parallel to pageRows; a nil
+	// element means "not collected" and the page is never skipped. See
+	// zonemap.go.
+	zones [][]ZoneEntry
 
 	checksums bool               // stamp CRC32C on sealed pages
 	integ     *IntegrityCounters // shared verification counters (may be nil)
@@ -339,6 +343,7 @@ func (h *Heap) sealTailLocked() error {
 	}
 	h.pageRows = append(h.pageRows, sealed)
 	h.pageCum = append(h.pageCum, h.pageCum[len(h.pageCum)-1]+int64(sealed))
+	h.noteSealedZonesLocked(h.tailRows) // h.tailRows holds exactly the sealed rows here
 	h.tailRows = h.tailRows[:0]
 	h.tailBytes = h.tailBytes[:0]
 	h.tailOffs = h.tailOffs[:0]
@@ -588,6 +593,9 @@ func (h *Heap) Truncate(n int64) error {
 		}
 		h.pageRows = h.pageRows[:last-1]
 		h.pageCum = h.pageCum[:last]
+		if int64(len(h.zones)) >= last {
+			h.zones = h.zones[:last-1]
+		}
 		h.rowCount -= int64(len(rows))
 		h.pool.DropFile(h.file) // stale cache below the truncation point
 		if err := h.file.Truncate(last); err != nil {

@@ -97,6 +97,21 @@ type HeapVersionIterator struct {
 	tail    []sqltypes.Row
 	tailAt  int64 // global index of tail[0]
 	tailOn  bool
+	zf      []ZoneFilter
+	stats   *VecScanStats
+}
+
+// SetZoneFilters makes the iterator skip sealed pages whose zone-map
+// range cannot satisfy the filters (conservative: pages without entries
+// are read). Skipped pages are counted in stats (may be nil). Returns
+// the iterator for chaining.
+func (it *HeapVersionIterator) SetZoneFilters(fs []ZoneFilter, stats *VecScanStats) *HeapVersionIterator {
+	it.zf = fs
+	if stats == nil {
+		stats = &discardVecStats
+	}
+	it.stats = stats
+	return it
 }
 
 // NewVersionIterator returns an indexed iterator over sealed pages
@@ -129,6 +144,11 @@ func (it *HeapVersionIterator) Next() (sqltypes.Row, int64, bool, error) {
 			return r, idx, true, nil
 		}
 		if it.page < it.hiPage {
+			if len(it.zf) > 0 && it.h.ZoneSkip(it.page, it.zf) {
+				it.stats.ZoneSkippedPages.Add(1)
+				it.page++
+				continue
+			}
 			fr, err := it.h.pool.Get(it.h.file, PageID(it.page+1))
 			if err != nil {
 				return nil, 0, false, err

@@ -20,6 +20,9 @@ type VecScanStats struct {
 	Rows               atomic.Int64
 	ValuesDecoded      atomic.Int64
 	DictEntriesDecoded atomic.Int64
+	// ZoneSkippedPages counts sealed pages a scan skipped entirely
+	// because their zone-map range could not satisfy the predicate.
+	ZoneSkippedPages atomic.Int64
 }
 
 // VecScanSnapshot is a point-in-time copy of VecScanStats.
@@ -28,6 +31,7 @@ type VecScanSnapshot struct {
 	Rows               int64
 	ValuesDecoded      int64
 	DictEntriesDecoded int64
+	ZoneSkippedPages   int64
 }
 
 // Snapshot returns the current counter values.
@@ -37,6 +41,7 @@ func (s *VecScanStats) Snapshot() VecScanSnapshot {
 		Rows:               s.Rows.Load(),
 		ValuesDecoded:      s.ValuesDecoded.Load(),
 		DictEntriesDecoded: s.DictEntriesDecoded.Load(),
+		ZoneSkippedPages:   s.ZoneSkippedPages.Load(),
 	}
 }
 
@@ -47,6 +52,7 @@ func (s VecScanSnapshot) Sub(o VecScanSnapshot) VecScanSnapshot {
 		Rows:               s.Rows - o.Rows,
 		ValuesDecoded:      s.ValuesDecoded - o.ValuesDecoded,
 		DictEntriesDecoded: s.DictEntriesDecoded - o.DictEntriesDecoded,
+		ZoneSkippedPages:   s.ZoneSkippedPages - o.ZoneSkippedPages,
 	}
 }
 
@@ -259,6 +265,7 @@ type HeapBatchIterator struct {
 	tailAt int64
 	tailOn bool
 	stats  *VecScanStats
+	zf     []ZoneFilter
 }
 
 // NewBatchIterator returns a batch iterator over sealed pages
@@ -285,10 +292,23 @@ func (h *Heap) NewBatchIterator(loPage, hiPage int64, extend bool, stats *VecSca
 	return it
 }
 
+// SetZoneFilters makes the iterator skip sealed pages whose zone-map
+// range cannot satisfy the filters (conservative: pages without entries
+// are read). Returns the iterator for chaining.
+func (it *HeapBatchIterator) SetZoneFilters(fs []ZoneFilter) *HeapBatchIterator {
+	it.zf = fs
+	return it
+}
+
 // NextBatch returns the next batch, or (nil, nil) at end of stream. The
 // batch is freshly allocated and owned by the caller.
 func (it *HeapBatchIterator) NextBatch() (*vec.Batch, error) {
 	for it.page < it.hiPage {
+		if len(it.zf) > 0 && it.h.ZoneSkip(it.page, it.zf) {
+			it.stats.ZoneSkippedPages.Add(1)
+			it.page++
+			continue
+		}
 		fr, err := it.h.pool.Get(it.h.file, PageID(it.page+1))
 		if err != nil {
 			return nil, err
