@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment: all, table1, table2, wrap, query1, consensus, plans, ablations, join, sortagg, stats, txn, vector, fault, index")
+	run := flag.String("run", "all", "experiment: all, table1, table2, wrap, query1, consensus, plans, ablations, join, sortagg, stats, txn, vector, fault, index, obs")
 	dgeReads := flag.Int("dge-reads", 400_000, "DGE lane size (level-1 reads)")
 	reseqReads := flag.Int("reseq-reads", 150_000, "re-sequencing lane size")
 	seed := flag.Int64("seed", 42, "generator seed")
@@ -41,6 +41,8 @@ func main() {
 	faultRows := flag.Int("fault-rows", 0, "checksum-overhead benchmark table size (0 = default)")
 	indexOut := flag.String("index-out", "BENCH_index.json", "output path for the secondary-index benchmark JSON")
 	indexRows := flag.Int("index-rows", 0, "secondary-index benchmark table size (0 = default)")
+	obsOut := flag.String("obs-out", "BENCH_obs.json", "output path for the instrumentation-overhead benchmark JSON")
+	obsRows := flag.Int("obs-rows", 0, "instrumentation-overhead benchmark table size (0 = default)")
 	flag.Parse()
 
 	workDir := *work
@@ -358,6 +360,27 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("wrote %s\n\n", *faultOut)
+	}
+	if want("obs") {
+		fmt.Println("---- always-on instrumentation overhead: warm vectorized scan, counters on vs off ----")
+		cfg := bench.DefaultObsBenchConfig()
+		if *obsRows > 0 {
+			cfg.Rows = *obsRows
+		}
+		res, err := bench.ObsExperiment(filepath.Join(workDir, "obs"), cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%d rows, DOP 1, best of %d (GOMAXPROCS %d)\n", res.Rows, res.Iters, res.GOMAXPROCS)
+		for _, r := range res.Runs {
+			fmt.Printf("  instrumented=%-5v: warm %8.2f ms   probe_spill=%d B  query_count=%d  matches=%d\n",
+				r.Instrumented, r.WarmMS, r.ProbeSpillBytes, r.QueryCount, r.Matches)
+		}
+		fmt.Printf("warm overhead %.2f%% (budget < 3%%)\n", res.WarmOverheadPct)
+		if err := res.WriteJSON(*obsOut); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n\n", *obsOut)
 	}
 	if want("index") {
 		fmt.Println("---- secondary index & zone maps: point/range probes vs DOP-4 heap scan ----")

@@ -31,10 +31,10 @@ func DefaultIndexBenchConfig() IndexBenchConfig {
 type IndexBenchQuery struct {
 	Name    string  `json:"name"`
 	Query   string  `json:"query"`
-	HeapMS  float64 `json:"heap_ms"`    // no-index database (DOP-4 heap scan)
-	IndexMS float64 `json:"index_ms"`   // indexed database, cost-based plan
-	Speedup float64 `json:"speedup"`    // HeapMS / IndexMS
-	Path    string  `json:"path"`       // access-path line of the indexed plan
+	HeapMS  float64 `json:"heap_ms"`  // no-index database (DOP-4 heap scan)
+	IndexMS float64 `json:"index_ms"` // indexed database, cost-based plan
+	Speedup float64 `json:"speedup"`  // HeapMS / IndexMS
+	Path    string  `json:"path"`     // access-path line of the indexed plan
 	Matches int64   `json:"matches"`
 }
 

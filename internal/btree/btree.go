@@ -166,6 +166,11 @@ func (t *BTree) insertRec(pid int64, key, val []byte) (split bool, sepKey []byte
 }
 
 func (t *BTree) insertLeaf(n node, key, val []byte) (split bool, sepKey []byte, right int64, replaced bool, err error) {
+	// Failpoint covering every leaf write, split or not — the in-place
+	// append path that "btree.split" cannot reach.
+	if err := t.inj.Point("btree.append"); err != nil {
+		return false, nil, 0, false, err
+	}
 	pos, found := n.search(key)
 	entry := encodeLeafEntry(nil, key, val)
 	if len(entry)+2 > storage.PageSize-nodeHeaderSize {

@@ -16,6 +16,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/blob"
 	"repro/internal/btree"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/sqltypes"
 	"repro/internal/stats"
@@ -89,6 +91,18 @@ type Options struct {
 	// (version-0, unchecksummed) format and skips verification — for the
 	// checksum-overhead benchmark and format-compatibility tests.
 	DisablePageChecksums bool
+	// SlowQueryThreshold enables the slow-query log: statements running at
+	// or over the threshold keep their full per-operator profile in
+	// Database.SlowQueries (0, the default, disables capture; the query
+	// history ring records every statement regardless).
+	SlowQueryThreshold time.Duration
+	// QueryHistorySize sets the query-history ring capacity (default 128).
+	QueryHistorySize int
+	// DisableInstrumentation turns off the always-on per-operator counters
+	// SELECTs accumulate (row counts, spill volume, Bloom and buffer-pool
+	// activity). EXPLAIN ANALYZE instruments its statement regardless. The
+	// obs overhead benchmark uses this for its A/B baseline.
+	DisableInstrumentation bool
 }
 
 // Database is an open engine instance rooted at a directory.
@@ -142,6 +156,17 @@ type Database struct {
 	inj         *fault.Injector            // fault-injection registry (nil in production)
 	integ       *storage.IntegrityCounters // shared page-checksum counters
 	noChecksums bool
+
+	// Observability surface: the named gauge registry behind Metrics(),
+	// the query history + slow-query log, engine-event counters, and the
+	// planner's access-path pick counts (one long-lived instance shared
+	// across SetDOP planner rebuilds so the counts stay monotonic).
+	metrics     *obs.Registry
+	qlog        *obs.QueryLog
+	checkpoints atomic.Int64
+	vacuumRuns  atomic.Int64
+	pathPicks   plan.PathPickCounters
+	noInstr     bool
 }
 
 // tableData is the open storage behind one catalog table.
@@ -245,7 +270,16 @@ func Open(dir string, opts Options) (*Database, error) {
 		inj:         opts.FaultInjector,
 		integ:       &storage.IntegrityCounters{},
 		noChecksums: opts.DisablePageChecksums,
+
+		noInstr: opts.DisableInstrumentation,
 	}
+	histSize := opts.QueryHistorySize
+	if histSize <= 0 {
+		histSize = defaultQueryHistorySize
+	}
+	db.qlog = obs.NewQueryLog(histSize, defaultSlowLogSize, opts.SlowQueryThreshold)
+	db.metrics = obs.NewRegistry()
+	db.registerMetrics()
 	db.defaultSess = db.NewSession()
 	db.spill = storage.NewSpillManagerFault(filepath.Join(dir, "tmp"), db.pool, db.inj)
 	db.planner = db.newPlanner(db.dop)
@@ -331,6 +365,7 @@ func (db *Database) newPlanner(dop int) *plan.Planner {
 	pl.SortMemoryBudget = db.sortBudget
 	pl.AggMemoryBudget = db.aggBudget
 	pl.EnableJoinBloom = !db.noBloom
+	pl.PathPicks = &db.pathPicks
 	return pl
 }
 
@@ -638,6 +673,7 @@ func (db *Database) checkpointLocked() error {
 			td.insertSeq = td.heap.RowCount()
 		}
 	}
+	db.checkpoints.Add(1)
 	return nil
 }
 

@@ -73,6 +73,92 @@ func assertPoisoned(t *testing.T, db *Database, base error, wantSubstr string) {
 	}
 }
 
+// TestIndexInsertFaultFailsStatementOnly: a failpoint on the btree
+// write path ("btree.append") makes one secondary-index insert fail.
+// The statement must fail alone — the database stays healthy, the row
+// and its partial index entries are rolled back, and later statements
+// (including index scans) behave normally.
+func TestIndexInsertFaultFailsStatementOnly(t *testing.T) {
+	inj := fault.New(&fault.Rule{Site: "btree.append", Nth: 1, Kind: fault.KindErrIO})
+	db := openFaultDB(t, inj, 512)
+	mustExec(t, db, `CREATE INDEX ix_a ON t (a)`)
+	before := mustExec(t, db, `SELECT COUNT(*) FROM t`).Rows[0][0].I
+
+	inj.Arm()
+	_, err := db.Exec(`INSERT INTO t VALUES (777777, 'doomed')`)
+	inj.Disarm()
+	if err == nil {
+		t.Fatal("insert with failing index maintenance succeeded")
+	}
+	if !errors.Is(err, fault.ErrInjectedIO) {
+		t.Fatalf("error = %v, want injected IO", err)
+	}
+	if herr := db.Health(); herr != nil {
+		t.Fatalf("statement failure poisoned the database: %v", herr)
+	}
+
+	// The failed row is invisible on both access paths.
+	if n := mustExec(t, db, `SELECT COUNT(*) FROM t`).Rows[0][0].I; n != before {
+		t.Fatalf("row count %d after failed insert, want %d", n, before)
+	}
+	if res := mustExec(t, db, `SELECT s FROM t WHERE a = 777777`); len(res.Rows) != 0 {
+		t.Fatalf("failed row visible via index: %v", res.Rows)
+	}
+
+	// The table accepts writes again and the index serves them.
+	mustExec(t, db, `INSERT INTO t VALUES (777777, 'survivor')`)
+	res := mustExec(t, db, `SELECT s FROM t WHERE a = 777777`)
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "survivor" {
+		t.Fatalf("index lookup after recovery = %v", res.Rows)
+	}
+}
+
+// TestIndexInsertFaultInTxnForcesRollback: inside an explicit
+// transaction a failed index insert leaves a partial (undoable) write
+// set, so the transaction turns abort-only: later statements still run,
+// but COMMIT refuses, rolls everything back, and the database stays
+// healthy.
+func TestIndexInsertFaultInTxnForcesRollback(t *testing.T) {
+	inj := fault.New(&fault.Rule{Site: "btree.append", Nth: 1, Kind: fault.KindErrIO})
+	db := openFaultDB(t, inj, 512)
+	mustExec(t, db, `CREATE INDEX ix_a ON t (a)`)
+	before := mustExec(t, db, `SELECT COUNT(*) FROM t`).Rows[0][0].I
+
+	if err := db.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm()
+	_, err := db.Exec(`INSERT INTO t VALUES (888888, 'doomed')`)
+	inj.Disarm()
+	if err == nil {
+		t.Fatal("insert with failing index maintenance succeeded")
+	}
+	// The transaction survives for more statements...
+	mustExec(t, db, `INSERT INTO t VALUES (888889, 'sibling')`)
+	// ...but commit must refuse and roll back instead.
+	if err := db.Commit(); err == nil {
+		t.Fatal("COMMIT succeeded on an abort-only transaction")
+	} else if !strings.Contains(err.Error(), "rolled back") {
+		t.Fatalf("commit error = %v, want rollback notice", err)
+	}
+	if herr := db.Health(); herr != nil {
+		t.Fatalf("abort-only commit poisoned the database: %v", herr)
+	}
+	if n := mustExec(t, db, `SELECT COUNT(*) FROM t`).Rows[0][0].I; n != before {
+		t.Fatalf("row count %d after rolled-back txn, want %d", n, before)
+	}
+	for _, a := range []int{888888, 888889} {
+		if res := mustExec(t, db, fmt.Sprintf(`SELECT s FROM t WHERE a = %d`, a)); len(res.Rows) != 0 {
+			t.Fatalf("rolled-back row %d visible via index: %v", a, res.Rows)
+		}
+	}
+	// A fresh transaction on the same session works.
+	mustExec(t, db, `INSERT INTO t VALUES (888890, 'after')`)
+	if n := mustExec(t, db, `SELECT COUNT(*) FROM t`).Rows[0][0].I; n != before+1 {
+		t.Fatalf("count %d after recovery insert, want %d", n, before+1)
+	}
+}
+
 // TestCommitAppendFailurePoisons: the RecCommit append fails before
 // anything reaches the log — the transaction can never become visible and
 // the database poisons with the commit error.

@@ -611,7 +611,7 @@ func (db *Database) IndexScan(t *catalog.Table, idxName string, lo, hi *sqltypes
 				it:     it,
 				td:     td,
 				ranges: td.versions.visibleRanges(snap),
-				cache:  storage.NewHeapFetchCache(),
+				cache:  storage.NewHeapFetchCache().SetPoolTally(poolTallyFrom(ctx)),
 				locked: true,
 			}), nil
 		},

@@ -442,6 +442,7 @@ func (db *Database) vacuumLoop(stop <-chan struct{}) {
 // all-visible floor. Exposed for tests and benchmarks; the background
 // loop calls it continuously.
 func (db *Database) Vacuum() {
+	db.vacuumRuns.Add(1)
 	horizon := db.tm.horizon()
 	db.mu.RLock()
 	tds := make([]*tableData, 0, len(db.tables))

@@ -111,6 +111,17 @@ func (db *Database) TableStatistics(name string) *stats.TableStats {
 	return db.Stats(def)
 }
 
+// poolTallyFrom builds the buffer-pool attribution tally for the
+// profile of the query operator the context belongs to (nil when the
+// statement runs uninstrumented — pool reads then count only in the
+// global pool stats).
+func poolTallyFrom(ctx *exec.Context) *storage.PoolTally {
+	if ctx == nil || ctx.Prof == nil {
+		return nil
+	}
+	return &storage.PoolTally{Hits: &ctx.Prof.PoolHits, Misses: &ctx.Prof.PoolMisses}
+}
+
 // spillStore adapts the storage spill manager to the operator-layer
 // contract (exec names the interfaces, storage owns the file lifecycle).
 type spillStore struct{ m *storage.SpillManager }
@@ -341,19 +352,22 @@ func (db *Database) ScanPartitionsPruned(t *catalog.Table, parts int, filters []
 				Label: fmt.Sprintf("%s pages [%d,%d)", t.Name, lo, hi),
 				Factory: func(ctx *exec.Context) (exec.RowIterator, error) {
 					snap, _ := ctx.Snapshot.(*Snapshot)
+					tally := poolTallyFrom(ctx)
 					// The tail partition re-captures the sealed-page count
 					// at open ("extend"): pages sealed since planning stay
 					// covered, and the visibility filter hides whatever
 					// the snapshot should not see.
 					ranges := tdc.versions.visibleRanges(snap)
-					it := tdc.heap.NewVersionIterator(lo, hi, includeTail).SetZoneFilters(filters, &db.scanStats)
+					it := tdc.heap.NewVersionIterator(lo, hi, includeTail).
+						SetZoneFilters(filters, &db.scanStats).SetPoolTally(tally)
 					rows := db.wrapIterator(def, &visibleHeapIterator{it: it, ranges: ranges})
 					if !vectorized {
 						return rows, nil
 					}
 					return &visibleBatchIterator{
-						rows:    rows,
-						bi:      tdc.heap.NewBatchIterator(lo, hi, includeTail, &db.scanStats).SetZoneFilters(filters),
+						rows: rows,
+						bi: tdc.heap.NewBatchIterator(lo, hi, includeTail, &db.scanStats).
+							SetZoneFilters(filters).SetPoolTally(tally),
 						ranges:  ranges,
 						seqCols: seqCols,
 					}, nil

@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/exec"
+	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/sqlparse"
 	"repro/internal/sqltypes"
 	"repro/internal/storage"
@@ -72,7 +75,7 @@ func (s *Session) Exec(sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecStmt(stmt)
+	return s.execStmt(stmt, sql)
 }
 
 // Query is a convenience for SELECT statements.
@@ -81,13 +84,13 @@ func (s *Session) Query(sql string) (*Result, error) { return s.Exec(sql) }
 // ExecScript executes a semicolon-separated script, returning the last
 // statement's result.
 func (s *Session) ExecScript(sql string) (*Result, error) {
-	stmts, err := sqlparse.ParseAll(sql)
+	stmts, err := sqlparse.ParseScript(sql)
 	if err != nil {
 		return nil, err
 	}
 	var res *Result
 	for _, st := range stmts {
-		res, err = s.ExecStmt(st)
+		res, err = s.execStmt(st.Stmt, st.SQL)
 		if err != nil {
 			return nil, err
 		}
@@ -97,6 +100,12 @@ func (s *Session) ExecScript(sql string) (*Result, error) {
 
 // ExecStmt executes a parsed statement.
 func (s *Session) ExecStmt(stmt sqlparse.Statement) (*Result, error) {
+	return s.execStmt(stmt, "")
+}
+
+// execStmt executes a parsed statement; sql is the original text when
+// the caller had one (it labels the statement in the query history).
+func (s *Session) execStmt(stmt sqlparse.Statement, sql string) (*Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	db := s.db
@@ -109,10 +118,15 @@ func (s *Session) ExecStmt(stmt sqlparse.Statement) (*Result, error) {
 		defer db.mu.RUnlock()
 		snap, release := s.statementSnapshot()
 		defer release()
-		return db.runSelect(t, snap)
+		return db.runSelectLogged(t, snap, sql)
 	case *sqlparse.Explain:
 		db.mu.RLock()
 		defer db.mu.RUnlock()
+		if t.Analyze {
+			snap, release := s.statementSnapshot()
+			defer release()
+			return db.explainAnalyze(t.Stmt, snap, sql)
+		}
 		return db.explain(t.Stmt)
 	case *sqlparse.Insert:
 		db.mu.RLock()
@@ -256,23 +270,104 @@ func (db *Database) execContext(snap *Snapshot) *exec.Context {
 // runSelect plans and executes a SELECT (callers hold db.mu in some
 // mode).
 func (db *Database) runSelect(sel *sqlparse.Select, snap *Snapshot) (*Result, error) {
+	res, _, err := db.runSelectProfiled(sel, snap, false)
+	return res, err
+}
+
+// runSelectProfiled plans, instruments and executes a SELECT, returning
+// the executed plan tree alongside the result so callers can read the
+// accumulated per-operator profiles. With timed set (EXPLAIN ANALYZE)
+// the profile wrappers also record wall time; otherwise only the cheap
+// always-on counters accrue (none at all under DisableInstrumentation).
+func (db *Database) runSelectProfiled(sel *sqlparse.Select, snap *Snapshot, timed bool) (*Result, *plan.Node, error) {
 	node, err := db.planner.PlanSelect(sel)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if timed || !db.noInstr {
+		node.Instrument(timed)
 	}
 	op, err := node.Build()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rows, err := exec.Run(db.execContext(snap), op)
 	if err != nil {
-		return nil, err
+		return nil, node, err
 	}
 	cols := make([]string, len(node.Cols))
 	for i, c := range node.Cols {
 		cols[i] = c.Name
 	}
-	return &Result{Cols: cols, Rows: rows}, nil
+	return &Result{Cols: cols, Rows: rows}, node, nil
+}
+
+// runSelectLogged is the statement-path SELECT: it profiles the
+// execution, records it in the query history, and — when the statement
+// ran at or over the slow threshold — captures the full rendered
+// profile in the slow-query log.
+func (db *Database) runSelectLogged(sel *sqlparse.Select, snap *Snapshot, sql string) (*Result, error) {
+	start := time.Now()
+	res, node, err := db.runSelectProfiled(sel, snap, false)
+	total := time.Since(start)
+	rec := obs.QueryRecord{SQL: queryLabel(sql, "SELECT"), Start: start, Duration: total}
+	if err != nil {
+		rec.Err = err.Error()
+	} else {
+		rec.Rows = int64(len(res.Rows))
+	}
+	if node != nil {
+		rec.SpillBytes = node.SpillBytes()
+		if err == nil && db.qlog.Threshold() > 0 && total >= db.qlog.Threshold() {
+			rec.Profile = node.ExplainAnalyze(total, rec.Rows)
+		}
+	}
+	db.qlog.Record(rec)
+	return res, err
+}
+
+// queryLabel returns the history label for a statement: its SQL text
+// when the caller supplied one, a placeholder for pre-parsed statements.
+func queryLabel(sql, kind string) string {
+	if sql != "" {
+		return sql
+	}
+	return "(" + kind + " via ExecStmt)"
+}
+
+// explainAnalyze executes EXPLAIN ANALYZE <select>: the statement runs
+// to completion with timed per-operator instrumentation, then the plan
+// tree is rendered with actual row counts, estimate ratios, wall time
+// and spill/Bloom/pool detail per node. The row results are discarded —
+// the rendered plan is the statement's output.
+func (db *Database) explainAnalyze(stmt sqlparse.Statement, snap *Snapshot, sql string) (*Result, error) {
+	sel, ok := stmt.(*sqlparse.Select)
+	if !ok {
+		return nil, fmt.Errorf("core: EXPLAIN ANALYZE supports SELECT only")
+	}
+	start := time.Now()
+	res, node, err := db.runSelectProfiled(sel, snap, true)
+	total := time.Since(start)
+	rec := obs.QueryRecord{SQL: queryLabel(sql, "EXPLAIN ANALYZE"), Start: start, Duration: total}
+	if node != nil {
+		rec.SpillBytes = node.SpillBytes()
+	}
+	if err != nil {
+		rec.Err = err.Error()
+		db.qlog.Record(rec)
+		return nil, err
+	}
+	rec.Rows = int64(len(res.Rows))
+	text := node.ExplainAnalyze(total, rec.Rows)
+	if db.qlog.Threshold() > 0 && total >= db.qlog.Threshold() {
+		rec.Profile = text
+	}
+	db.qlog.Record(rec)
+	out := &Result{Cols: []string{"plan"}, Plan: text}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		out.Rows = append(out.Rows, sqltypes.Row{sqltypes.NewString(line)})
+	}
+	return out, nil
 }
 
 func (db *Database) explain(stmt sqlparse.Statement) (*Result, error) {

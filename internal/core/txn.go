@@ -20,8 +20,15 @@ type Txn struct {
 	began      bool // RecBegin appended
 	logged     bool // WAL-only effects (e.g. ANALYZE images) need a commit record
 	finished   bool
-	writes     map[uint32]*txnWrites
-	blobsMade  []string
+	// abortOnly is set when a statement left the transaction's write set
+	// partially applied but fully undoable (e.g. a failed secondary-index
+	// insert whose successful sibling entries are in idxUndo): the
+	// statement failed alone, the database stays healthy, but COMMIT must
+	// refuse and roll back instead — publishing the partial statement
+	// would be silent wrong results.
+	abortOnly error
+	writes    map[uint32]*txnWrites
+	blobsMade []string
 }
 
 // txnWrites is one transaction's write set against one table.
@@ -105,6 +112,15 @@ func (t *Txn) markAborted() {
 func (db *Database) commitTxn(t *Txn) error {
 	if t.finished {
 		return fmt.Errorf("core: transaction already finished")
+	}
+	if t.abortOnly != nil {
+		// A statement left a partial, undoable write set; the only legal
+		// exit is rollback. The commit request surfaces the original error.
+		reason := t.abortOnly
+		if err := db.rollbackTxn(t); err != nil {
+			return fmt.Errorf("core: transaction must roll back (%v); rollback failed: %w", reason, err)
+		}
+		return fmt.Errorf("core: transaction rolled back instead of committing: %w", reason)
 	}
 	t.finished = true
 	defer db.endTxn(t)
@@ -308,16 +324,21 @@ func (db *Database) insertRow(t *Txn, td *tableData, row sqltypes.Row) error {
 		db.poison(fmt.Errorf("core: heap append %s: %w", td.def.Name, err))
 		return err
 	}
-	// Maintain secondary indexes under the same write latch. A failure
-	// here would leave a committed-to-be row missing from an index —
-	// silent wrong results — so it poisons like a failed heap append.
+	// Maintain secondary indexes under the same write latch. Each
+	// successful entry is recorded in the undo list immediately, so a
+	// failure part-way is fully undoable: the statement fails, rollback
+	// (or the autocommit abort) deletes the entries already inserted and
+	// marks the heap span dead, and the database stays healthy. Inside an
+	// explicit transaction the handle flips to abort-only — COMMIT would
+	// otherwise publish a row missing from the failed index.
 	for _, ix := range td.indexes {
 		key, err := indexEntryKey(ix.cols, stored, rowIdx)
 		if err == nil {
 			_, err = ix.tree.Insert(key, nil)
 		}
 		if err != nil {
-			db.poison(fmt.Errorf("core: index %s maintenance on %s: %w", ix.name, td.def.Name, err))
+			err = fmt.Errorf("core: index %s maintenance on %s: %w", ix.name, td.def.Name, err)
+			t.abortOnly = err
 			return err
 		}
 		w.idxUndo = append(w.idxUndo, indexUndo{ix: ix, key: key})

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/sqltypes"
 )
 
@@ -47,6 +48,7 @@ type aggTable struct {
 	budget  int64 // 0 = unlimited
 	spill   SpillStore
 	stats   *AggStats
+	prof    *obs.OpProfile
 
 	groups    map[string]*aggGroup
 	order     []string
@@ -60,7 +62,7 @@ type aggTable struct {
 	keyBuf []byte
 }
 
-func newAggTable(groupBy []expr.Expr, aggs []AggSpec, parts, level int, budget int64, spill SpillStore, stats *AggStats) *aggTable {
+func newAggTable(groupBy []expr.Expr, aggs []AggSpec, parts, level int, budget int64, spill SpillStore, stats *AggStats, prof *obs.OpProfile) *aggTable {
 	return &aggTable{
 		groupBy:   groupBy,
 		aggs:      aggs,
@@ -69,6 +71,7 @@ func newAggTable(groupBy []expr.Expr, aggs []AggSpec, parts, level int, budget i
 		budget:    budget,
 		spill:     spill,
 		stats:     stats,
+		prof:      prof,
 		groups:    make(map[string]*aggGroup),
 		partBytes: make([]int64, parts),
 		frozen:    make([]bool, parts),
@@ -104,6 +107,7 @@ func (t *aggTable) add(row sqltypes.Row) error {
 				return err
 			}
 			t.stats.SpilledRows.Add(1)
+			t.prof.AddSpill(0, 0, 1)
 			return nil
 		}
 	}
@@ -172,6 +176,7 @@ func (t *aggTable) freezeLargest() error {
 	t.frozen[victim] = true
 	t.nFrozen++
 	t.stats.SpilledPartitions.Add(1)
+	t.prof.AddSpill(0, 1, 0)
 	return nil
 }
 
@@ -338,7 +343,7 @@ func (t *aggTable) reaggregate(part spilledPart) (*aggDrain, error) {
 	if t.level+1 >= maxAggSpillDepth {
 		budget = 0
 	}
-	sub := newAggTable(t.groupBy, t.aggs, t.parts, t.level+1, budget, t.spill, t.stats)
+	sub := newAggTable(t.groupBy, t.aggs, t.parts, t.level+1, budget, t.spill, t.stats, t.prof)
 	fail := func(err error) (*aggDrain, error) {
 		for _, f := range part.files {
 			if f != nil {
@@ -350,6 +355,7 @@ func (t *aggTable) reaggregate(part spilledPart) (*aggDrain, error) {
 	}
 	for fi, f := range part.files {
 		t.stats.SpilledBytes.Add(f.Bytes())
+		t.prof.AddSpill(f.Bytes(), 0, 0)
 		it, err := f.Iter()
 		if err != nil {
 			return fail(err)
@@ -454,7 +460,7 @@ func (a *SpillableAggregate) Open(ctx *Context) error {
 		errs := make([]error, len(a.Parts))
 		var wg sync.WaitGroup
 		for i, part := range a.Parts {
-			tables[i] = newAggTable(a.GroupBy, a.Aggs, parts, a.Level, perBudget, a.Spill, stats)
+			tables[i] = newAggTable(a.GroupBy, a.Aggs, parts, a.Level, perBudget, a.Spill, stats, profFrom(ctx))
 			wg.Add(1)
 			go func(i int, child Operator) {
 				defer wg.Done()
@@ -471,7 +477,7 @@ func (a *SpillableAggregate) Open(ctx *Context) error {
 			}
 		}
 	} else {
-		t := newAggTable(a.GroupBy, a.Aggs, parts, a.Level, a.MemoryBudget, a.Spill, stats)
+		t := newAggTable(a.GroupBy, a.Aggs, parts, a.Level, a.MemoryBudget, a.Spill, stats, profFrom(ctx))
 		if err := drainIntoTable(ctx, a.Child, t); err != nil {
 			t.release()
 			return err

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/sqltypes"
 )
 
@@ -31,6 +32,12 @@ type Context struct {
 	// 0 means vec.DefaultBatchSize. Page-backed scans batch one page at
 	// a time regardless.
 	BatchSize int
+	// Prof, when non-nil, is the profile of the nearest enclosing
+	// instrumented plan operator. Instrument wrappers set it on the
+	// Context they pass to their child, so spill/Bloom/pool activity
+	// deep inside an operator subtree attributes to the right plan node.
+	// All obs.OpProfile methods are nil-safe; tee sites use profFrom.
+	Prof *obs.OpProfile
 }
 
 // Operator is a Volcano iterator: Open, a stream of Next calls, Close.

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/sqltypes"
 )
 
@@ -72,6 +73,7 @@ type extSorter struct {
 	budget int64
 	spill  SpillStore
 	stats  *SortStats
+	prof   *obs.OpProfile
 
 	rows   []sqltypes.Row
 	keys   []sqltypes.Row
@@ -109,8 +111,8 @@ func (s *runSorter) Less(i, j int) bool {
 	return s.seqs[i] < s.seqs[j]
 }
 
-func newExtSorter(by []SortKey, budget int64, spill SpillStore, stats *SortStats) *extSorter {
-	return &extSorter{by: by, budget: budget, spill: spill, stats: stats}
+func newExtSorter(by []SortKey, budget int64, spill SpillStore, stats *SortStats, prof *obs.OpProfile) *extSorter {
+	return &extSorter{by: by, budget: budget, spill: spill, stats: stats, prof: prof}
 }
 
 // Add buffers one row (cloned) with its evaluated sort key, spilling a
@@ -175,19 +177,22 @@ func (s *extSorter) spillRun() error {
 			return err
 		}
 	}
+	var runBytes int64
 	if s.runFile != nil {
 		span, err := s.runFile.SealRun()
 		if err != nil {
 			return err
 		}
 		s.spans = append(s.spans, span)
-		s.stats.SpilledBytes.Add(span.Bytes)
+		runBytes = span.Bytes
 	} else {
 		s.runs = append(s.runs, f)
-		s.stats.SpilledBytes.Add(f.Bytes())
+		runBytes = f.Bytes()
 	}
+	s.stats.SpilledBytes.Add(runBytes)
 	s.stats.Runs.Add(1)
 	s.stats.SpilledRows.Add(int64(len(s.rows)))
+	s.prof.AddSpill(runBytes, 1, int64(len(s.rows)))
 	for i := range s.rows {
 		s.rows[i], s.keys[i] = nil, nil // release references, keep capacity
 	}

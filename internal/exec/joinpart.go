@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/sqltypes"
 )
 
@@ -152,6 +153,7 @@ type PartitionedHashJoin struct {
 
 	ctx        *Context
 	stats      *JoinStats
+	prof       *obs.OpProfile
 	bloom      *BlockedBloom
 	tables     []map[string][]sqltypes.Row
 	spilled    []bool
@@ -254,6 +256,7 @@ func rowMemBytes(row sqltypes.Row) int64 {
 func (j *PartitionedHashJoin) Open(ctx *Context) error {
 	j.ctx = ctx
 	j.stats = &statsFrom(ctx).Join
+	j.prof = profFrom(ctx)
 	p := j.Partitions
 	if p < 1 {
 		p = DefaultJoinPartitions
@@ -289,6 +292,7 @@ func (j *PartitionedHashJoin) Open(ctx *Context) error {
 			j.buildSpill[i] = f
 			j.spilled[i] = true
 			j.stats.SpilledPartitions.Add(1)
+			j.prof.AddSpill(0, 1, 0)
 		}
 	}
 
@@ -382,6 +386,7 @@ func (j *PartitionedHashJoin) partitionBuildSide(ctx *Context, p int) ([][]sqlty
 				return fail(err)
 			}
 			j.stats.SpilledBuildRows.Add(1)
+			j.prof.AddSpill(0, 0, 1)
 			continue
 		}
 		if needClone {
@@ -418,6 +423,7 @@ func (j *PartitionedHashJoin) partitionBuildSide(ctx *Context, p int) ([][]sqlty
 			}
 			j.stats.SpilledPartitions.Add(1)
 			j.stats.SpilledBuildRows.Add(int64(len(partRows[victim])))
+			j.prof.AddSpill(0, 1, int64(len(partRows[victim])))
 			j.buildSpill[victim] = f
 			j.spilled[victim] = true
 			memBytes -= partBytes[victim]
@@ -525,6 +531,10 @@ func (j *PartitionedHashJoin) startNextSpilled() (bool, error) {
 		}
 		bf, pf := j.buildSpill[i], j.probeSpill[i]
 		j.buildSpill[i], j.probeSpill[i] = nil, nil
+		// Spill volume is accounted when the partition's files retire:
+		// every spilled partition passes through here exactly once (error
+		// paths release without retiring, and never produce a profile).
+		j.prof.AddSpill(bf.Bytes()+pf.Bytes(), 0, 0)
 		if bf.Rows() == 0 || pf.Rows() == 0 {
 			bf.Release()
 			pf.Release()
@@ -673,8 +683,10 @@ func (w *phjProbe) Next() (sqltypes.Row, bool, error) {
 		// so monitoring can see which partitions the filter spared.
 		if j.bloom != nil {
 			j.stats.BloomChecks.Add(1)
+			j.prof.AddBloom(1, 0)
 			if !j.bloom.MayContain(bloomKeyHash(w.keyBuf)) {
 				j.stats.BloomDrops.Add(1)
+				j.prof.AddBloom(0, 1)
 				pt := int(partitionHash(w.keyBuf, j.Level) % uint64(p))
 				j.stats.BloomDropsByPart[pt%DefaultJoinPartitions].Add(1)
 				continue
@@ -686,6 +698,7 @@ func (w *phjProbe) Next() (sqltypes.Row, bool, error) {
 				return nil, false, err
 			}
 			j.stats.SpilledProbeRows.Add(1)
+			j.prof.AddSpill(0, 0, 1)
 			continue
 		}
 		tab := j.tables[pt]

@@ -87,7 +87,7 @@ func (s *Sort) Open(ctx *Context) error {
 	defer s.Child.Close()
 	// Callers (exec.Run, MergeSorted) do not Close an operator whose Open
 	// failed, so error paths must release any spilled runs here.
-	es := newExtSorter(s.Keys, s.MemoryBudget, s.Spill, &statsFrom(ctx).Sort)
+	es := newExtSorter(s.Keys, s.MemoryBudget, s.Spill, &statsFrom(ctx).Sort, profFrom(ctx))
 	s.sorter = es
 	fail := func(err error) error {
 		es.Release()
@@ -190,7 +190,7 @@ func (r *RowNumber) Open(ctx *Context) error {
 	defer r.Child.Close()
 	// As in Sort.Open: a failed Open never gets a Close, so release any
 	// spilled runs on the way out.
-	es := newExtSorter(r.OrderBy, r.MemoryBudget, r.Spill, &statsFrom(ctx).Sort)
+	es := newExtSorter(r.OrderBy, r.MemoryBudget, r.Spill, &statsFrom(ctx).Sort, profFrom(ctx))
 	r.sorter = es
 	fail := func(err error) error {
 		es.Release()

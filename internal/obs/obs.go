@@ -1,0 +1,260 @@
+// Package obs is the engine's observability substrate: per-operator
+// execution profiles (the numbers behind EXPLAIN ANALYZE), a named
+// metrics registry snapshotable as JSON, and a ring-buffer query log
+// with a threshold-based slow-query capture.
+//
+// The package is a dependency leaf — it imports only the standard
+// library — so every layer of the engine (exec, storage, plan, core)
+// can attribute work to a profile without import cycles.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// OpProfile accumulates one plan operator's actual execution counters.
+// All counter fields are atomics: parallel partition workers under an
+// exchange share the display node's profile and update it concurrently.
+//
+// Every method is safe on a nil receiver (a no-op), so hot paths tee
+// into "the current profile" without a nil branch at each call site.
+type OpProfile struct {
+	Rows    atomic.Int64 // rows returned by the operator
+	Batches atomic.Int64 // batches returned (vectorized path)
+
+	SpillBytes atomic.Int64 // bytes written to spill files by this operator
+	SpillRuns  atomic.Int64 // spill runs / spilled partitions
+	SpillRows  atomic.Int64 // rows written to spill files
+
+	BloomChecks atomic.Int64 // probe rows tested against a Bloom filter
+	BloomDrops  atomic.Int64 // probe rows dropped by the Bloom filter
+
+	PoolHits   atomic.Int64 // buffer-pool hits attributed to this operator
+	PoolMisses atomic.Int64 // buffer-pool misses (page reads from disk)
+
+	// WallNS is cumulative wall time spent inside the operator subtree,
+	// summed across parallel workers sharing the profile. Only recorded
+	// when Timed is set (EXPLAIN ANALYZE); the always-on path keeps
+	// counters only, so instrumentation stays off the clock.
+	WallNS atomic.Int64
+	Timed  bool
+}
+
+// AddRows adds n produced rows; nil-safe.
+func (p *OpProfile) AddRows(n int64) {
+	if p != nil {
+		p.Rows.Add(n)
+	}
+}
+
+// AddBatches adds n produced batches; nil-safe.
+func (p *OpProfile) AddBatches(n int64) {
+	if p != nil {
+		p.Batches.Add(n)
+	}
+}
+
+// AddSpill records a spill write of bytes/runs/rows; nil-safe.
+func (p *OpProfile) AddSpill(bytes, runs, rows int64) {
+	if p == nil {
+		return
+	}
+	if bytes != 0 {
+		p.SpillBytes.Add(bytes)
+	}
+	if runs != 0 {
+		p.SpillRuns.Add(runs)
+	}
+	if rows != 0 {
+		p.SpillRows.Add(rows)
+	}
+}
+
+// AddBloom records Bloom-filter activity; nil-safe.
+func (p *OpProfile) AddBloom(checks, drops int64) {
+	if p == nil {
+		return
+	}
+	if checks != 0 {
+		p.BloomChecks.Add(checks)
+	}
+	if drops != 0 {
+		p.BloomDrops.Add(drops)
+	}
+}
+
+// AddWall adds wall time; nil-safe (callers gate on Timed themselves to
+// avoid the clock reads, but the add is harmless either way).
+func (p *OpProfile) AddWall(d time.Duration) {
+	if p != nil {
+		p.WallNS.Add(int64(d))
+	}
+}
+
+// HasDetail reports whether the profile recorded any spill, Bloom or
+// buffer-pool activity worth a detail line.
+func (p *OpProfile) HasDetail() bool {
+	if p == nil {
+		return false
+	}
+	return p.SpillBytes.Load() != 0 || p.SpillRuns.Load() != 0 || p.SpillRows.Load() != 0 ||
+		p.BloomChecks.Load() != 0 || p.PoolHits.Load() != 0 || p.PoolMisses.Load() != 0
+}
+
+// Registry is a named gauge registry: engine subsystems register
+// functions that read their live counters, and Snapshot evaluates them
+// all into a plain map (JSON-marshalable, sorted by Names). Reads never
+// lock the underlying counters — every gauge is expected to be an
+// atomic load.
+type Registry struct {
+	mu     sync.RWMutex
+	gauges map[string]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{gauges: make(map[string]func() int64)}
+}
+
+// RegisterFunc installs (or replaces) a named gauge.
+func (r *Registry) RegisterFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	r.gauges[name] = fn
+	r.mu.Unlock()
+}
+
+// Snapshot evaluates every gauge into a fresh map.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int64, len(r.gauges))
+	for name, fn := range r.gauges {
+		out[name] = fn()
+	}
+	return out
+}
+
+// Names returns the registered gauge names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// QueryRecord is one executed statement in the query history.
+type QueryRecord struct {
+	SQL      string        `json:"sql"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Rows     int64         `json:"rows"`
+	// SpillBytes is the total spill volume the statement's operators
+	// reported (0 when the statement ran uninstrumented).
+	SpillBytes int64  `json:"spill_bytes"`
+	Err        string `json:"err,omitempty"`
+	// Profile holds the rendered per-operator profile (the EXPLAIN
+	// ANALYZE tree) for statements the slow-query log captured.
+	Profile string `json:"profile,omitempty"`
+}
+
+// QueryLog is a fixed-size ring of recent statements plus a bounded
+// slow-query log: records at or above the threshold keep their full
+// profile. Safe for concurrent sessions.
+type QueryLog struct {
+	mu    sync.Mutex
+	ring  []QueryRecord
+	next  int
+	total int64
+
+	threshold time.Duration
+	slow      []QueryRecord
+	slowCap   int
+	slowTotal int64
+}
+
+// NewQueryLog returns a log keeping the last size statements and the
+// last slowCap slow statements at or over threshold (threshold <= 0
+// disables slow capture).
+func NewQueryLog(size, slowCap int, threshold time.Duration) *QueryLog {
+	if size < 1 {
+		size = 1
+	}
+	if slowCap < 1 {
+		slowCap = 1
+	}
+	return &QueryLog{
+		ring:      make([]QueryRecord, 0, size),
+		threshold: threshold,
+		slowCap:   slowCap,
+	}
+}
+
+// Threshold returns the slow-query threshold (0 = disabled).
+func (l *QueryLog) Threshold() time.Duration { return l.threshold }
+
+// Record appends one statement to the history; if it ran at or over the
+// slow threshold it is also kept in the slow log (with rec.Profile).
+// Fast statements drop their Profile to keep the ring small.
+func (l *QueryLog) Record(rec QueryRecord) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	slow := l.threshold > 0 && rec.Duration >= l.threshold
+	if slow {
+		l.slowTotal++
+		l.slow = append(l.slow, rec)
+		if len(l.slow) > l.slowCap {
+			copy(l.slow, l.slow[len(l.slow)-l.slowCap:])
+			l.slow = l.slow[:l.slowCap]
+		}
+	}
+	rec.Profile = "" // history keeps the cheap fields only
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, rec)
+		l.next = len(l.ring) % cap(l.ring)
+		return
+	}
+	l.ring[l.next] = rec
+	l.next = (l.next + 1) % len(l.ring)
+}
+
+// Recent returns the history newest-first.
+func (l *QueryLog) Recent() []QueryRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]QueryRecord, 0, len(l.ring))
+	for i := 1; i <= len(l.ring); i++ {
+		out = append(out, l.ring[(l.next-i+len(l.ring))%len(l.ring)])
+	}
+	return out
+}
+
+// Slow returns the captured slow queries, newest last.
+func (l *QueryLog) Slow() []QueryRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]QueryRecord, len(l.slow))
+	copy(out, l.slow)
+	return out
+}
+
+// Total returns the number of statements ever recorded.
+func (l *QueryLog) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// SlowTotal returns the number of statements that crossed the threshold.
+func (l *QueryLog) SlowTotal() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.slowTotal
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestOpProfileNilSafe(t *testing.T) {
+	var p *OpProfile
+	p.AddRows(5)
+	p.AddBatches(1)
+	p.AddSpill(100, 1, 10)
+	p.AddBloom(4, 2)
+	p.AddWall(time.Millisecond)
+	if p.HasDetail() {
+		t.Fatal("nil profile reported detail")
+	}
+}
+
+func TestOpProfileCounters(t *testing.T) {
+	p := &OpProfile{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.AddRows(1)
+				p.AddSpill(2, 0, 1)
+				p.AddBloom(1, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Rows.Load(); got != 8000 {
+		t.Fatalf("rows = %d, want 8000", got)
+	}
+	if got := p.SpillBytes.Load(); got != 16000 {
+		t.Fatalf("spill bytes = %d, want 16000", got)
+	}
+	if got := p.SpillRows.Load(); got != 8000 {
+		t.Fatalf("spill rows = %d, want 8000", got)
+	}
+	if got := p.BloomChecks.Load(); got != 8000 {
+		t.Fatalf("bloom checks = %d, want 8000", got)
+	}
+	if !p.HasDetail() {
+		t.Fatal("profile with spill activity reported no detail")
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	var v int64
+	r.RegisterFunc("a.count", func() int64 { return v })
+	r.RegisterFunc("b.count", func() int64 { return 7 })
+	v = 3
+	snap := r.Snapshot()
+	if snap["a.count"] != 3 || snap["b.count"] != 7 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a.count" || names[1] != "b.count" {
+		t.Fatalf("names = %v", names)
+	}
+	// Re-registering replaces.
+	r.RegisterFunc("b.count", func() int64 { return 8 })
+	if got := r.Snapshot()["b.count"]; got != 8 {
+		t.Fatalf("replaced gauge = %d, want 8", got)
+	}
+}
+
+func TestQueryLogRing(t *testing.T) {
+	l := NewQueryLog(3, 2, 0)
+	for i := 0; i < 5; i++ {
+		l.Record(QueryRecord{SQL: fmt.Sprintf("q%d", i), Duration: time.Duration(i)})
+	}
+	got := l.Recent()
+	if len(got) != 3 {
+		t.Fatalf("recent len = %d, want 3", len(got))
+	}
+	for i, want := range []string{"q4", "q3", "q2"} {
+		if got[i].SQL != want {
+			t.Fatalf("recent[%d] = %q, want %q", i, got[i].SQL, want)
+		}
+	}
+	if l.Total() != 5 {
+		t.Fatalf("total = %d, want 5", l.Total())
+	}
+	if len(l.Slow()) != 0 || l.SlowTotal() != 0 {
+		t.Fatal("slow log captured with threshold disabled")
+	}
+}
+
+func TestQueryLogSlowCapture(t *testing.T) {
+	l := NewQueryLog(8, 2, 10*time.Millisecond)
+	l.Record(QueryRecord{SQL: "fast", Duration: time.Millisecond, Profile: "p"})
+	l.Record(QueryRecord{SQL: "slow1", Duration: 10 * time.Millisecond, Profile: "p1"})
+	l.Record(QueryRecord{SQL: "slow2", Duration: 20 * time.Millisecond, Profile: "p2"})
+	l.Record(QueryRecord{SQL: "slow3", Duration: 30 * time.Millisecond, Profile: "p3"})
+	slow := l.Slow()
+	if len(slow) != 2 {
+		t.Fatalf("slow len = %d, want 2 (capped)", len(slow))
+	}
+	if slow[0].SQL != "slow2" || slow[1].SQL != "slow3" {
+		t.Fatalf("slow = %q,%q", slow[0].SQL, slow[1].SQL)
+	}
+	if slow[1].Profile != "p3" {
+		t.Fatal("slow record lost its profile")
+	}
+	if l.SlowTotal() != 3 {
+		t.Fatalf("slow total = %d, want 3", l.SlowTotal())
+	}
+	// History records never keep the profile.
+	for _, rec := range l.Recent() {
+		if rec.Profile != "" {
+			t.Fatalf("history record %q kept a profile", rec.SQL)
+		}
+	}
+}
+
+func TestQueryLogConcurrent(t *testing.T) {
+	l := NewQueryLog(16, 4, time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Record(QueryRecord{SQL: "q", Duration: time.Duration(i%3) * time.Millisecond})
+				l.Recent()
+				l.Slow()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Total() != 1600 {
+		t.Fatalf("total = %d, want 1600", l.Total())
+	}
+}

@@ -1,0 +1,210 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/obs"
+	"repro/internal/sqltypes"
+)
+
+type sliceIter struct {
+	rows []sqltypes.Row
+	i    int
+}
+
+func (s *sliceIter) Next() (sqltypes.Row, bool, error) {
+	if s.i >= len(s.rows) {
+		return nil, false, nil
+	}
+	s.i++
+	return s.rows[s.i-1], true, nil
+}
+
+func (s *sliceIter) Close() error { return nil }
+
+func intRows(n int) []sqltypes.Row {
+	out := make([]sqltypes.Row, n)
+	for i := range out {
+		out[i] = sqltypes.Row{sqltypes.NewInt(int64(i))}
+	}
+	return out
+}
+
+// TestInstrumentWalk: the walk gives every buildable node a fresh
+// profile, the wrapped operator counts its rows into it, and display
+// -only nodes (no Build, no OwnProf) stay profile-less.
+func TestInstrumentWalk(t *testing.T) {
+	display := &Node{Op: "Partial Thing", Est: 10}
+	root := &Node{
+		Op: "Scan", Est: 5, Children: []*Node{display},
+		Build: func() (exec.Operator, error) {
+			return &exec.Source{Label: "s", Factory: func(*exec.Context) (exec.RowIterator, error) {
+				return &sliceIter{rows: intRows(40)}, nil
+			}}, nil
+		},
+	}
+	root.Instrument(false)
+	if root.Prof == nil {
+		t.Fatal("buildable node got no profile")
+	}
+	if root.Prof.Timed {
+		t.Fatal("untimed instrumentation flagged Timed")
+	}
+	if display.Prof != nil {
+		t.Fatal("display-only node got a profile")
+	}
+	op, err := root.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch op.(type) {
+	case *exec.Instrument, *exec.VecInstrument:
+	default:
+		t.Fatalf("built operator is %T, want instrumented", op)
+	}
+	rows, err := exec.Run(&exec.Context{DOP: 1}, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := root.Prof.Rows.Load(); got != int64(len(rows)) || got != 40 {
+		t.Fatalf("profile rows = %d, want 40", got)
+	}
+
+	// OwnProf forces a profile even without Build (planner closures wrap
+	// partition chains against such nodes themselves).
+	own := &Node{Op: "Merge Join", OwnProf: true}
+	own.Instrument(true)
+	if own.Prof == nil || !own.Prof.Timed {
+		t.Fatalf("OwnProf node profile = %+v", own.Prof)
+	}
+}
+
+// TestExplainAnalyzeRender: actual counts render with ratios on every
+// node, inheriting nodes reuse the nearest ancestor profile, owners
+// print detail lines, and self time subtracts child profiles.
+func TestExplainAnalyzeRender(t *testing.T) {
+	child := &Node{Op: "Table Scan", Detail: "on reads", Est: 100, OwnProf: true}
+	mid := &Node{Op: "Gather Streams", Est: 100, Children: []*Node{child}} // inherits
+	root := &Node{Op: "Sort", Est: 10, OwnProf: true, Children: []*Node{mid}}
+	root.Instrument(true)
+
+	child.Prof.AddRows(400)
+	child.Prof.AddWall(30 * time.Millisecond)
+	child.Prof.PoolHits.Add(7)
+	child.Prof.PoolMisses.Add(3)
+	root.Prof.AddRows(10)
+	root.Prof.AddWall(50 * time.Millisecond)
+	root.Prof.AddSpill(2048, 2, 400)
+
+	text := root.ExplainAnalyze(60*time.Millisecond, 10)
+	if !strings.HasPrefix(text, "EXPLAIN ANALYZE (total 60.0ms, 10 rows returned)") {
+		t.Fatalf("header:\n%s", text)
+	}
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	var sortLine, gatherLine, scanLine string
+	for _, l := range lines {
+		switch {
+		case strings.Contains(l, "Sort"):
+			sortLine = l
+		case strings.Contains(l, "Gather Streams"):
+			gatherLine = l
+		case strings.Contains(l, "Table Scan"):
+			scanLine = l
+		}
+	}
+	if !strings.Contains(sortLine, "(est=10 rows, actual=10 rows, off by 1.0x)") {
+		t.Errorf("sort line: %q", sortLine)
+	}
+	// Self time: 50ms cumulative minus the child profile's 30ms.
+	if !strings.Contains(sortLine, "time=50.0ms (self 20.0ms)") {
+		t.Errorf("sort self time: %q", sortLine)
+	}
+	// The gather inherits the nearest profiled ANCESTOR (the sort: the
+	// exchange passes its owner's rows through) but prints no timing or
+	// detail of its own.
+	if !strings.Contains(gatherLine, "actual=10 rows, off by 10.0x over") {
+		t.Errorf("gather line: %q", gatherLine)
+	}
+	if strings.Contains(gatherLine, "time=") {
+		t.Errorf("inheriting node rendered a time: %q", gatherLine)
+	}
+	if !strings.Contains(scanLine, "on reads") || !strings.Contains(scanLine, "actual=400") {
+		t.Errorf("scan line: %q", scanLine)
+	}
+	if !strings.Contains(text, "spill: 2.0 KB in 2 runs (400 rows)") {
+		t.Errorf("spill detail:\n%s", text)
+	}
+	if !strings.Contains(text, "pool: 7 hits, 3 misses") {
+		t.Errorf("pool detail:\n%s", text)
+	}
+}
+
+func TestEstRatio(t *testing.T) {
+	cases := []struct {
+		est, actual int64
+		want        string
+	}{
+		{10, 10, "1.0x"},
+		{10, 40, "4.0x under"},
+		{40, 10, "4.0x over"},
+		{0, 5, "5.0x under"}, // zero estimate clamps, stays finite
+		{5, 0, "5.0x over"},
+		{0, 0, "1.0x"},
+	}
+	for _, c := range cases {
+		if got := estRatio(c.est, c.actual); got != c.want {
+			t.Errorf("estRatio(%d, %d) = %q, want %q", c.est, c.actual, got, c.want)
+		}
+	}
+}
+
+func TestSpillBytesSum(t *testing.T) {
+	a := &Node{OwnProf: true}
+	b := &Node{OwnProf: true}
+	root := &Node{OwnProf: true, Children: []*Node{a, b}}
+	root.Instrument(false)
+	a.Prof.AddSpill(100, 0, 0)
+	b.Prof.AddSpill(200, 0, 0)
+	if got := root.SpillBytes(); got != 300 {
+		t.Fatalf("SpillBytes = %d, want 300", got)
+	}
+	var nilNode *Node
+	if nilNode.SpillBytes() != 0 {
+		t.Fatal("nil node spill")
+	}
+}
+
+func TestPathPickCountersNilSafe(t *testing.T) {
+	var c *PathPickCounters
+	c.pickIndex()
+	c.pickZoneMap()
+	c.pickFull()
+	real := &PathPickCounters{}
+	real.pickIndex()
+	real.pickIndex()
+	real.pickFull()
+	if real.Index.Load() != 2 || real.Full.Load() != 1 || real.ZoneMap.Load() != 0 {
+		t.Fatalf("counts: %d/%d/%d", real.Index.Load(), real.ZoneMap.Load(), real.Full.Load())
+	}
+}
+
+// TestInstrumentOpIdempotent: wrapping for the same profile is the
+// identity (partition chains are wrapped inside parts closures AND by
+// the walk's Build replacement), while a different profile stacks.
+func TestInstrumentOpIdempotent(t *testing.T) {
+	p1 := &obs.OpProfile{}
+	p2 := &obs.OpProfile{}
+	base := &exec.Source{Label: "s", Factory: func(*exec.Context) (exec.RowIterator, error) {
+		return &sliceIter{}, nil
+	}}
+	w1 := exec.InstrumentOp(base, p1)
+	if exec.InstrumentOp(w1, p1) != w1 {
+		t.Fatal("re-wrapping for the same profile must be identity")
+	}
+	if exec.InstrumentOp(w1, p2) == w1 {
+		t.Fatal("a different profile must wrap again")
+	}
+}

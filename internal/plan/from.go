@@ -120,6 +120,14 @@ func (pl *Planner) planNamedTable(t *sqlparse.NamedTable, conjuncts []sqlparse.E
 	case "index":
 		useIndex = idxCand != nil
 	}
+	switch {
+	case useIndex:
+		pl.PathPicks.pickIndex()
+	case len(zoneFilters) > 0:
+		pl.PathPicks.pickZoneMap()
+	default:
+		pl.PathPicks.pickFull()
+	}
 	if useIndex {
 		return pl.indexScanNode(tab, qual, cols, idxCand, pred, est, ts), remaining, nil
 	}
@@ -138,37 +146,6 @@ func (pl *Planner) planNamedTable(t *sqlparse.NamedTable, conjuncts []sqlparse.E
 	// once per distinct value. The operators still serve the row interface,
 	// so unmigrated consumers (joins, aggregates) compose unchanged.
 	vectorized := pl.Provider.VectorizedScan(tab)
-	parts := func() ([]exec.Operator, error) {
-		ops, err := pl.Provider.ScanPartitionsPruned(tab, partsN, zoneFilters)
-		if err != nil {
-			return nil, err
-		}
-		if pred != nil {
-			for i := range ops {
-				if bo, ok := ops[i].(exec.BatchOperator); ok && vectorized {
-					ops[i] = &exec.VecFilter{Pred: pred, Child: bo}
-				} else {
-					ops[i] = &exec.Filter{Pred: pred, Child: ops[i]}
-				}
-			}
-		}
-		return ops, nil
-	}
-	batchParts := func() ([]exec.BatchOperator, error) {
-		ops, err := parts()
-		if err != nil {
-			return nil, err
-		}
-		bops := make([]exec.BatchOperator, len(ops))
-		for i, op := range ops {
-			bo, ok := op.(exec.BatchOperator)
-			if !ok {
-				return nil, fmt.Errorf("plan: scan partition %d of %s is not batch-capable", i, tab.Name)
-			}
-			bops[i] = bo
-		}
-		return bops, nil
-	}
 
 	scanOp := "Table Scan"
 	var ordered []ColMeta
@@ -190,8 +167,48 @@ func (pl *Planner) planNamedTable(t *sqlparse.NamedTable, conjuncts []sqlparse.E
 	} else if idxCand != nil {
 		detail += " full scan"
 	}
-	var node *Node
+	// The leaf is declared before the parts closure so parts can read its
+	// profile at build time: consumers that take the partition chains
+	// directly (exchanges, partitioned joins) bypass the leaf's Build, so
+	// this is where the chains bind to the node that displays them.
 	scanLeaf := &Node{Op: scanOp, Detail: detail, Cols: cols, Est: est, Vec: vectorized}
+	parts := func() ([]exec.Operator, error) {
+		ops, err := pl.Provider.ScanPartitionsPruned(tab, partsN, zoneFilters)
+		if err != nil {
+			return nil, err
+		}
+		if pred != nil {
+			for i := range ops {
+				if bo, ok := ops[i].(exec.BatchOperator); ok && vectorized {
+					ops[i] = &exec.VecFilter{Pred: pred, Child: bo}
+				} else {
+					ops[i] = &exec.Filter{Pred: pred, Child: ops[i]}
+				}
+			}
+		}
+		if scanLeaf.Prof != nil {
+			for i := range ops {
+				ops[i] = exec.InstrumentOp(ops[i], scanLeaf.Prof)
+			}
+		}
+		return ops, nil
+	}
+	batchParts := func() ([]exec.BatchOperator, error) {
+		ops, err := parts()
+		if err != nil {
+			return nil, err
+		}
+		bops := make([]exec.BatchOperator, len(ops))
+		for i, op := range ops {
+			bo, ok := op.(exec.BatchOperator)
+			if !ok {
+				return nil, fmt.Errorf("plan: scan partition %d of %s is not batch-capable", i, tab.Name)
+			}
+			bops[i] = bo
+		}
+		return bops, nil
+	}
+	var node *Node
 	scanLeaf.Build = func() (exec.Operator, error) {
 		ops, err := parts()
 		if err != nil {
@@ -582,6 +599,16 @@ func (pl *Planner) partitionedJoinRelation(left, right *relation,
 
 	buildEst := build.est
 	leftNode, rightNode := left.node, right.node
+	// Declared before buildOp: under DOP > 1 the Build factory lives on
+	// the gather node above, so the closure binds the join operator to
+	// this display node's profile (spill and Bloom activity then renders
+	// on the join line, not the exchange line).
+	inner := &Node{
+		Op:      "Hash Match (Partitioned Inner Join)",
+		Cols:    combined,
+		Est:     outEst,
+		OwnProf: true,
+	}
 	buildOp := func() (exec.Operator, error) {
 		j := &exec.PartitionedHashJoin{
 			LeftKeys:          leftKeys,
@@ -620,6 +647,9 @@ func (pl *Planner) partitionedJoinRelation(left, right *relation,
 			}
 			j.Right = op
 		}
+		if inner.Prof != nil {
+			return exec.InstrumentOp(j, inner.Prof), nil
+		}
 		return j, nil
 	}
 	detail := fmt.Sprintf("HASH:[%s]=[%s] BUILD:%s PARTITIONS:%d",
@@ -630,13 +660,8 @@ func (pl *Planner) partitionedJoinRelation(left, right *relation,
 	if prePartition > 0 {
 		detail += fmt.Sprintf(" PRESPILL:%d", prePartition)
 	}
-	inner := &Node{
-		Op:       "Hash Match (Partitioned Inner Join)",
-		Detail:   detail,
-		Children: []*Node{leftNode, rightNode},
-		Cols:     combined,
-		Est:      outEst,
-	}
+	inner.Detail = detail
+	inner.Children = []*Node{leftNode, rightNode}
 	node := inner
 	if pl.DOP > 1 {
 		node = &Node{
@@ -745,6 +770,28 @@ func (pl *Planner) tryMergeJoin(j *sqlparse.JoinRef, left, right *relation,
 		colNDV(lts, leftKeyIdents[0].Name, lest), colNDV(rts, rightKeyIdents[0].Name, rest))
 
 	combined := append(append([]ColMeta{}, left.cols...), right.cols...)
+	mjDetail := fmt.Sprintf("MERGE:[%s.%s]=[%s.%s]", lqual, leftKeyIdents[0].Name, rqual, rightKeyIdents[0].Name)
+	scanDetail := func(tab *catalog.Table, pred expr.Expr) string {
+		d := fmt.Sprintf("[%s] (ordered)", tab.Name)
+		if pred != nil {
+			d += fmt.Sprintf(" WHERE:(%s)", pred)
+		}
+		return d
+	}
+	// The display nodes are declared before buildParts so the closure can
+	// bind the per-range scan and join chains to them at build time
+	// (OwnProf makes Instrument allocate profiles although only the root
+	// node carries a Build factory).
+	lleaf := &Node{Op: "Clustered Index Scan", Detail: scanDetail(ltab, leftPred), Est: lest, OwnProf: true}
+	rleaf := &Node{Op: "Clustered Index Scan", Detail: scanDetail(rtab, rightPred), Est: rest, OwnProf: true}
+	mjNode := &Node{
+		Op:       "Merge Join (Inner Join)",
+		Detail:   mjDetail,
+		Children: []*Node{lleaf, rleaf},
+		Cols:     combined,
+		Est:      est,
+		OwnProf:  true,
+	}
 	buildParts := func() ([]exec.Operator, error) {
 		var ranges [][2]*sqltypes.Value
 		if partsN > 1 {
@@ -774,31 +821,22 @@ func (pl *Planner) tryMergeJoin(j *sqlparse.JoinRef, left, right *relation,
 			if rightPred != nil {
 				rop = &exec.Filter{Pred: rightPred, Child: rop}
 			}
-			ops = append(ops, &exec.MergeJoin{
+			if lleaf.Prof != nil {
+				lop = exec.InstrumentOp(lop, lleaf.Prof)
+			}
+			if rleaf.Prof != nil {
+				rop = exec.InstrumentOp(rop, rleaf.Prof)
+			}
+			var mj exec.Operator = &exec.MergeJoin{
 				LeftKeys: leftKeys, RightKeys: rightKeys,
 				Left: lop, Right: rop,
-			})
+			}
+			if mjNode.Prof != nil {
+				mj = exec.InstrumentOp(mj, mjNode.Prof)
+			}
+			ops = append(ops, mj)
 		}
 		return ops, nil
-	}
-
-	mjDetail := fmt.Sprintf("MERGE:[%s.%s]=[%s.%s]", lqual, leftKeyIdents[0].Name, rqual, rightKeyIdents[0].Name)
-	scanDetail := func(tab *catalog.Table, pred expr.Expr) string {
-		d := fmt.Sprintf("[%s] (ordered)", tab.Name)
-		if pred != nil {
-			d += fmt.Sprintf(" WHERE:(%s)", pred)
-		}
-		return d
-	}
-	mjNode := &Node{
-		Op:     "Merge Join (Inner Join)",
-		Detail: mjDetail,
-		Children: []*Node{
-			{Op: "Clustered Index Scan", Detail: scanDetail(ltab, leftPred), Est: lest},
-			{Op: "Clustered Index Scan", Detail: scanDetail(rtab, rightPred), Est: rest},
-		},
-		Cols: combined,
-		Est:  est,
 	}
 	var node *Node
 	if partsN > 1 {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/exec"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/sqltypes"
 	"repro/internal/stats"
 	"repro/internal/storage"
@@ -102,6 +103,16 @@ type Node struct {
 	// EXPLAIN renders it and vectorized parents compose batch-to-batch.
 	Vec   bool
 	Build func() (exec.Operator, error)
+	// Prof is the node's execution profile, allocated by Instrument
+	// before the plan builds. Planner closures that construct operators
+	// outside the Build chain (per-partition chains handed to exchanges)
+	// read it at build time to attribute those operators to the node
+	// that displays them; it stays nil on uninstrumented plans.
+	Prof *obs.OpProfile
+	// OwnProf marks a display-only node (Build == nil) whose profile is
+	// still populated — a planner closure wraps the operators it stands
+	// for. Instrument allocates profiles for these too.
+	OwnProf bool
 }
 
 // Explain renders the plan in the indented style of the paper's plan
@@ -164,6 +175,10 @@ type Planner struct {
 	// Empty selects by estimated page I/O. A forced path that does not
 	// apply (no sargable index, no filters) degrades to the full scan.
 	ForcePath string
+	// PathPicks, when non-nil, counts the access path chosen for each
+	// planned base-table scan. The engine passes one long-lived instance
+	// so the counts survive planner rebuilds.
+	PathPicks *PathPickCounters
 }
 
 // Default join knobs: a 64 MB build budget keeps even DOP-wide joins

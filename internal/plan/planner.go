@@ -535,6 +535,9 @@ func filterRelation(rel *relation, pred expr.Expr) *relation {
 				} else {
 					children[i] = &exec.Filter{Pred: pred, Child: children[i]}
 				}
+				if node.Prof != nil {
+					children[i] = exec.InstrumentOp(children[i], node.Prof)
+				}
 			}
 			return children, nil
 		}

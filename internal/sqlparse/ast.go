@@ -148,7 +148,13 @@ type Checkpoint struct{}
 func (*Checkpoint) stmt() {}
 
 // Explain wraps a statement to print its plan instead of running it.
-type Explain struct{ Stmt Statement }
+// With Analyze set (EXPLAIN ANALYZE), the statement is executed and the
+// plan is rendered with per-operator actual row counts, timings and
+// spill/Bloom/buffer-pool detail.
+type Explain struct {
+	Stmt    Statement
+	Analyze bool
+}
 
 func (*Explain) stmt() {}
 

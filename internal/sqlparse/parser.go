@@ -20,23 +20,47 @@ func Parse(src string) (Statement, error) {
 
 // ParseAll parses a semicolon-separated script.
 func ParseAll(src string) ([]Statement, error) {
+	spans, err := ParseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Statement, len(spans))
+	for i, sp := range spans {
+		out[i] = sp.Stmt
+	}
+	return out, nil
+}
+
+// ScriptStmt is one statement of a script together with its source text
+// (semicolon excluded) — callers that log or display per-statement SQL
+// want the text, not a re-rendering of the AST.
+type ScriptStmt struct {
+	Stmt Statement
+	SQL  string
+}
+
+// ParseScript parses a semicolon-separated script, keeping each
+// statement's original text span.
+func ParseScript(src string) ([]ScriptStmt, error) {
 	toks, err := lexAll(src)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks, src: src}
-	var out []Statement
+	var out []ScriptStmt
 	for {
 		for p.acceptPunct(";") {
 		}
 		if p.peek().kind == tkEOF {
 			return out, nil
 		}
+		start := p.peek().pos
 		s, err := p.statement()
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, s)
+		end := p.peek().pos // the ';' or EOF token after the statement
+		out = append(out, ScriptStmt{Stmt: s, SQL: strings.TrimSpace(src[start:end])})
 		if !p.acceptPunct(";") && p.peek().kind != tkEOF {
 			return nil, p.errHere("expected ';' or end of input")
 		}
@@ -136,11 +160,21 @@ func (p *parser) statement() (Statement, error) {
 	switch {
 	case p.isKw("explain"):
 		p.advance()
+		// EXPLAIN ANALYZE <select>: "analyze" is consumed as the modifier
+		// only when a statement keyword follows, so "EXPLAIN ANALYZE
+		// [TABLE t]" still parses as explaining the ANALYZE statement.
+		analyze := false
+		if p.isKw("analyze") {
+			if t := p.peek2(); t.kind == tkIdent && strings.EqualFold(t.text, "select") {
+				p.advance()
+				analyze = true
+			}
+		}
 		inner, err := p.statement()
 		if err != nil {
 			return nil, err
 		}
-		return &Explain{Stmt: inner}, nil
+		return &Explain{Stmt: inner, Analyze: analyze}, nil
 	case p.isKw("select"):
 		return p.selectStmt()
 	case p.isKw("create"):

@@ -240,6 +240,36 @@ func TestParseExplain(t *testing.T) {
 	if _, ok := ex.Stmt.(*Select); !ok {
 		t.Error("EXPLAIN payload lost")
 	}
+	if ex.Analyze {
+		t.Error("plain EXPLAIN flagged as ANALYZE")
+	}
+}
+
+func TestParseExplainAnalyze(t *testing.T) {
+	ex := parseOne(t, "EXPLAIN ANALYZE SELECT * FROM t").(*Explain)
+	if _, ok := ex.Stmt.(*Select); !ok {
+		t.Error("EXPLAIN ANALYZE payload lost")
+	}
+	if !ex.Analyze {
+		t.Error("ANALYZE modifier not set")
+	}
+
+	// EXPLAIN ANALYZE [TABLE t] still means "explain the ANALYZE
+	// statement" when no query follows.
+	ex = parseOne(t, "EXPLAIN ANALYZE TABLE Reads").(*Explain)
+	if ex.Analyze {
+		t.Error("EXPLAIN ANALYZE TABLE consumed the modifier")
+	}
+	if a, ok := ex.Stmt.(*Analyze); !ok || a.Table != "Reads" {
+		t.Errorf("payload = %#v", ex.Stmt)
+	}
+	ex = parseOne(t, "EXPLAIN ANALYZE").(*Explain)
+	if ex.Analyze {
+		t.Error("bare EXPLAIN ANALYZE consumed the modifier")
+	}
+	if _, ok := ex.Stmt.(*Analyze); !ok {
+		t.Errorf("payload = %#v", ex.Stmt)
+	}
 }
 
 func TestParseAllScript(t *testing.T) {
@@ -374,5 +404,25 @@ func TestParseIn(t *testing.T) {
 	}
 	if _, err := Parse("SELECT a FROM t WHERE a IN 1, 2"); err == nil {
 		t.Error("IN without parens parsed")
+	}
+}
+
+func TestParseScriptSpans(t *testing.T) {
+	src := "  CREATE TABLE t (a BIGINT); \n\n SELECT a\n FROM t ;; INSERT INTO t VALUES (1)"
+	spans, err := ParseScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 3 {
+		t.Fatalf("got %d statements", len(spans))
+	}
+	want := []string{"CREATE TABLE t (a BIGINT)", "SELECT a\n FROM t", "INSERT INTO t VALUES (1)"}
+	for i, w := range want {
+		if spans[i].SQL != w {
+			t.Errorf("span %d = %q, want %q", i, spans[i].SQL, w)
+		}
+	}
+	if _, ok := spans[1].Stmt.(*Select); !ok {
+		t.Errorf("span 1 stmt = %T", spans[1].Stmt)
 	}
 }

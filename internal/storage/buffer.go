@@ -146,6 +146,27 @@ type BufferPool struct {
 	hits, misses, evictions atomic.Int64
 }
 
+// PoolTally attributes buffer-pool traffic to one consumer — typically
+// a plan operator's profile. The fields point directly at the
+// consumer's own atomic counters (storage stays ignorant of who owns
+// them), incremented alongside the pool's global counters by GetT. A
+// nil *PoolTally is valid and counts nothing.
+type PoolTally struct {
+	Hits, Misses *atomic.Int64
+}
+
+func (t *PoolTally) hit() {
+	if t != nil {
+		t.Hits.Add(1)
+	}
+}
+
+func (t *PoolTally) miss() {
+	if t != nil {
+		t.Misses.Add(1)
+	}
+}
+
 // PoolStats is a point-in-time snapshot of the pool's counters.
 type PoolStats struct {
 	Hits, Misses, Evictions int64
@@ -251,11 +272,18 @@ func (bp *BufferPool) shard(key frameKey) *poolShard {
 // with a fill latch first, so concurrent getters of the same page block
 // on the latch (not on the shard), and getters of other pages proceed.
 func (bp *BufferPool) Get(f *PagedFile, id PageID) (*frame, error) {
+	return bp.GetT(f, id, nil)
+}
+
+// GetT is Get with per-consumer accounting: when tally is non-nil its
+// counters increment alongside the pool's global hit/miss counters, so
+// a scan operator's profile can report the pool traffic it caused.
+func (bp *BufferPool) GetT(f *PagedFile, id PageID, tally *PoolTally) (*frame, error) {
 	key := frameKey{f, id}
 	sh := bp.shard(key)
 	if m := sh.snap.Load(); m != nil {
 		if fr, ok := (*m)[key]; ok && fr.tryPin(key) {
-			return bp.pinned(fr)
+			return bp.pinned(fr, tally)
 		}
 	}
 	sh.mu.Lock()
@@ -268,7 +296,7 @@ func (bp *BufferPool) Get(f *PagedFile, id PageID) (*frame, error) {
 				panic("storage: mapped frame rejected pin under shard lock")
 			}
 			sh.mu.Unlock()
-			return bp.pinned(fr)
+			return bp.pinned(fr, tally)
 		}
 		fr := sh.allocLocked(bp)
 		if fr == nil {
@@ -280,6 +308,7 @@ func (bp *BufferPool) Get(f *PagedFile, id PageID) (*frame, error) {
 			continue // re-check: the page may have been cached meanwhile
 		}
 		bp.misses.Add(1)
+		tally.miss()
 		latch := &fillLatch{done: make(chan struct{})}
 		sh.installLocked(fr, key, false, latch)
 		sh.mu.Unlock()
@@ -314,10 +343,11 @@ func (bp *BufferPool) Get(f *PagedFile, id PageID) (*frame, error) {
 
 // pinned finishes a successful pin: account a hit, or wait out a pending
 // fill.
-func (bp *BufferPool) pinned(fr *frame) (*frame, error) {
+func (bp *BufferPool) pinned(fr *frame, tally *PoolTally) (*frame, error) {
 	latch := fr.latch.Load()
 	if latch == nil {
 		bp.hits.Add(1)
+		tally.hit()
 		fr.used.Store(true)
 		return fr, nil
 	}
@@ -325,6 +355,7 @@ func (bp *BufferPool) pinned(fr *frame) (*frame, error) {
 	// counts as a miss, keeping the reported hit rate honest about how
 	// many accesses were served from memory.
 	bp.misses.Add(1)
+	tally.miss()
 	<-latch.done
 	// The pin keeps the frame from being recycled, so latch.err still
 	// belongs to the fill we waited for.

@@ -11,13 +11,21 @@ import (
 // fetches hitting the same page (the common case for index range scans over
 // mildly clustered data) decodes it once. It is single-goroutine state.
 type HeapFetchCache struct {
-	page int64 // sealed page index, -1 = empty
-	rows []sqltypes.Row
+	page  int64 // sealed page index, -1 = empty
+	rows  []sqltypes.Row
+	tally *PoolTally
 }
 
 // NewHeapFetchCache returns an empty fetch cache.
 func NewHeapFetchCache() *HeapFetchCache {
 	return &HeapFetchCache{page: -1}
+}
+
+// SetPoolTally attributes the fetches' buffer-pool traffic to tally
+// (nil is valid). Returns the cache for chaining.
+func (c *HeapFetchCache) SetPoolTally(t *PoolTally) *HeapFetchCache {
+	c.tally = t
+	return c
 }
 
 // FetchRow returns the row at insertion position idx (storage format).
@@ -53,7 +61,11 @@ func (h *Heap) FetchRowCached(idx int64, c *HeapFetchCache) (sqltypes.Row, error
 	if c != nil && c.page == int64(p) {
 		return append(sqltypes.Row(nil), c.rows[off]...), nil
 	}
-	fr, err := h.pool.Get(h.file, PageID(p+1))
+	var tally *PoolTally
+	if c != nil {
+		tally = c.tally
+	}
+	fr, err := h.pool.GetT(h.file, PageID(p+1), tally)
 	if err != nil {
 		return nil, err
 	}

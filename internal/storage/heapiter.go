@@ -99,6 +99,14 @@ type HeapVersionIterator struct {
 	tailOn  bool
 	zf      []ZoneFilter
 	stats   *VecScanStats
+	tally   *PoolTally
+}
+
+// SetPoolTally attributes the iterator's buffer-pool traffic to tally
+// (nil is valid). Returns the iterator for chaining.
+func (it *HeapVersionIterator) SetPoolTally(t *PoolTally) *HeapVersionIterator {
+	it.tally = t
+	return it
 }
 
 // SetZoneFilters makes the iterator skip sealed pages whose zone-map
@@ -149,7 +157,7 @@ func (it *HeapVersionIterator) Next() (sqltypes.Row, int64, bool, error) {
 				it.page++
 				continue
 			}
-			fr, err := it.h.pool.Get(it.h.file, PageID(it.page+1))
+			fr, err := it.h.pool.GetT(it.h.file, PageID(it.page+1), it.tally)
 			if err != nil {
 				return nil, 0, false, err
 			}

@@ -266,6 +266,14 @@ type HeapBatchIterator struct {
 	tailOn bool
 	stats  *VecScanStats
 	zf     []ZoneFilter
+	tally  *PoolTally
+}
+
+// SetPoolTally attributes the iterator's buffer-pool traffic to tally
+// (nil is valid). Returns the iterator for chaining.
+func (it *HeapBatchIterator) SetPoolTally(t *PoolTally) *HeapBatchIterator {
+	it.tally = t
+	return it
 }
 
 // NewBatchIterator returns a batch iterator over sealed pages
@@ -309,7 +317,7 @@ func (it *HeapBatchIterator) NextBatch() (*vec.Batch, error) {
 			it.page++
 			continue
 		}
-		fr, err := it.h.pool.Get(it.h.file, PageID(it.page+1))
+		fr, err := it.h.pool.GetT(it.h.file, PageID(it.page+1), it.tally)
 		if err != nil {
 			return nil, err
 		}
